@@ -1,0 +1,22 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark regenerates one of the paper's tables or figures and
+prints a paper-vs-measured comparison; EXPERIMENTS.md records the
+resulting numbers.
+"""
+
+import pytest
+
+
+def report(title: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured table under a figure/table title."""
+    width = max(len(r[0]) for r in rows)
+    print(f"\n=== {title} ===")
+    print(f"{'metric':<{width}}  {'paper':>22}  {'measured':>22}")
+    for metric, paper, measured in rows:
+        print(f"{metric:<{width}}  {paper:>22}  {measured:>22}")
+
+
+@pytest.fixture
+def experiment_report():
+    return report

@@ -1,0 +1,67 @@
+"""AES: TaintChannel rediscovers the Osvik et al. T-table gadget.
+
+Paper (Section III-B): "we also verified that TaintChannel finds the
+vulnerability [of] Osvik et al. in the software implementation of AES in
+OpenSSL."  The first-round lookups ``Te[p_i ^ k_i]`` carry both
+plaintext and key taint in their addresses.
+"""
+
+from repro.core.taintchannel import TaintChannel
+from repro.crypto.aes import aes128_encrypt_block
+
+KEY = bytes.fromhex("2b7e151628aed2a6abf7158809cf4f3c")
+PLAINTEXT = bytes.fromhex("3243f6a8885a308d313198a2e0370734")
+
+
+def analyze():
+    tc = TaintChannel()
+    return tc.analyze(
+        "aes-ttable",
+        lambda ctx: aes128_encrypt_block(KEY, PLAINTEXT, ctx),
+    )
+
+
+def test_bench_aes(benchmark, experiment_report):
+    result = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    te_gadgets = [g for g in result.gadgets if g.array.startswith("Te")]
+    first_round = [
+        a for g in te_gadgets for a in g.accesses[:1]
+    ]
+    sources = set()
+    for acc in first_round:
+        sources |= {result.tags.info(t).source for t in acc.addr_taint.tags()}
+
+    # Exploitation follow-through: recover the key's top nibbles from
+    # the same channel (Osvik et al.'s first-round attack).
+    import random
+
+    from repro.crypto.aes_attack import (
+        capture_round1_lines,
+        recover_high_nibbles,
+        recovered_key_mask,
+    )
+
+    rng = random.Random(99)
+    plaintexts = [bytes(rng.randrange(256) for _ in range(16)) for _ in range(3)]
+    observed = [capture_round1_lines(KEY, pt) for pt in plaintexts]
+    partial, mask = recovered_key_mask(
+        recover_high_nibbles(plaintexts, observed)
+    )
+    known_bits = sum(bin(m).count("1") for m in mask)
+    recovered_ok = all(partial[p] == KEY[p] & mask[p] for p in range(16))
+
+    experiment_report(
+        "Section III-B — AES T-table validation",
+        [
+            ("Te gadgets found", "4 (Te0-Te3)", str(len(te_gadgets))),
+            ("lookup addr taint", "plaintext ^ key", "+".join(sorted(sources))),
+            ("pt bytes leaking", "16/16", f"{result.input_coverage() * 16:.0f}/16"),
+            ("lookups per block", "144 (9 rounds x 16)", str(sum(g.count for g in te_gadgets))),
+            ("key bits via round-1 lines", "64/128 (Osvik et al.)", f"{known_bits}/128, correct={recovered_ok}"),
+        ],
+    )
+
+    assert len(te_gadgets) == 4
+    assert sources == {"input", "key"}
+    assert result.input_coverage() == 1.0
+    assert known_bits == 64 and recovered_ok

@@ -1,0 +1,44 @@
+"""FIG2: TaintChannel's report for the Zlib ``head[ins_h]`` gadget.
+
+Paper (Fig. 2): the store to ``head[ins_h]`` dereferences an address
+whose bits 1-8 are tainted by input byte i+2, bits 6-13 by byte i+1 and
+bits 11-15 by byte i (after the 0x7fff mask and the *2 element scaling).
+"""
+
+from repro.compression.lz77 import SITE_HEAD, deflate_compress
+from repro.core.taintchannel import TaintChannel
+from repro.workloads import lowercase_ascii
+
+INPUT = lowercase_ascii(2000, seed=6)
+
+
+def analyze():
+    tc = TaintChannel()
+    return tc, tc.analyze("zlib", lambda ctx: deflate_compress(INPUT, ctx))
+
+
+def test_bench_fig2(benchmark, experiment_report):
+    tc, result = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    gadget = result.gadget(SITE_HEAD)
+    sample = next(a for a in gadget.accesses if a.kind == "write")
+    tags = sorted(
+        sample.addr_taint.tags(), key=lambda t: result.tags.info(t).index
+    )
+    assert len(tags) == 3
+    lo = {t: min(sample.addr_taint.bits_of_tag(t)) for t in tags}
+    hi = {t: max(sample.addr_taint.bits_of_tag(t)) for t in tags}
+
+    experiment_report(
+        "Fig. 2 — Zlib head[ins_h] taint layout",
+        [
+            ("byte i bits", "11-15", f"{lo[tags[0]]}-{hi[tags[0]]}"),
+            ("byte i+1 bits", "6-13", f"{lo[tags[1]]}-{hi[tags[1]]}"),
+            ("byte i+2 bits", "1-8", f"{lo[tags[2]]}-{hi[tags[2]]}"),
+            ("gadget accesses", "1 per input position", str(gadget.count)),
+        ],
+    )
+    print(tc.render(result, gadget, with_slice=True))
+
+    assert (lo[tags[0]], hi[tags[0]]) == (11, 15)
+    assert (lo[tags[1]], hi[tags[1]]) == (6, 13)
+    assert (lo[tags[2]], hi[tags[2]]) == (1, 8)

@@ -1,0 +1,48 @@
+"""FIG3: the Ncompress taint-propagation chain.
+
+Paper (Fig. 3): an input byte is read, copied, shifted left by 9 bits,
+xor'ed with the dictionary entry, and used as an index scaled by 8 —
+leaving bits 9-16 of the array index tainted by the input byte
+(bits 12-19 of the dereferenced address).
+"""
+
+from repro.compression.lzw import SITE_PRIMARY, lzw_compress
+from repro.core.taintchannel import TaintChannel
+from repro.core.taintchannel.provenance import opcode_chain
+from repro.workloads import english_like
+
+INPUT = english_like(1500, seed=9)
+
+
+def analyze():
+    tc = TaintChannel()
+    return tc, tc.analyze("ncompress", lambda ctx: lzw_compress(INPUT, ctx))
+
+
+def test_bench_fig3(benchmark, experiment_report):
+    tc, result = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    gadget = result.gadget(SITE_PRIMARY)
+    sample = next(a for a in gadget.accesses if a.kind == "read")
+    chain = opcode_chain(sample.addr_origin)
+
+    # The freshest tag on the address is the current input byte c.
+    newest = max(
+        sample.addr_taint.tags(), key=lambda t: result.tags.info(t).index
+    )
+    bits = sample.addr_taint.bits_of_tag(newest)
+
+    experiment_report(
+        "Fig. 3 — Ncompress htab[hp] propagation",
+        [
+            ("chain contains shl", "yes (shl $9)", "yes" if "shl" in chain else "no"),
+            ("chain contains xor", "yes (xor ent)", "yes" if "xor" in chain else "no"),
+            ("c bits in index", "9-16", f"{min(bits) - 3}-{max(bits) - 3}"),
+            ("index scaling", "x8 (8-byte entries)", f"x{sample.elem_size}"),
+        ],
+    )
+    print(tc.render(result, gadget))
+
+    assert "shl" in chain and "xor" in chain
+    assert sample.elem_size == 8
+    # Address bits = index bits + 3 (elem size 8).
+    assert (min(bits), max(bits)) == (9 + 3, 16 + 3)

@@ -1,0 +1,53 @@
+"""FIG4: two consecutive ftab[j]++ accesses share an input byte.
+
+Paper (Fig. 4): at iteration i, byte 1689 sits in bits 0-7 of the array
+index; one iteration earlier (processed next, since the loop runs
+backwards) the same byte sits in bits 8-15.  This redundancy is the
+error-correction signal of Section V-D.
+"""
+
+from repro.compression.bzip2 import SITE_FTAB, bzip2_compress
+from repro.core.taintchannel import TaintChannel
+from repro.workloads import english_like
+
+INPUT = english_like(1800, seed=12)
+
+
+def analyze():
+    tc = TaintChannel()
+    return tc, tc.analyze(
+        "bzip2",
+        lambda ctx: bzip2_compress(INPUT, ctx, block_size=len(INPUT)),
+    )
+
+
+def test_bench_fig4(benchmark, experiment_report):
+    tc, result = benchmark.pedantic(analyze, rounds=1, iterations=1)
+    gadget = result.gadget(SITE_FTAB)
+
+    # Find two consecutive accesses sharing a tag (byte k as low half,
+    # then as high half).  Loop order is i = n-1 .. 0, and element size
+    # 4 shifts index bits up by 2 in the address.
+    first, second = gadget.accesses[10], gadget.accesses[11]
+    shared = first.addr_taint.tags() & second.addr_taint.tags()
+    assert len(shared) == 1
+    (tag,) = shared
+    # The loop runs i = n-1 .. 0: byte k is the *high* half of j at
+    # iteration i=k, then the *low* half at iteration i=k-1.
+    bits_as_high = first.addr_taint.bits_of_tag(tag)
+    bits_as_low = second.addr_taint.bits_of_tag(tag)
+
+    experiment_report(
+        "Fig. 4 — Bzip2 ftab[j]++ consecutive-iteration redundancy",
+        [
+            ("byte k index bits, iter k", "8-15", f"{min(bits_as_high) - 2}-{max(bits_as_high) - 2}"),
+            ("byte k index bits, iter k-1", "0-7", f"{min(bits_as_low) - 2}-{max(bits_as_low) - 2}"),
+            ("accesses (one per byte)", str(len(INPUT)), str(gadget.count)),
+            ("kind", "add $1, (rsi,rcx,4)", "/".join(sorted(gadget.kinds))),
+        ],
+    )
+    print(tc.render(result, gadget, sample_index=10))
+
+    assert (min(bits_as_high), max(bits_as_high)) == (10, 17)
+    assert (min(bits_as_low), max(bits_as_low)) == (2, 9)
+    assert gadget.count == len(INPUT)

@@ -1,0 +1,63 @@
+"""FIG7: fingerprinting the 21-file corpus (Section VI).
+
+Paper: the classifier "achieves decent accuracy for most files, and
+struggles to distinguish files that immediately go into fallbackSort()
+without starting from mainSort()"; the one-byte file ``x`` classifies
+correctly 20% of the time against a 4.76% chance baseline.
+"""
+
+import numpy as np
+
+from repro.classify import MLPClassifier, confusion_matrix, render_confusion, split_dataset
+from repro.core.zipchannel.fingerprint import build_dataset, victim_timeline
+from repro.workloads import brotli_like_corpus
+
+TRACES_PER_FILE = 50
+EPOCHS = 80
+
+
+def run_experiment():
+    corpus = brotli_like_corpus()
+    names = list(corpus)
+    x, y, timelines = build_dataset(
+        list(corpus.values()), traces_per_file=TRACES_PER_FILE, seed=77
+    )
+    (train, val, test) = split_dataset(x, y, seed=78)
+    clf = MLPClassifier(x.shape[1], len(names), hidden=96, seed=79)
+    clf.fit(*train, epochs=EPOCHS, x_val=val[0], y_val=val[1])
+    matrix = confusion_matrix(test[1], clf.predict(test[0]), len(names))
+    return names, timelines, clf.accuracy(*test), matrix
+
+
+def test_bench_fig7(benchmark, experiment_report):
+    names, timelines, test_acc, matrix = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    diag = np.diagonal(matrix)
+    chance = 1 / len(names)
+
+    # Group files by whether they ever run mainSort.
+    fallback_only = [
+        i for i, tl in enumerate(timelines)
+        if not tl.intervals["mainSort"]
+    ]
+    tiny = [i for i in fallback_only if timelines[i].duration < 1000]
+    main_users = [i for i in range(len(names)) if i not in fallback_only]
+
+    experiment_report(
+        "Fig. 7 — fingerprinting 21 corpus files",
+        [
+            ("chance baseline", "4.76%", f"{chance * 100:.2f}%"),
+            ("overall test accuracy", '"decent"', f"{test_acc * 100:.1f}%"),
+            ("mean acc, mainSort files", "high", f"{np.mean(diag[main_users]) * 100:.1f}%"),
+            ("mean acc, tiny fallback-only", "low (confused)", f"{np.mean(diag[tiny]) * 100:.1f}%"),
+            ("file 'x'", "20% (vs 4.76%)", f"{diag[names.index('x')] * 100:.0f}%"),
+        ],
+    )
+    print(render_confusion(matrix, names))
+
+    assert test_acc > 5 * chance  # far above chance overall
+    assert np.mean(diag[main_users]) > 0.6
+    # The paper's confusable group: tiny straight-to-fallback files do
+    # markedly worse than the files that exercise mainSort.
+    assert np.mean(diag[tiny]) < np.mean(diag[main_users])

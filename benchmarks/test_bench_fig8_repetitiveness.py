@@ -1,0 +1,58 @@
+"""FIG8: leaking how repetitive a file is (Section VI).
+
+Paper: five 20,000-byte lipsum files where file *i* draws from the first
+*i* paragraphs (truncated to 20 chars).  "The 1st file is correctly
+classified 98% of the time, and the rest with accuracy between 32% and
+52% ... the more repetitive the file is the more accurate the
+classification is", against a 20% chance baseline.
+"""
+
+import numpy as np
+
+from repro.classify import MLPClassifier, confusion_matrix, render_confusion, split_dataset
+from repro.core.zipchannel.fingerprint import FingerprintChannel, build_dataset
+from repro.workloads import repetitiveness_series
+
+TRACES_PER_FILE = 60
+EPOCHS = 80
+# The five files differ only in repetitiveness; telling them apart needs
+# duration-level features, which real-hardware noise blurs heavily.  The
+# channel here carries matching noise (the default, milder setting would
+# separate all five perfectly -- see EXPERIMENTS.md).
+CHANNEL = FingerprintChannel(speed_jitter=0.5, p_false_negative=0.25)
+
+
+def run_experiment():
+    files = repetitiveness_series()
+    x, y, timelines = build_dataset(
+        files, traces_per_file=TRACES_PER_FILE, seed=88, channel=CHANNEL
+    )
+    (train, val, test) = split_dataset(x, y, seed=89)
+    clf = MLPClassifier(x.shape[1], len(files), hidden=64, seed=90)
+    clf.fit(*train, epochs=EPOCHS)
+    matrix = confusion_matrix(test[1], clf.predict(test[0]), len(files))
+    return timelines, clf.accuracy(*test), matrix
+
+
+def test_bench_fig8(benchmark, experiment_report):
+    timelines, test_acc, matrix = benchmark.pedantic(
+        run_experiment, rounds=1, iterations=1
+    )
+    diag = np.diagonal(matrix)
+    labels = [f"test_0000{i + 1}.txt" for i in range(5)]
+
+    experiment_report(
+        "Fig. 8 — classifying 5 files by repetitiveness",
+        [
+            ("chance baseline", "20%", "20%"),
+            ("file 1 (most repetitive)", "98%", f"{diag[0] * 100:.0f}%"),
+            ("files 2-5", "32-52%", f"{diag[1:].min() * 100:.0f}-{diag[1:].max() * 100:.0f}%"),
+            ("overall", "above chance", f"{test_acc * 100:.1f}%"),
+        ],
+    )
+    print(render_confusion(matrix, labels))
+
+    assert diag[0] > 0.7  # the most repetitive file stands out
+    assert test_acc > 0.4  # overall far above the 20% chance baseline
+    # The paper's trend: the more repetitive, the more recognisable.
+    assert diag[:2].mean() > diag[2:].mean()

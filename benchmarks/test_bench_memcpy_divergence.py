@@ -1,0 +1,47 @@
+"""MEMCPY: the control-flow gadget in memcpy (Section III-B).
+
+Paper: "there are multiple control flow paths within memcpy() based on
+the size of the data being copied — if the size of the data is an exact
+multiple of the size of an AVX register, it uses these registers ...
+Otherwise, memcpy() copies as much as it can using the AVX registers,
+and the rest byte by byte.  This can reveal information about the exact
+size of data that is being copied."
+"""
+
+from repro.core.taintchannel import TaintChannel, avx_memcpy
+from repro.core.taintchannel.controlflow import AVX_REGISTER_BYTES
+
+
+def run_target(size):
+    def target(ctx):
+        src = ctx.array("src", 256, init=3)
+        dst = ctx.array("dst", 256)
+        avx_memcpy(ctx, dst, src, size)
+
+    return target
+
+
+def sweep():
+    tc = TaintChannel()
+    rows = []
+    for a, b in [(64, 61), (96, 96), (32, 33), (128, 120)]:
+        div = tc.diff(run_target(a), run_target(b))
+        rows.append((a, b, div))
+    return rows
+
+
+def test_bench_memcpy(benchmark, experiment_report):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    lines = []
+    for a, b, div in rows:
+        same_residue = (a % AVX_REGISTER_BYTES == 0) == (b % AVX_REGISTER_BYTES == 0)
+        expected = "no divergence" if (a == b or same_residue) else "divergence"
+        got = "no divergence" if div is None else "divergence"
+        lines.append((f"copy {a} vs {b} bytes", expected, got))
+    experiment_report("Section III-B — memcpy AVX/tail control-flow gadget", lines)
+
+    (a64, b61, d1), (a96, b96, d2), (a32, b33, d3), (a128, b120, d4) = rows
+    assert d1 is not None and "byte_tail" in (str(d1.left) + str(d1.right))
+    assert d2 is None  # identical sizes
+    assert d3 is not None
+    assert d4 is not None

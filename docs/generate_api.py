@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Generate docs/api.md from the package's docstrings.
+
+Run:  python docs/generate_api.py
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+from pathlib import Path
+
+import repro
+
+
+def first_paragraph(doc: str | None) -> str:
+    if not doc:
+        return "(undocumented)"
+    return inspect.cleandoc(doc).split("\n\n")[0].replace("\n", " ")
+
+
+def main() -> None:
+    lines = [
+        "# API reference",
+        "",
+        "One-paragraph summaries extracted from docstrings; see the",
+        "source for full documentation.  Regenerate with",
+        "`python docs/generate_api.py`.",
+        "",
+    ]
+    modules = sorted(
+        name
+        for _, name, _ in pkgutil.walk_packages(repro.__path__, "repro.")
+    )
+    for name in modules:
+        if name.rsplit(".", 1)[-1].startswith("_"):
+            continue
+        module = importlib.import_module(name)
+        lines.append(f"## `{name}`")
+        lines.append("")
+        lines.append(first_paragraph(module.__doc__))
+        lines.append("")
+        public = [
+            (attr_name, attr)
+            for attr_name, attr in sorted(vars(module).items())
+            if not attr_name.startswith("_")
+            and getattr(attr, "__module__", None) == name
+            and (inspect.isclass(attr) or inspect.isfunction(attr))
+        ]
+        for attr_name, attr in public:
+            kind = "class" if inspect.isclass(attr) else "def"
+            lines.append(f"- **`{kind} {attr_name}`** — {first_paragraph(attr.__doc__)}")
+        if public:
+            lines.append("")
+
+    out = Path(__file__).parent / "api.md"
+    out.write_text("\n".join(lines))
+    print(f"wrote {out} ({len(lines)} lines)")
+
+
+if __name__ == "__main__":
+    main()

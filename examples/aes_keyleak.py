@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""From detection to exploitation on AES (the Osvik et al. validation).
+
+TaintChannel flags the T-table lookups as taint-dependent dereferences;
+this demo closes the loop by using the same cache-line observations to
+recover the top nibble of every AES-128 key byte (64 of 128 bits) from
+known plaintexts.
+
+Run:  python examples/aes_keyleak.py
+"""
+
+import random
+
+from repro.core.taintchannel import TaintChannel
+from repro.crypto.aes import aes128_encrypt_block
+from repro.crypto.aes_attack import (
+    capture_round1_lines,
+    recover_high_nibbles,
+    recovered_key_mask,
+)
+
+
+def main() -> None:
+    rng = random.Random(2024)
+    key = bytes(rng.randrange(256) for _ in range(16))
+    print(f"victim key (secret): {key.hex()}")
+
+    # Step 1: detection — TaintChannel finds the gadget.
+    tc = TaintChannel()
+    result = tc.analyze(
+        "aes-ttable",
+        lambda ctx: aes128_encrypt_block(key, bytes(16), ctx),
+    )
+    te_gadgets = [g for g in result.gadgets if g.array.startswith("Te")]
+    print(
+        f"TaintChannel: {len(te_gadgets)} T-table gadgets, "
+        f"{sum(g.count for g in te_gadgets)} key/plaintext-dependent lookups"
+    )
+
+    # Step 2: exploitation — observe round-1 lines for known plaintexts.
+    plaintexts = [
+        bytes(rng.randrange(256) for _ in range(16)) for _ in range(4)
+    ]
+    observed = [capture_round1_lines(key, pt) for pt in plaintexts]
+    candidates = recover_high_nibbles(plaintexts, observed)
+    partial, mask = recovered_key_mask(candidates)
+
+    print(f"recovered key nibbles: {partial.hex()}")
+    print(f"known-bit mask:        {mask.hex()}")
+    correct = all(
+        partial[p] == key[p] & mask[p] for p in range(16)
+    )
+    known_bits = sum(bin(m).count("1") for m in mask)
+    print(f"-> {known_bits}/128 key bits recovered, correct: {correct}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Section VIII: what constant-access compression buys, and what it costs.
+
+Runs the full Section V extraction twice — against the vulnerable
+Listing 3 histogram and against the oblivious-access hardened variant —
+and prints the security/performance trade-off.
+
+Run:  python examples/mitigation_demo.py
+"""
+
+from repro.core.zipchannel import AttackConfig, SgxBzip2Attack
+from repro.mitigations import oblivious_histogram
+from repro.workloads import random_bytes
+
+
+def main() -> None:
+    secret = random_bytes(150, seed=77)
+    print(f"secret: {len(secret)} bytes of random data\n")
+
+    print("1) attacking the vulnerable histogram (Listing 3)...")
+    vulnerable = SgxBzip2Attack(secret, AttackConfig()).run()
+    print(f"   {vulnerable.summary()}")
+
+    print("\n2) attacking the oblivious-access histogram (Section VIII)...")
+    hardened = SgxBzip2Attack(
+        secret, AttackConfig(), victim_histogram=oblivious_histogram
+    ).run()
+    print(f"   {hardened.summary()}")
+
+    overhead = hardened.victim_accesses / vulnerable.victim_accesses
+    print("\nsummary:")
+    print(
+        f"  byte accuracy: {vulnerable.byte_accuracy * 100:.1f}% -> "
+        f"{hardened.byte_accuracy * 100:.1f}%"
+    )
+    print(
+        f"  bit accuracy:  {vulnerable.bit_accuracy * 100:.1f}% -> "
+        f"{hardened.bit_accuracy * 100:.1f}% (coin flip = 50%)"
+    )
+    print(
+        f"  victim memory traffic: {overhead:,.0f}x — the price of the "
+        f"defence,\n  and why 'disabling compression' remains the only "
+        f"deployed complete fix."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python3
+"""End-to-end Section V attack: leak a buffer out of an SGX enclave.
+
+The victim compresses a secret with Bzip2 inside the (simulated)
+enclave; the attacker single-steps the ftab histogram loop with
+mprotect, primes and probes the faulting page's cache lines under a CAT
+partition, and reconstructs the secret from the observed lines.
+
+Run:  python examples/sgx_extraction.py
+"""
+
+from repro.core.zipchannel import AttackConfig, SgxBzip2Attack
+from repro.workloads import random_bytes
+
+
+def hexdump_row(data: bytes, offset: int) -> str:
+    chunk = data[offset : offset + 16]
+    hexpart = " ".join(f"{b:02x}" for b in chunk)
+    ascii_part = "".join(chr(b) if 32 <= b < 127 else "." for b in chunk)
+    return f"{offset:06x}  {hexpart:<47}  {ascii_part}"
+
+
+def main() -> None:
+    secret = random_bytes(2048, seed=1234)
+    print(f"victim secret: {len(secret)} bytes of random data (hardest case)")
+    print("running the attack (single-step + CAT + frame selection)...\n")
+
+    attack = SgxBzip2Attack(secret, AttackConfig())
+    outcome = attack.run()
+
+    recovered = bytes(outcome.recovered.values)
+    print(outcome.summary())
+    print(
+        f"empty observations: {outcome.observations_empty}, "
+        f"ambiguous: {outcome.observations_ambiguous}\n"
+    )
+
+    print("secret (first 4 rows)          vs recovered")
+    for off in range(0, 64, 16):
+        print(hexdump_row(secret, off))
+        print(hexdump_row(recovered, off))
+        print()
+
+    wrong = [i for i, (a, b) in enumerate(zip(secret, recovered)) if a != b]
+    if wrong:
+        print(f"byte errors at offsets: {wrong[:20]}")
+    else:
+        print("recovered buffer is byte-exact.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""The Section IV survey: recover plaintext from cache-line traces.
+
+For each of the three compression families, compress a secret under the
+tracing context, reduce the gadget's accesses to what a cache attacker
+sees (addresses with the low 6 bits masked), and run the corresponding
+recovery algorithm from :mod:`repro.recovery`.
+
+Run:  python examples/survey_recovery.py
+"""
+
+from repro.compression.bzip2.blocksort import histogram
+from repro.compression.lz77 import SITE_HEAD, deflate_compress
+from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY, lzw_compress
+from repro.exec import TracingContext
+from repro.recovery import observed_lines, recover_lzw_input
+from repro.recovery.bzip2_recover import (
+    observations_from_lines,
+    recover_bzip2_block,
+)
+from repro.recovery.zlib_recover import accuracy, recover_known_high_bits
+
+
+def zlib_demo() -> None:
+    secret = b"attack at dawn bring the zip files and the cache maps"
+    print(f"[zlib]   secret: {secret.decode()}")
+    ctx = TracingContext()
+    deflate_compress(secret, ctx=ctx)
+    lines = observed_lines(ctx, SITE_HEAD, kind="write")
+    recovered = recover_known_high_bits(
+        lines, ctx.arrays["head"].base, len(secret)
+    )
+    text = "".join(chr(b) if b is not None else "?" for b in recovered)
+    print(f"[zlib]   recovered ({accuracy(recovered, secret) * 100:.0f}%): {text}")
+
+
+def lzw_demo() -> None:
+    secret = b"the dictionary remembers everything you compressed"
+    print(f"[lzw]    secret: {secret.decode()}")
+    ctx = TracingContext()
+    lzw_compress(secret, ctx=ctx)
+    lines = [
+        a.address >> 6
+        for a in ctx.tainted_accesses()
+        if a.site in (SITE_PRIMARY, SITE_SECONDARY) and a.kind == "read"
+    ]
+    candidates = recover_lzw_input(lines, ctx.arrays["htab"].base, len(secret))
+    print(f"[lzw]    {len(candidates)} feasible candidate(s):")
+    for cand in candidates:
+        marker = "  <-- exact" if cand == secret else ""
+        print(f"[lzw]      {cand.decode(errors='replace')}{marker}")
+
+
+def bzip2_demo() -> None:
+    secret = b"histograms of byte pairs are two bytes of leak per access"
+    print(f"[bzip2]  secret: {secret.decode()}")
+    ctx = TracingContext()
+    block = ctx.array("block", len(secret))
+    for i, v in enumerate(ctx.input_bytes(secret)):
+        block.set(i, v)
+    histogram(ctx, block, len(secret))
+    from repro.compression.bzip2 import SITE_FTAB
+
+    obs = observations_from_lines(
+        observed_lines(ctx, SITE_FTAB), len(secret)
+    )
+    rec = recover_bzip2_block(obs, ctx.arrays["ftab"].base, len(secret))
+    print(
+        f"[bzip2]  recovered ({rec.byte_accuracy(secret) * 100:.0f}%): "
+        + bytes(rec.values).decode(errors="replace")
+    )
+
+
+if __name__ == "__main__":
+    zlib_demo()
+    print()
+    lzw_demo()
+    print()
+    bzip2_demo()

@@ -1,0 +1,13 @@
+"""repro — a reproduction of ZipChannel (Minkin & Kasikci, DSN 2024).
+
+Cache side-channel vulnerabilities in compression algorithms: the
+TaintChannel detection tool, from-scratch models of the leaking
+compression implementations (Zlib-style LZ77, Ncompress-style LZW,
+Bzip2-style BWT), a simulated cache/memory/SGX substrate, and the two
+end-to-end ZipChannel attacks.
+
+Start with :mod:`repro.core.taintchannel` (the tool) and
+:mod:`repro.core.zipchannel` (the attacks); see DESIGN.md for the map.
+"""
+
+__version__ = "1.0.0"

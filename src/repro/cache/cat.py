@@ -1,0 +1,61 @@
+"""Intel Cache Allocation Technology (CAT) control.
+
+"ZipChannel is the first attack to utilize Intel CAT as an offensive
+technique" (contribution 4b): the attacker — who in the SGX threat model
+controls the OS — partitions the LLC ways so that the class of service
+shared by the attacker's probe lines and the victim's data is a *single
+way*, making the victim's eviction of a primed line deterministic, while
+all unrelated traffic is confined to the remaining ways.
+
+The controller enforces Intel's architectural constraint that capacity
+bitmasks are contiguous runs of set bits.
+"""
+
+from __future__ import annotations
+
+from repro.cache.model import Cache
+
+
+class CatController:
+    """System-software view of CAT: program COS capacity bitmasks."""
+
+    def __init__(self, cache: Cache) -> None:
+        self._cache = cache
+
+    @staticmethod
+    def _is_contiguous(mask: int) -> bool:
+        if mask == 0:
+            return False
+        shifted = mask >> (mask & -mask).bit_length() - 1
+        return (shifted & (shifted + 1)) == 0
+
+    def set_mask(self, cos: int, mask: int) -> None:
+        """Program the capacity bitmask for a class of service.
+
+        Args:
+            cos: class-of-service id.
+            mask: way bitmask (bit k = way k may be filled); must be a
+                non-empty contiguous run, as real CAT requires.
+        """
+        ways = self._cache.config.ways
+        if mask >> ways:
+            raise ValueError(f"mask 0x{mask:x} exceeds {ways} ways")
+        if not self._is_contiguous(mask):
+            raise ValueError(f"CAT requires contiguous masks, got 0x{mask:x}")
+        self._cache.cos_masks[cos] = tuple(
+            w for w in range(ways) if (mask >> w) & 1
+        )
+
+    def partition_for_attack(self, attack_cos: int = 0, other_cos: int = 1) -> None:
+        """The paper's offensive configuration: the attack partition
+        (attacker probes + victim + OS on the attack core) gets way 0
+        only; everything else gets the remaining ways."""
+        ways = self._cache.config.ways
+        self.set_mask(attack_cos, 0b1)
+        self.set_mask(other_cos, ((1 << ways) - 1) & ~0b1)
+
+    def reset(self) -> None:
+        """No partitioning: every COS may fill every way."""
+        ways = self._cache.config.ways
+        self._cache.cos_masks.clear()
+        self._cache.cos_masks[0] = tuple(range(ways))

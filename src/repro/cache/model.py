@@ -1,0 +1,235 @@
+"""Set-associative sliced cache with LRU replacement and CAT masks.
+
+Geometry defaults model a small LLC: 4 slices x 1024 sets x 16 ways of
+64-byte lines (4 MiB).  Addresses are *physical*; set index bits sit
+directly above the line offset, and the slice is chosen by an
+XOR-of-address-bits hash in the style reverse engineered by Maurice et
+al. / Liu et al. (the paper's reference [38]).
+
+Intel CAT is modelled faithfully to its architectural contract: a
+class-of-service (COS) capacity bitmask constrains which ways an access
+may *fill on a miss*; hits are served from any way.  This is exactly the
+property the paper exploits — "Intel CAT can effectively reduce the
+cache to a single way" for the victim/attacker partition, making
+evictions deterministic while other traffic is confined elsewhere.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Optional
+
+LINE_BITS = 6
+LINE_SIZE = 1 << LINE_BITS
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of the simulated LLC.
+
+    ``replacement`` selects the victim policy: ``"lru"`` (true LRU by
+    access stamp) or ``"plru"`` (tree pseudo-LRU, what real LLC ways
+    implement; requires a power-of-two way count).
+    """
+
+    n_slices: int = 4
+    sets_per_slice: int = 1024
+    ways: int = 16
+    hit_latency: float = 40.0
+    miss_latency: float = 200.0
+    noise_sigma: float = 6.0
+    seed: int = 2024
+    replacement: str = "lru"
+
+    def __post_init__(self) -> None:
+        if self.replacement not in ("lru", "plru"):
+            raise ValueError(f"unknown replacement {self.replacement!r}")
+        if self.replacement == "plru" and self.ways & (self.ways - 1):
+            raise ValueError("plru needs a power-of-two way count")
+
+    @property
+    def set_bits(self) -> int:
+        return (self.sets_per_slice - 1).bit_length()
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.n_slices * self.sets_per_slice * self.ways * LINE_SIZE
+
+
+# Slice-hash bit masks (per output bit, XOR-parity of the selected
+# physical address bits), shaped after the reverse-engineered Intel
+# functions.  Only bits >= LINE_BITS participate.
+_SLICE_MASKS = (
+    0x1B5F575440,
+    0x2EB5FAA880,
+)
+
+
+@dataclass
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    latency: float
+    evicted: Optional[int] = None  # line address pushed out, if any
+
+
+def _parity(x: int) -> int:
+    return bin(x).count("1") & 1
+
+
+class PlruTree:
+    """Tree pseudo-LRU state for one set.
+
+    ``bits[node]`` points toward the *less recently used* subtree
+    (0 = left, 1 = right); touching a way flips the bits on its root
+    path to point away from it.  Victim selection follows the bits,
+    constrained to ways the access's CAT mask allows (a node whose
+    indicated subtree holds no allowed way is overridden).
+    """
+
+    __slots__ = ("ways", "bits")
+
+    def __init__(self, ways: int) -> None:
+        self.ways = ways
+        self.bits = [0] * (ways - 1)
+
+    def touch(self, way: int) -> None:
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:  # accessed left subtree: point at right
+                self.bits[node] = 1
+                node, hi = 2 * node + 1, mid
+            else:
+                self.bits[node] = 0
+                node, lo = 2 * node + 2, mid
+
+    def victim(self, allowed: frozenset[int] | set[int] | tuple[int, ...]) -> int:
+        allowed_set = set(allowed)
+        node = 0
+        lo, hi = 0, self.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            left_ok = any(lo <= w < mid for w in allowed_set)
+            right_ok = any(mid <= w < hi for w in allowed_set)
+            go_right = self.bits[node] == 1
+            if go_right and not right_ok:
+                go_right = False
+            elif not go_right and not left_ok:
+                go_right = True
+            if go_right:
+                node, lo = 2 * node + 2, mid
+            else:
+                node, hi = 2 * node + 1, mid
+        return lo
+
+
+class Cache:
+    """The shared last-level cache.
+
+    State per (slice, set) is a dict ``way -> (tag, stamp)``; LRU is by
+    global access stamp.  ``cos_masks`` maps a class of service to the
+    tuple of way indices its misses may fill; COS 0 defaults to all ways.
+    """
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+        self._rng = random.Random(self.config.seed)
+        self._stamp = 0
+        cfg = self.config
+        self._sets: list[list[dict[int, tuple[int, int]]]] = [
+            [dict() for _ in range(cfg.sets_per_slice)]
+            for _ in range(cfg.n_slices)
+        ]
+        self._plru: dict[tuple[int, int], PlruTree] = {}
+        self.cos_masks: dict[int, tuple[int, ...]] = {
+            0: tuple(range(cfg.ways))
+        }
+        self.stats = {"hits": 0, "misses": 0, "flushes": 0}
+
+    # -- address mapping -------------------------------------------------
+    def slice_of(self, paddr: int) -> int:
+        if self.config.n_slices == 1:
+            return 0
+        bits = (self.config.n_slices - 1).bit_length()
+        out = 0
+        for k in range(bits):
+            out |= _parity(paddr & _SLICE_MASKS[k]) << k
+        return out % self.config.n_slices
+
+    def set_of(self, paddr: int) -> int:
+        return (paddr >> LINE_BITS) & (self.config.sets_per_slice - 1)
+
+    def location(self, paddr: int) -> tuple[int, int]:
+        """(slice, set) a physical address maps to."""
+        return self.slice_of(paddr), self.set_of(paddr)
+
+    # -- the access path -------------------------------------------------
+    def _latency(self, base: float) -> float:
+        return max(1.0, self._rng.gauss(base, self.config.noise_sigma))
+
+    def access(self, paddr: int, cos: int = 0) -> AccessResult:
+        """Load/store the line containing ``paddr`` under class ``cos``."""
+        tag = paddr >> LINE_BITS
+        sl, st = self.location(paddr)
+        ways = self._sets[sl][st]
+        self._stamp += 1
+
+        plru = None
+        if self.config.replacement == "plru":
+            plru = self._plru.get((sl, st))
+            if plru is None:
+                plru = self._plru[(sl, st)] = PlruTree(self.config.ways)
+
+        for way, (wtag, _) in ways.items():
+            if wtag == tag:
+                ways[way] = (tag, self._stamp)
+                if plru is not None:
+                    plru.touch(way)
+                self.stats["hits"] += 1
+                return AccessResult(True, self._latency(self.config.hit_latency))
+
+        self.stats["misses"] += 1
+        allowed = self.cos_masks.get(cos, self.cos_masks[0])
+        evicted: Optional[int] = None
+        free = [w for w in allowed if w not in ways]
+        if free:
+            victim_way = free[0]
+        elif plru is not None:
+            victim_way = plru.victim(allowed)
+            evicted = ways[victim_way][0] << LINE_BITS
+        else:
+            victim_way = min(allowed, key=lambda w: ways[w][1])
+            evicted = ways[victim_way][0] << LINE_BITS
+        ways[victim_way] = (tag, self._stamp)
+        if plru is not None:
+            plru.touch(victim_way)
+        return AccessResult(
+            False, self._latency(self.config.miss_latency), evicted
+        )
+
+    def flush(self, paddr: int) -> None:
+        """clflush: remove the line from the cache entirely."""
+        tag = paddr >> LINE_BITS
+        sl, st = self.location(paddr)
+        ways = self._sets[sl][st]
+        for way, (wtag, _) in list(ways.items()):
+            if wtag == tag:
+                del ways[way]
+        self.stats["flushes"] += 1
+
+    def contains(self, paddr: int) -> bool:
+        tag = paddr >> LINE_BITS
+        sl, st = self.location(paddr)
+        return any(wtag == tag for wtag, _ in self._sets[sl][st].values())
+
+    def occupancy(self, sl: int, st: int) -> int:
+        return len(self._sets[sl][st])
+
+    def clear(self) -> None:
+        for per_slice in self._sets:
+            for ways in per_slice:
+                ways.clear()

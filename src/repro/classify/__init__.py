@@ -1,0 +1,24 @@
+"""Trace classification for the fingerprinting attack.
+
+The paper trains a PyTorch DNN on Google Colab; the substitution
+(DESIGN.md) is a from-scratch numpy multi-layer perceptron with Adam —
+the reproduced result is the *separability of the traces*, not the
+framework.  :mod:`repro.classify.metrics` provides the train/eval/test
+split and the Fig. 7/8 confusion matrices.
+"""
+
+from repro.classify.mlp import MLPClassifier
+from repro.classify.baseline import NearestCentroidClassifier
+from repro.classify.metrics import (
+    confusion_matrix,
+    render_confusion,
+    split_dataset,
+)
+
+__all__ = [
+    "MLPClassifier",
+    "NearestCentroidClassifier",
+    "confusion_matrix",
+    "render_confusion",
+    "split_dataset",
+]

@@ -1,0 +1,42 @@
+"""Nearest-centroid baseline classifier.
+
+A sanity baseline for the fingerprinting experiments: if traces are
+separable at all, class means separate them; the MLP should do at least
+as well.  Keeping a trivial baseline around guards against the DNN
+"learning" nothing but majority class.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class NearestCentroidClassifier:
+    """Classify by Euclidean distance to per-class mean traces."""
+
+    def __init__(self) -> None:
+        self.centroids: np.ndarray | None = None
+        self.classes: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "NearestCentroidClassifier":
+        self.classes = np.unique(y)
+        self.centroids = np.stack(
+            [x[y == c].mean(axis=0) for c in self.classes]
+        )
+        return self
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        if self.centroids is None or self.classes is None:
+            raise RuntimeError("fit() first")
+        # (n, k) distance matrix without materialising differences.
+        d2 = (
+            (x**2).sum(axis=1, keepdims=True)
+            - 2 * x @ self.centroids.T
+            + (self.centroids**2).sum(axis=1)
+        )
+        return self.classes[d2.argmin(axis=1)]
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        if len(x) == 0:
+            return 0.0
+        return float((self.predict(x) == y).mean())

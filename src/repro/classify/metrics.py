@@ -1,0 +1,66 @@
+"""Dataset splitting and confusion matrices (Figs. 7 and 8)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def split_dataset(
+    x: np.ndarray,
+    y: np.ndarray,
+    val_fraction: float = 0.1,
+    test_fraction: float = 0.1,
+    seed: int = 0,
+):
+    """Shuffled train/eval/test split (the paper's 90/10/10-style split:
+    "network training, mid-training evaluation and the final
+    evaluation")."""
+    n = len(x)
+    order = np.random.default_rng(seed).permutation(n)
+    n_test = max(1, int(n * test_fraction))
+    n_val = max(1, int(n * val_fraction))
+    test, val, train = (
+        order[:n_test],
+        order[n_test : n_test + n_val],
+        order[n_test + n_val :],
+    )
+    return (
+        (x[train], y[train]),
+        (x[val], y[val]),
+        (x[test], y[test]),
+    )
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int
+) -> np.ndarray:
+    """Column-normalised confusion matrix in the paper's layout: columns
+    are the files the classifier was challenged with, rows its outputs;
+    a perfect classifier has 1.0 down the diagonal."""
+    counts = np.zeros((n_classes, n_classes), dtype=float)
+    for t, p in zip(y_true, y_pred):
+        counts[p, t] += 1.0
+    col_sums = counts.sum(axis=0, keepdims=True)
+    col_sums[col_sums == 0] = 1.0
+    return counts / col_sums
+
+
+def diagonal_accuracy(matrix: np.ndarray) -> np.ndarray:
+    """Per-class accuracy: the matrix diagonal."""
+    return np.diagonal(matrix).copy()
+
+
+def render_confusion(
+    matrix: np.ndarray, labels: list[str], max_label: int = 18
+) -> str:
+    """Text rendering of a confusion matrix, Fig. 7-style."""
+    names = [l[:max_label] for l in labels]
+    width = max(len(n) for n in names) + 1
+    cell = 6
+    lines = [
+        " " * width + "".join(f"{n[:cell - 1]:>{cell}}" for n in names),
+    ]
+    for i, name in enumerate(names):
+        row = "".join(f"{matrix[i, j]:>{cell}.2f}" for j in range(len(names)))
+        lines.append(f"{name:<{width}}" + row)
+    return "\n".join(lines)

@@ -1,0 +1,119 @@
+"""A small multi-layer perceptron with Adam, in plain numpy.
+
+One hidden ReLU layer, softmax cross-entropy output, minibatch Adam.
+Deliberately boring: the attack result must not depend on classifier
+exotica.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+class MLPClassifier:
+    """ReLU MLP trained with minibatch Adam on cross-entropy."""
+
+    def __init__(
+        self,
+        n_inputs: int,
+        n_classes: int,
+        hidden: int = 64,
+        lr: float = 1e-3,
+        seed: int = 0,
+    ) -> None:
+        rng = np.random.default_rng(seed)
+        scale1 = np.sqrt(2.0 / n_inputs)
+        scale2 = np.sqrt(2.0 / hidden)
+        self.params = {
+            "W1": rng.normal(0, scale1, (n_inputs, hidden)),
+            "b1": np.zeros(hidden),
+            "W2": rng.normal(0, scale2, (hidden, n_classes)),
+            "b2": np.zeros(n_classes),
+        }
+        self.lr = lr
+        self._adam_m = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._adam_v = {k: np.zeros_like(v) for k, v in self.params.items()}
+        self._adam_t = 0
+        self._rng = rng
+        self.n_classes = n_classes
+
+    # -- forward / backward -----------------------------------------------
+    def _forward(self, x: np.ndarray):
+        z1 = x @ self.params["W1"] + self.params["b1"]
+        a1 = np.maximum(z1, 0.0)
+        logits = a1 @ self.params["W2"] + self.params["b2"]
+        return z1, a1, logits
+
+    @staticmethod
+    def _softmax(logits: np.ndarray) -> np.ndarray:
+        shifted = logits - logits.max(axis=1, keepdims=True)
+        e = np.exp(shifted)
+        return e / e.sum(axis=1, keepdims=True)
+
+    def _step(self, x: np.ndarray, y: np.ndarray) -> float:
+        z1, a1, logits = self._forward(x)
+        probs = self._softmax(logits)
+        n = len(y)
+        loss = -np.log(probs[np.arange(n), y] + 1e-12).mean()
+
+        dlogits = probs
+        dlogits[np.arange(n), y] -= 1.0
+        dlogits /= n
+        grads = {
+            "W2": a1.T @ dlogits,
+            "b2": dlogits.sum(axis=0),
+        }
+        da1 = dlogits @ self.params["W2"].T
+        dz1 = da1 * (z1 > 0)
+        grads["W1"] = x.T @ dz1
+        grads["b1"] = dz1.sum(axis=0)
+
+        self._adam_t += 1
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        for key, grad in grads.items():
+            self._adam_m[key] = beta1 * self._adam_m[key] + (1 - beta1) * grad
+            self._adam_v[key] = beta2 * self._adam_v[key] + (1 - beta2) * grad**2
+            m_hat = self._adam_m[key] / (1 - beta1**self._adam_t)
+            v_hat = self._adam_v[key] / (1 - beta2**self._adam_t)
+            self.params[key] -= self.lr * m_hat / (np.sqrt(v_hat) + eps)
+        return float(loss)
+
+    # -- public API ---------------------------------------------------------
+    def fit(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        epochs: int = 30,
+        batch_size: int = 32,
+        x_val: np.ndarray | None = None,
+        y_val: np.ndarray | None = None,
+        verbose: bool = False,
+    ) -> list[float]:
+        """Train; returns per-epoch mean training loss.  Validation data,
+        when given, is used for mid-training accuracy reporting only (the
+        paper's evaluation split)."""
+        history = []
+        n = len(x)
+        for epoch in range(epochs):
+            order = self._rng.permutation(n)
+            losses = []
+            for start in range(0, n, batch_size):
+                batch = order[start : start + batch_size]
+                losses.append(self._step(x[batch], y[batch]))
+            history.append(float(np.mean(losses)))
+            if verbose and x_val is not None:
+                acc = self.accuracy(x_val, y_val)
+                print(f"epoch {epoch}: loss {history[-1]:.4f} val acc {acc:.3f}")
+        return history
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        _, _, logits = self._forward(x)
+        return self._softmax(logits)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)
+
+    def accuracy(self, x: np.ndarray, y: np.ndarray) -> float:
+        if len(x) == 0:
+            return 0.0
+        return float((self.predict(x) == y).mean())

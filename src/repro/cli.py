@@ -1,0 +1,233 @@
+"""Command-line interface to the reproduction.
+
+Mirrors the paper's tooling workflow: point TaintChannel at a target,
+run the end-to-end attacks, or regenerate the survey — all from a shell.
+
+    python -m repro taintchannel zlib --lowercase 600
+    python -m repro sgx-attack --size 2000
+    python -m repro fingerprint --corpus lipsum --traces 40
+    python -m repro survey --size 800
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Optional, Sequence
+
+from repro.compression import bzip2_compress, deflate_compress, lzw_compress
+from repro.workloads import english_like, lowercase_ascii, random_bytes
+
+
+def _load_input(args: argparse.Namespace) -> bytes:
+    if args.file:
+        with open(args.file, "rb") as handle:
+            return handle.read()
+    if args.lowercase:
+        return lowercase_ascii(args.lowercase, seed=args.seed)
+    if args.text:
+        return english_like(args.text, seed=args.seed)
+    return random_bytes(args.random, seed=args.seed)
+
+
+def _target_for(name: str, data: bytes) -> Callable:
+    if name == "zlib":
+        return lambda ctx: deflate_compress(data, ctx)
+    if name == "lzw":
+        return lambda ctx: lzw_compress(data, ctx)
+    if name == "bzip2":
+        return lambda ctx: bzip2_compress(data, ctx, block_size=len(data))
+    if name == "aes":
+        from repro.crypto.aes import aes128_encrypt_block
+
+        key = (data * 16)[:16] if data else b"\x00" * 16
+        block = (data[16:] + b"\x00" * 16)[:16]
+        return lambda ctx: aes128_encrypt_block(key, block, ctx)
+    raise ValueError(f"unknown target {name!r}")
+
+
+def cmd_taintchannel(args: argparse.Namespace) -> int:
+    """Run TaintChannel on a named target and render its gadgets."""
+    from repro.core.taintchannel import TaintChannel
+
+    data = _load_input(args)
+    tc = TaintChannel(carry_aware_add=args.carry_aware, max_events=args.max_events)
+    result = tc.analyze(args.target, _target_for(args.target, data))
+    print(result.summary())
+    gadgets = result.gadgets
+    if args.gadget:
+        gadgets = [g for g in gadgets if args.gadget in g.site]
+    for gadget in sorted(gadgets, key=lambda g: -g.count)[: args.top]:
+        print()
+        print(tc.render(result, gadget, with_slice=not args.no_slice))
+    return 0
+
+
+def cmd_sgx_attack(args: argparse.Namespace) -> int:
+    """Run the Section V extraction attack end to end."""
+    from repro.core.zipchannel import AttackConfig, SgxBzip2Attack
+
+    secret = _load_input(args)
+    config = AttackConfig(
+        use_cat=not args.no_cat,
+        use_frame_selection=not args.no_frame_selection,
+        background_noise_rate=args.noise,
+    )
+    if args.mitigated:
+        from repro.mitigations import oblivious_histogram
+
+        outcome = SgxBzip2Attack(
+            secret, config, victim_histogram=oblivious_histogram
+        ).run()
+    else:
+        outcome = SgxBzip2Attack(secret, config).run()
+    print(outcome.summary())
+    print(
+        f"empty observations: {outcome.observations_empty}, "
+        f"ambiguous: {outcome.observations_ambiguous}, "
+        f"victim accesses: {outcome.victim_accesses}"
+    )
+    return 0
+
+
+def cmd_fingerprint(args: argparse.Namespace) -> int:
+    """Run the Section VI fingerprinting attack and print the confusion
+    matrix."""
+    from repro.classify import (
+        MLPClassifier,
+        confusion_matrix,
+        render_confusion,
+        split_dataset,
+    )
+    from repro.core.zipchannel.fingerprint import build_dataset
+    from repro.workloads import brotli_like_corpus, repetitiveness_series
+
+    if args.corpus == "brotli":
+        corpus = brotli_like_corpus()
+        names, files = list(corpus), list(corpus.values())
+    else:
+        files = repetitiveness_series()
+        names = [f"test_0000{i + 1}.txt" for i in range(len(files))]
+
+    print(f"capturing {args.traces} traces for each of {len(files)} files...")
+    x, y, _ = build_dataset(files, traces_per_file=args.traces, seed=args.seed)
+    train, val, test = split_dataset(x, y, seed=args.seed + 1)
+    clf = MLPClassifier(x.shape[1], len(files), hidden=96, seed=args.seed + 2)
+    clf.fit(*train, epochs=args.epochs, x_val=val[0], y_val=val[1])
+    print(f"test accuracy: {clf.accuracy(*test) * 100:.1f}% "
+          f"(chance {100 / len(files):.1f}%)")
+    matrix = confusion_matrix(test[1], clf.predict(test[0]), len(files))
+    print(render_confusion(matrix, names))
+    return 0
+
+
+def cmd_survey(args: argparse.Namespace) -> int:
+    """Run the Section IV recovery survey on all three compressors."""
+    from repro.compression.bzip2.blocksort import histogram
+    from repro.compression.lz77 import SITE_HEAD
+    from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY
+    from repro.exec import TracingContext
+    from repro.recovery import observed_lines, recover_lzw_input
+    from repro.recovery.bzip2_recover import (
+        observations_from_lines,
+        recover_bzip2_block,
+    )
+    from repro.recovery.zlib_recover import accuracy, recover_known_high_bits
+
+    n = args.size
+
+    data = lowercase_ascii(n, seed=args.seed)
+    ctx = TracingContext()
+    deflate_compress(data, ctx=ctx)
+    rec = recover_known_high_bits(
+        observed_lines(ctx, SITE_HEAD, kind="write"), ctx.arrays["head"].base, n
+    )
+    print(f"zlib (lowercase): {accuracy(rec, data) * 100:.2f}% of bytes recovered")
+
+    data = random_bytes(n, seed=args.seed)
+    ctx = TracingContext()
+    lzw_compress(data, ctx=ctx)
+    lines = [
+        a.address >> 6
+        for a in ctx.tainted_accesses()
+        if a.site in (SITE_PRIMARY, SITE_SECONDARY) and a.kind == "read"
+    ]
+    cands = recover_lzw_input(lines, ctx.arrays["htab"].base, n)
+    print(f"ncompress: exact input {'found' if data in cands else 'NOT found'} "
+          f"among {len(cands)} candidates")
+
+    data = random_bytes(n, seed=args.seed + 1)
+    ctx = TracingContext()
+    block = ctx.array("block", n)
+    for i, v in enumerate(ctx.input_bytes(data)):
+        block.set(i, v)
+    histogram(ctx, block, n)
+    from repro.compression.bzip2 import SITE_FTAB
+
+    obs = observations_from_lines(observed_lines(ctx, SITE_FTAB), n)
+    result = recover_bzip2_block(obs, ctx.arrays["ftab"].base, n)
+    print(f"bzip2: {result.bit_accuracy(data) * 100:.2f}% of bits recovered")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse tree for all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ZipChannel (DSN 2024) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_input_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--file", help="read the input/secret from a file")
+        p.add_argument("--random", type=int, default=500,
+                       help="random input of N bytes (default)")
+        p.add_argument("--lowercase", type=int,
+                       help="lowercase-ASCII input of N bytes")
+        p.add_argument("--text", type=int, help="English-like input of N bytes")
+        p.add_argument("--seed", type=int, default=0)
+
+    p = sub.add_parser("taintchannel", help="detect cache side-channel gadgets")
+    p.add_argument("target", choices=["zlib", "lzw", "bzip2", "aes"])
+    add_input_args(p)
+    p.add_argument("--carry-aware", action="store_true",
+                   help="conservative carry propagation for additions")
+    p.add_argument("--max-events", type=int, default=2_000_000)
+    p.add_argument("--gadget", help="only render gadgets whose site matches")
+    p.add_argument("--top", type=int, default=3, help="gadget reports to render")
+    p.add_argument("--no-slice", action="store_true")
+    p.set_defaults(func=cmd_taintchannel)
+
+    p = sub.add_parser("sgx-attack", help="end-to-end Section V attack")
+    add_input_args(p)
+    p.add_argument("--no-cat", action="store_true")
+    p.add_argument("--no-frame-selection", action="store_true")
+    p.add_argument("--noise", type=int, default=2,
+                   help="background line touches per victim access")
+    p.add_argument("--mitigated", action="store_true",
+                   help="attack the Section VIII oblivious victim instead")
+    p.set_defaults(func=cmd_sgx_attack)
+
+    p = sub.add_parser("fingerprint", help="Section VI fingerprinting attack")
+    p.add_argument("--corpus", choices=["brotli", "lipsum"], default="brotli")
+    p.add_argument("--traces", type=int, default=30)
+    p.add_argument("--epochs", type=int, default=60)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_fingerprint)
+
+    p = sub.add_parser("survey", help="Section IV recovery survey")
+    p.add_argument("--size", type=int, default=600)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=cmd_survey)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,105 @@
+"""Bit-level I/O used by all three compressors.
+
+Ncompress packs codes LSB-first (low bit of the byte filled first), Bzip2
+MSB-first; both orders are provided.  Writers accept possibly-tainted
+values and strip the wrapper at the byte boundary — the *compressed
+output* is the program's nominal output and is outside the side-channel
+model.
+"""
+
+from __future__ import annotations
+
+from repro.taint.value import value_of
+
+
+class LSBBitWriter:
+    """Pack values least-significant-bit first (ncompress order)."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value, nbits: int) -> None:
+        v = value_of(value) & ((1 << nbits) - 1)
+        self._acc |= v << self._nbits
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._out.append(self._acc & 0xFF)
+            self._acc >>= 8
+            self._nbits -= 8
+
+    def getvalue(self) -> bytes:
+        out = bytearray(self._out)
+        if self._nbits:
+            out.append(self._acc & 0xFF)
+        return bytes(out)
+
+
+class LSBBitReader:
+    """Unpack values least-significant-bit first."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0  # bit position
+
+    def read(self, nbits: int) -> int:
+        out = 0
+        for i in range(nbits):
+            byte_i, bit_i = divmod(self._pos, 8)
+            if byte_i >= len(self._data):
+                raise EOFError("bit stream exhausted")
+            out |= ((self._data[byte_i] >> bit_i) & 1) << i
+            self._pos += 1
+        return out
+
+    def bits_left(self) -> int:
+        return len(self._data) * 8 - self._pos
+
+
+class MSBBitWriter:
+    """Pack values most-significant-bit first (bzip2 order)."""
+
+    def __init__(self) -> None:
+        self._out = bytearray()
+        self._acc = 0
+        self._nbits = 0
+
+    def write(self, value, nbits: int) -> None:
+        v = value_of(value) & ((1 << nbits) - 1)
+        self._acc = (self._acc << nbits) | v
+        self._nbits += nbits
+        while self._nbits >= 8:
+            self._nbits -= 8
+            self._out.append((self._acc >> self._nbits) & 0xFF)
+        self._acc &= (1 << self._nbits) - 1
+
+    def getvalue(self) -> bytes:
+        out = bytearray(self._out)
+        if self._nbits:
+            out.append((self._acc << (8 - self._nbits)) & 0xFF)
+        return bytes(out)
+
+
+class MSBBitReader:
+    """Unpack values most-significant-bit first."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    def read(self, nbits: int) -> int:
+        out = 0
+        for _ in range(nbits):
+            byte_i, bit_i = divmod(self._pos, 8)
+            if byte_i >= len(self._data):
+                raise EOFError("bit stream exhausted")
+            out = (out << 1) | ((self._data[byte_i] >> (7 - bit_i)) & 1)
+            self._pos += 1
+        return out
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    def bits_left(self) -> int:
+        return len(self._data) * 8 - self._pos

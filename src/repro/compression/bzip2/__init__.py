@@ -1,0 +1,46 @@
+"""Bzip2-style BWT compression pipeline.
+
+The stack mirrors Bzip2 1.0.6 (Section IV-D of the paper):
+
+    RLE1 -> block sort (BWT) -> MTF -> RLE2 -> Huffman
+
+with the two structures the paper's attacks exploit reproduced exactly:
+
+* the two-byte frequency table ``ftab[j]++`` built by
+  :func:`repro.compression.bzip2.blocksort.histogram` (Listing 3 /
+  Fig. 4) together with the ``quadrant[i] = 0`` writes that pace the
+  single-stepping state machine of Fig. 5, and
+* the mainSort/fallbackSort control-flow divergence of Fig. 6: full
+  10,000-byte blocks start in ``mainSort`` and abandon to
+  ``fallbackSort`` when the sorting budget is exhausted (too-repetitive
+  input); shorter blocks go straight to ``fallbackSort``.
+
+The container format is our own framing (DESIGN.md); every stage has an
+exact inverse so round-trip tests cover the full pipeline.
+"""
+
+from repro.compression.bzip2.pipeline import (
+    BLOCK_SIZE,
+    bzip2_compress,
+    bzip2_decompress,
+)
+from repro.compression.bzip2.blocksort import (
+    SITE_FTAB,
+    SITE_QUADRANT,
+    SITE_BLOCK,
+    BudgetExhausted,
+    block_sort,
+    histogram,
+)
+
+__all__ = [
+    "BLOCK_SIZE",
+    "bzip2_compress",
+    "bzip2_decompress",
+    "block_sort",
+    "histogram",
+    "BudgetExhausted",
+    "SITE_FTAB",
+    "SITE_QUADRANT",
+    "SITE_BLOCK",
+]

@@ -1,0 +1,203 @@
+"""Burrows-Wheeler block sorting with Bzip2's structures.
+
+``histogram`` is the paper's Listing 3 verbatim (modulo Python): the
+reverse loop that zeroes ``quadrant[i]``, slides the two-byte window
+``j``, and increments ``ftab[j]`` — the data-flow gadget behind the SGX
+attack of Section V.  ``main_sort`` buckets rotations by their two-byte
+prefix using the cumulative ``ftab`` and finishes each bucket with a
+budget-limited comparison sort; exhausting the budget (too-repetitive
+input) raises :class:`BudgetExhausted` and the caller retreats to
+``fallback_sort``, reproducing the control-flow divergence of Fig. 6.
+
+``fallback_sort`` is a prefix-doubling rotation sort: simpler than
+Bzip2's bucket-bitmap version but with the same role (always terminates,
+slower on typical input) and the same observable property the
+fingerprinting attack uses — time spent in it grows with repetitiveness.
+"""
+
+from __future__ import annotations
+
+from functools import cmp_to_key
+from typing import Optional
+
+from repro.exec.arrays import TArray
+from repro.exec.context import ExecutionContext
+from repro.taint.value import value_of
+
+FTAB_LEN = 65537
+# Work budget per input byte.  Bzip2 uses workFactor=30 on top of its
+# quadrant acceleration; without that acceleration the equivalent
+# calibration is ~300: English-like text costs 30-90 units/byte here,
+# strongly repetitive input costs thousands and retreats to fallbackSort.
+DEFAULT_WORK_FACTOR = 300
+FTAB_MISALIGN = 48  # ftab is not cache-line aligned (Section IV-D)
+
+SITE_FTAB = "mainSort/ftab[j]++"
+SITE_QUADRANT = "mainSort/quadrant[i]=0"
+SITE_BLOCK = "mainSort/block[i]"
+
+
+class BudgetExhausted(Exception):
+    """mainSort's work budget ran out: input is too repetitive."""
+
+
+def histogram(
+    ctx: ExecutionContext,
+    block: TArray,
+    nblock: int,
+    ftab: Optional[TArray] = None,
+    quadrant: Optional[TArray] = None,
+) -> TArray:
+    """Listing 3: build the two-byte frequency table.
+
+    Iterates the block in reverse; at each ``i`` the index ``j`` holds
+    ``(block[i] << 8) | block[i+1]`` (wrapping at the ends), and
+    ``ftab[j]`` is incremented — an input-dependent memory access that
+    leaks both bytes at cache-line granularity.
+
+    Returns the (cumulative-ready) frequency table.
+    """
+    if ftab is None:
+        ftab = ctx.array("ftab", FTAB_LEN, elem_size=4, misalign=FTAB_MISALIGN)
+    if quadrant is None:
+        quadrant = ctx.array("quadrant", max(nblock, 1), elem_size=2)
+    ftab.fill(0)
+
+    j = block.get(0, site=SITE_BLOCK) << 8
+    for i in range(nblock - 1, -1, -1):
+        ctx.tick(3)
+        quadrant.set(i, 0, site=SITE_QUADRANT)  # line 8
+        j = (j >> 8) | ((block.get(i, site=SITE_BLOCK) & 0xFF) << 8)  # line 9
+        ftab.add(j, 1, site=SITE_FTAB)  # line 10 -- THE GADGET
+    return ftab
+
+
+def _pair(values: list[int], i: int, n: int) -> int:
+    return (values[i] << 8) | values[(i + 1) % n]
+
+
+def main_sort(
+    ctx: ExecutionContext,
+    block: TArray,
+    nblock: int,
+    budget: int,
+    ftab: Optional[TArray] = None,
+    quadrant: Optional[TArray] = None,
+) -> list[int]:
+    """Sort all rotations of ``block`` (mainSort).
+
+    ``ftab``/``quadrant`` may be supplied by the caller (the SGX attack
+    pre-allocates them so it can revoke their page permissions before
+    the victim runs).
+
+    Raises:
+        BudgetExhausted: the comparison budget ran out; the caller must
+            retry with :func:`fallback_sort`.
+    """
+    with ctx.func("mainSort"):
+        ftab = histogram(ctx, block, nblock, ftab=ftab, quadrant=quadrant)
+
+        # Cumulative counts: ftab[j] = first ptr slot after bucket j.
+        values = block.snapshot()
+        counts = ftab.snapshot()
+        for j in range(1, FTAB_LEN):
+            counts[j] += counts[j - 1]
+        ctx.tick(FTAB_LEN // 16)
+
+        # Bucket rotations by their 2-byte prefix (stable fill).
+        ptr = [0] * nblock
+        next_slot = [counts[j - 1] if j > 0 else 0 for j in range(FTAB_LEN - 1)]
+        for i in range(nblock):
+            j = _pair(values, i, nblock)
+            ptr[next_slot[j]] = i
+            next_slot[j] += 1
+        ctx.tick(nblock)
+
+        # Sort within each bucket, comparing rotations from offset 2 on.
+        state = {"budget": budget}
+
+        def compare(a: int, b: int) -> int:
+            k = 2
+            steps = 0
+            while steps < nblock:
+                av = values[(a + k) % nblock]
+                bv = values[(b + k) % nblock]
+                if av != bv:
+                    break
+                k += 1
+                steps += 1
+            state["budget"] -= steps + 1
+            ctx.tick((steps >> 2) + 1)
+            if state["budget"] < 0:
+                raise BudgetExhausted(
+                    f"too repetitive; used more than {budget} work units"
+                )
+            if steps >= nblock:
+                return 0
+            return -1 if av < bv else 1
+
+        start = 0
+        for j in range(FTAB_LEN - 1):
+            end = counts[j]
+            if end - start > 1:
+                ptr[start:end] = sorted(ptr[start:end], key=cmp_to_key(compare))
+            start = end
+        return ptr
+
+
+def fallback_sort(ctx: ExecutionContext, block: TArray, nblock: int) -> list[int]:
+    """Sort all rotations by prefix doubling (fallbackSort).
+
+    Always terminates, even on fully periodic blocks (where distinct
+    rotations compare equal and any tie order yields the same BWT).
+    """
+    with ctx.func("fallbackSort"):
+        values = block.snapshot()
+        n = nblock
+        rank = list(values)
+        order = sorted(range(n), key=lambda i: rank[i])
+        ctx.tick(n)
+
+        h = 1
+        while h < n:
+            key = [(rank[i], rank[(i + h) % n]) for i in range(n)]
+            order.sort(key=lambda i: key[i])
+            new_rank = [0] * n
+            r = 0
+            for pos in range(1, n):
+                if key[order[pos]] != key[order[pos - 1]]:
+                    r += 1
+                new_rank[order[pos]] = r
+            ctx.tick(3 * n)
+            rank = new_rank
+            if r == n - 1:
+                break
+            h *= 2
+        return order
+
+
+def block_sort(
+    ctx: ExecutionContext,
+    block: TArray,
+    nblock: int,
+    full_block_size: int,
+    work_factor: int = DEFAULT_WORK_FACTOR,
+) -> tuple[list[int], str]:
+    """Bzip2's sorting dispatch (Fig. 6).
+
+    Full blocks start in ``mainSort`` and abandon to ``fallbackSort``
+    when the work budget runs out; short blocks (the tail of a file) go
+    straight to ``fallbackSort``.
+
+    Returns:
+        ``(ptr, path)`` where ``ptr`` is the sorted rotation order and
+        ``path`` is ``"mainSort"``, ``"mainSort+fallbackSort"`` or
+        ``"fallbackSort"`` — the control flow the fingerprinting attack
+        observes.
+    """
+    if nblock < full_block_size:
+        return fallback_sort(ctx, block, nblock), "fallbackSort"
+    try:
+        return main_sort(ctx, block, nblock, budget=work_factor * nblock), "mainSort"
+    except BudgetExhausted:
+        return fallback_sort(ctx, block, nblock), "mainSort+fallbackSort"

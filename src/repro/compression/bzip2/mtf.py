@@ -1,0 +1,94 @@
+"""Move-to-front transform and zero-run-length (RLE2) coding.
+
+Matches Bzip2's generateMTFValues: the BWT output is MTF-coded over the
+alphabet of bytes actually used in the block; runs of MTF-zeroes are
+encoded in the bijective base-2 RUNA/RUNB scheme; other MTF values ``v``
+become symbol ``v + 1``; ``EOB = nUsed + 1`` terminates the block.
+"""
+
+from __future__ import annotations
+
+RUNA = 0
+RUNB = 1
+
+
+def _encode_zero_run(run: int, out: list[int]) -> None:
+    """Bijective base-2: run = sum of digit_k * 2**k, digit in {1, 2}
+    (RUNA encodes digit 1, RUNB digit 2)."""
+    while run > 0:
+        if run & 1:
+            out.append(RUNA)
+            run = (run - 1) >> 1
+        else:
+            out.append(RUNB)
+            run = (run - 2) >> 1
+
+
+def _decode_zero_run(digits: list[int]) -> int:
+    run = 0
+    for k, d in enumerate(digits):
+        run += (1 if d == RUNA else 2) << k
+    return run
+
+
+def mtf_rle2_encode(data: list[int]) -> tuple[list[int], list[bool]]:
+    """MTF + RLE2 encode the BWT last column.
+
+    Returns:
+        ``(symbols, in_use)``: the symbol stream (terminated by EOB) and
+        the 256-entry used-byte bitmap needed to invert the alphabet
+        mapping.
+    """
+    in_use = [False] * 256
+    for b in data:
+        in_use[b] = True
+    alphabet = [b for b in range(256) if in_use[b]]
+    eob = len(alphabet) + 1
+
+    mtf = list(alphabet)
+    out: list[int] = []
+    zero_run = 0
+    for b in data:
+        idx = mtf.index(b)
+        if idx == 0:
+            zero_run += 1
+            continue
+        _encode_zero_run(zero_run, out)
+        zero_run = 0
+        mtf.pop(idx)
+        mtf.insert(0, b)
+        out.append(idx + 1)
+    _encode_zero_run(zero_run, out)
+    out.append(eob)
+    return out, in_use
+
+
+def mtf_rle2_decode(symbols: list[int], in_use: list[bool]) -> list[int]:
+    """Invert :func:`mtf_rle2_encode`; ``symbols`` must end with EOB."""
+    alphabet = [b for b in range(256) if in_use[b]]
+    eob = len(alphabet) + 1
+
+    mtf = list(alphabet)
+    out: list[int] = []
+    run_digits: list[int] = []
+
+    def flush_run() -> None:
+        if run_digits:
+            out.extend([mtf[0]] * _decode_zero_run(run_digits))
+            run_digits.clear()
+
+    for sym in symbols:
+        # EOB is checked first: for an empty block the alphabet is empty
+        # and EOB (= 1) would otherwise be mistaken for RUNB.
+        if sym == eob:
+            flush_run()
+            return out
+        if sym in (RUNA, RUNB):
+            run_digits.append(sym)
+            continue
+        flush_run()
+        idx = sym - 1
+        b = mtf.pop(idx)
+        mtf.insert(0, b)
+        out.append(b)
+    raise ValueError("symbol stream missing EOB")

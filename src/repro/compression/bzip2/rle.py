@@ -1,0 +1,54 @@
+"""RLE1: Bzip2's first-stage run-length encoding.
+
+Runs of 4-259 identical bytes become four copies plus a count byte
+(run - 4); longer runs are split.  "Because RLE does not affect most
+inputs ... in the rest of this paper, we refer to the data compressed
+with RLE as the input" (Section IV-D) — the same convention applies in
+this reproduction: the BWT block content is RLE1 output.
+"""
+
+from __future__ import annotations
+
+from repro.exec.context import ExecutionContext
+
+MAX_RUN = 259  # 4 literal copies + count byte up to 255
+
+
+def rle1_encode(values: list, ctx: ExecutionContext) -> list:
+    """Encode a list of (possibly tainted) byte values."""
+    out: list = []
+    i = 0
+    n = len(values)
+    while i < n:
+        run = 1
+        while i + run < n and run < MAX_RUN and values[i + run] == values[i]:
+            run += 1
+        ctx.tick(run)
+        if run < 4:
+            out.extend(values[i : i + run])
+        else:
+            out.extend([values[i]] * 4)
+            out.append(run - 4)
+        i += run
+    return out
+
+
+def rle1_decode(data: list[int]) -> bytes:
+    """Invert :func:`rle1_encode` (plain ints only)."""
+    out = bytearray()
+    i = 0
+    n = len(data)
+    while i < n:
+        b = data[i]
+        run = 1
+        while run < 4 and i + run < n and data[i + run] == b:
+            run += 1
+        if run == 4:
+            if i + 4 >= n:
+                raise ValueError("truncated RLE1 run")
+            out.extend([b] * (4 + data[i + 4]))
+            i += 5
+        else:
+            out.extend([b] * run)
+            i += run
+    return bytes(out)

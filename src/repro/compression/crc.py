@@ -1,0 +1,26 @@
+"""CRC-32 (the IEEE 802.3 polynomial used by Gzip), table-driven."""
+
+from __future__ import annotations
+
+_POLY = 0xEDB88320
+
+
+def _build_table() -> list[int]:
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ _POLY if crc & 1 else crc >> 1
+        table.append(crc)
+    return table
+
+
+_TABLE = _build_table()
+
+
+def crc32(data: bytes, crc: int = 0) -> int:
+    """CRC-32 of ``data``; pass a previous value to continue a stream."""
+    crc ^= 0xFFFFFFFF
+    for byte in data:
+        crc = (crc >> 8) ^ _TABLE[(crc ^ byte) & 0xFF]
+    return crc ^ 0xFFFFFFFF

@@ -1,0 +1,79 @@
+"""Gzip-style container around the deflate kernel (RFC 1952 framing).
+
+The paper's LZ77 target is "Gzip" — Zlib's deflate inside the gzip file
+format.  The leaking gadget lives in the deflate match finder
+(:mod:`repro.compression.lz77`); this module adds the container the
+utility actually writes: magic, method/flags/mtime header, the deflate
+body, and the CRC-32 + length trailer that the decompressor verifies.
+
+The body is this repository's deflate token stream, not byte-exact
+RFC 1951 (DESIGN.md); the framing and integrity checking are faithful.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.compression.crc import crc32
+from repro.compression.lz77 import deflate_compress, deflate_decompress
+from repro.exec.context import ExecutionContext
+
+GZIP_MAGIC = b"\x1f\x8b"
+METHOD_DEFLATE = 0x08
+OS_UNIX = 0x03
+
+
+class GzipFormatError(ValueError):
+    """Malformed container or failed integrity check."""
+
+
+def gzip_compress(
+    data: bytes,
+    ctx: Optional[ExecutionContext] = None,
+    mtime: int = 0,
+) -> bytes:
+    """Wrap :func:`deflate_compress` output in a gzip container."""
+    header = (
+        GZIP_MAGIC
+        + bytes([METHOD_DEFLATE, 0])  # method, flags
+        + struct.pack("<I", mtime)
+        + bytes([0, OS_UNIX])  # extra flags, OS
+    )
+    body = deflate_compress(data, ctx)
+    trailer = struct.pack("<II", crc32(data), len(data) & 0xFFFFFFFF)
+    return header + body + trailer
+
+
+def gzip_decompress(blob: bytes) -> bytes:
+    """Unwrap and verify a :func:`gzip_compress` container."""
+    if len(blob) < 18:
+        raise GzipFormatError("container too short")
+    if blob[:2] != GZIP_MAGIC:
+        raise GzipFormatError("bad gzip magic")
+    if blob[2] != METHOD_DEFLATE:
+        raise GzipFormatError(f"unsupported method {blob[2]}")
+    if blob[3] != 0:
+        raise GzipFormatError("flags not supported")
+
+    body, trailer = blob[10:-8], blob[-8:]
+    data = deflate_decompress(body)
+    want_crc, want_len = struct.unpack("<II", trailer)
+    if len(data) & 0xFFFFFFFF != want_len:
+        raise GzipFormatError(
+            f"length mismatch: {len(data)} != {want_len}"
+        )
+    got_crc = crc32(data)
+    if got_crc != want_crc:
+        raise GzipFormatError(
+            f"crc mismatch: 0x{got_crc:08x} != 0x{want_crc:08x}"
+        )
+    return data
+
+
+def gzip_mtime(blob: bytes) -> int:
+    """Read the header's modification-time field."""
+    if blob[:2] != GZIP_MAGIC or len(blob) < 10:
+        raise GzipFormatError("bad gzip header")
+    (mtime,) = struct.unpack("<I", blob[4:8])
+    return mtime

@@ -1,0 +1,7 @@
+"""The paper's primary contributions.
+
+* :mod:`repro.core.taintchannel` — the TaintChannel vulnerability
+  detection tool (Section III).
+* :mod:`repro.core.zipchannel` — the two end-to-end ZipChannel attacks
+  on Bzip2 (Sections V and VI).
+"""

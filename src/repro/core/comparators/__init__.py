@@ -1,0 +1,30 @@
+"""Detection-approach comparators (the paper's Section VII argument).
+
+TaintChannel's two claimed advantages over prior tools are scalability
+(vs symbolic execution) and exactness (vs trace-correlation tools).
+This package makes both arguments *measurable*:
+
+* :mod:`repro.core.comparators.trace_based` — a Microwalk/DATA-style
+  detector that runs the target with many inputs and flags program sites
+  whose address traces vary.  It finds the same leaky sites but
+  "inherently cannot determine the exact relation between the input and
+  the pointer" — its output has no computation chain.
+* :mod:`repro.core.comparators.symbolic_cost` — an estimator of the
+  state count a KLEE-style symbolic executor would need, which "forks
+  the memory state for each possible value in each possible index": for
+  Bzip2 "that would mean 65,536 forks of the memory for each pair of
+  input bytes, which is infeasible".
+"""
+
+from repro.core.comparators.trace_based import TraceCorrelator, SiteReport
+from repro.core.comparators.symbolic_cost import (
+    SymbolicCostEstimate,
+    estimate_symbolic_cost,
+)
+
+__all__ = [
+    "TraceCorrelator",
+    "SiteReport",
+    "SymbolicCostEstimate",
+    "estimate_symbolic_cost",
+]

@@ -1,0 +1,80 @@
+"""Symbolic-execution cost model for secret-indexed memory writes.
+
+The paper's scalability argument (Sections III and VII-A1): a KLEE-style
+symbolic executor duplicates the memory state for every feasible value
+of a symbolic array index, so *writes* through secret-dependent indices
+multiply the state count by the index's domain size — "in the case of
+Bzip2, that would mean 65,536 forks of the memory for each pair of input
+bytes, which is infeasible".
+
+This estimator walks a TaintChannel trace and computes exactly that
+product (in log2, since the true number overflows anything): each
+tainted-address *write* contributes ``#tainted index bits`` doublings.
+It is a model, not an engine — the point being measured is the growth
+rate that makes the engine pointless to build.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exec.context import TracingContext
+from repro.exec.events import MemoryAccess
+
+
+@dataclass
+class SymbolicCostEstimate:
+    """Estimated state-space growth for one traced execution."""
+
+    symbolic_writes: int
+    log2_states: float  # sum over writes of tainted index-bit counts
+    log2_states_per_input_byte: float
+
+    def describe(self) -> str:
+        if self.log2_states > 512:
+            magnitude = f"2^{self.log2_states:.0f}"
+        else:
+            magnitude = f"{math.pow(2, min(self.log2_states, 512)):.3g}"
+        return (
+            f"{self.symbolic_writes} symbolic-index writes -> "
+            f"~{magnitude} forked states "
+            f"(2^{self.log2_states_per_input_byte:.1f} per input byte)"
+        )
+
+
+def estimate_symbolic_cost(ctx: TracingContext) -> SymbolicCostEstimate:
+    """Estimate the fork count a symbolic executor would pay for the
+    execution recorded in ``ctx``.
+
+    Only *writes* (and read-modify-writes) through tainted addresses
+    fork the memory state; tainted reads merely produce symbolic values.
+    The per-write fork factor is the domain size of the symbolic index,
+    i.e. ``2 ** (#tainted address bits above the element offset)``.
+    """
+    input_len = sum(
+        1
+        for tag in range(len(ctx.tags))
+        if ctx.tags.info(tag).source == "input"
+    )
+    symbolic_writes = 0
+    log2_states = 0.0
+    for event in ctx.events:
+        if not isinstance(event, MemoryAccess):
+            continue
+        if event.kind not in ("write", "update") or not event.addr_taint:
+            continue
+        elem_bits = max(0, event.elem_size.bit_length() - 1)
+        index_bits = sum(
+            1 for bit in event.addr_taint.tainted_bits() if bit >= elem_bits
+        )
+        if index_bits == 0:
+            continue
+        symbolic_writes += 1
+        log2_states += index_bits
+    per_byte = log2_states / input_len if input_len else 0.0
+    return SymbolicCostEstimate(
+        symbolic_writes=symbolic_writes,
+        log2_states=log2_states,
+        log2_states_per_input_byte=per_byte,
+    )

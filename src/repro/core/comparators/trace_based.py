@@ -1,0 +1,112 @@
+"""A trace-correlation ("Microwalk-style") leakage detector.
+
+Runs the target with several random inputs, collects the *full*
+cache-line trace per program site, and flags sites whose traces vary
+with the input — the methodology of the paper's references [11-16].
+
+What it can do: find the leaky sites, with no taint machinery at all.
+What it cannot do (the paper's point, Section VII-A2): say *how* the
+input maps to the addresses.  :class:`SiteReport` therefore carries a
+variability score and nothing else — no provenance, no bit map — and
+the comparison benchmark contrasts that with TaintChannel's output.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.exec.context import TracingContext
+
+
+@dataclass
+class SiteReport:
+    """One program site's verdict from the correlation analysis."""
+
+    site: str
+    array: str
+    distinct_traces: int
+    runs: int
+    leaky: bool
+
+    @property
+    def variability(self) -> float:
+        return self.distinct_traces / self.runs
+
+    def describe(self) -> str:
+        verdict = "LEAKY" if self.leaky else "constant"
+        return (
+            f"site {self.site!r} ({self.array}): {self.distinct_traces}/"
+            f"{self.runs} distinct traces -> {verdict}"
+        )
+
+
+class TraceCorrelator:
+    """Differential address-trace analysis over random inputs.
+
+    Args:
+        runs: how many random inputs to execute.
+        input_len: length of each generated input.
+        seed: RNG seed for input generation.
+        max_events: per-run trace budget.
+    """
+
+    def __init__(
+        self,
+        runs: int = 8,
+        input_len: int = 256,
+        seed: int = 0,
+        max_events: int = 4_000_000,
+    ) -> None:
+        self.runs = runs
+        self.input_len = input_len
+        self.seed = seed
+        self.max_events = max_events
+
+    def analyze(
+        self, make_target: Callable[[bytes], Callable[[TracingContext], object]]
+    ) -> list[SiteReport]:
+        """Run ``make_target(input)(ctx)`` for each random input and
+        correlate per-site line traces.
+
+        Returns one report per site, most variable first.
+        """
+        rng = random.Random(self.seed)
+        # site -> set of observed trace fingerprints; site -> array name
+        fingerprints: dict[str, set] = {}
+        arrays: dict[str, str] = {}
+        for _ in range(self.runs):
+            data = bytes(rng.randrange(256) for _ in range(self.input_len))
+            ctx = TracingContext(
+                max_events=self.max_events, record_untainted_accesses=True
+            )
+            make_target(data)(ctx)
+            per_site: dict[str, list[int]] = {}
+            for access in ctx.memory_accesses():
+                key = access.site or f"<anon {access.array}>"
+                arrays.setdefault(key, access.array)
+                per_site.setdefault(key, []).append(access.cache_line)
+            for site, lines in per_site.items():
+                fingerprints.setdefault(site, set()).add(hash(tuple(lines)))
+            # Sites absent in this run count as a distinct (empty) trace.
+            for site in fingerprints:
+                if site not in per_site:
+                    fingerprints[site].add(hash(()))
+
+        reports = [
+            SiteReport(
+                site=site,
+                array=arrays[site],
+                distinct_traces=len(traces),
+                runs=self.runs,
+                leaky=len(traces) > 1,
+            )
+            for site, traces in fingerprints.items()
+        ]
+        reports.sort(key=lambda r: (-r.distinct_traces, r.site))
+        return reports
+
+    @staticmethod
+    def leaky_sites(reports: list[SiteReport]) -> list[str]:
+        return [r.site for r in reports if r.leaky]

@@ -1,0 +1,33 @@
+"""TaintChannel: automatic cache side-channel gadget detection.
+
+The tool runs a target program (a kernel written against
+:class:`repro.exec.ExecutionContext`) under taint tracing, finds memory
+accesses whose *address* depends on the input, groups them into leakage
+gadgets, and renders for each gadget the exact input-to-pointer
+computation plus the bit-level ASCII art of the paper's Figs. 2-4.
+
+It also performs the paper's control-flow discovery (Section III-B /
+Section VI): running the target with different inputs and diffing the
+reduced traces to find input-dependent control flow such as Bzip2's
+mainSort/fallbackSort divergence and memcpy's AVX-tail split.
+"""
+
+from repro.core.taintchannel.gadgets import Gadget, AnalysisResult
+from repro.core.taintchannel.tool import TaintChannel
+from repro.core.taintchannel.controlflow import (
+    ControlFlowDivergence,
+    diff_function_traces,
+    avx_memcpy,
+)
+from repro.core.taintchannel.report import render_access, render_gadget
+
+__all__ = [
+    "TaintChannel",
+    "Gadget",
+    "AnalysisResult",
+    "ControlFlowDivergence",
+    "diff_function_traces",
+    "avx_memcpy",
+    "render_access",
+    "render_gadget",
+]

@@ -1,0 +1,100 @@
+"""Control-flow vulnerability discovery.
+
+"TaintChannel effectively reduces a complex application to a small trace
+of input-dependent instructions.  These traces simplify the comparison of
+the application execution across different inputs.  This is how we
+discover control flow vulnerabilities." (Section III-B.)
+
+Here the reduced trace is the sequence of function enter/exit events plus
+the outcomes of tainted comparisons; :func:`diff_function_traces` finds
+the first divergence between two inputs, which is how the
+mainSort/fallbackSort split of Section VI — and the memcpy AVX-tail
+split modelled by :func:`avx_memcpy` — are discovered.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.exec.context import TracingContext
+
+AVX_REGISTER_BYTES = 32
+
+
+@dataclass
+class ControlFlowDivergence:
+    """The first point where two reduced traces disagree."""
+
+    position: int
+    left: Optional[str]
+    right: Optional[str]
+
+    def describe(self) -> str:
+        return (
+            f"traces diverge at reduced-trace position {self.position}: "
+            f"{self.left!r} vs {self.right!r}"
+        )
+
+
+def reduced_trace(ctx: TracingContext) -> list[str]:
+    """Function markers and tainted-compare outcomes, in order."""
+    out: list[str] = []
+    for ev in ctx.events:
+        kind = type(ev).__name__
+        if kind == "FunctionEvent":
+            out.append(f"{ev.kind}:{ev.name}")
+        elif kind == "CompareRecord":
+            out.append(f"cmp.{ev.op}={int(ev.outcome)}")
+    return out
+
+
+def diff_function_traces(
+    ctx_a: TracingContext, ctx_b: TracingContext, functions_only: bool = True
+) -> Optional[ControlFlowDivergence]:
+    """First divergence between two traced runs, or None if equal.
+
+    Args:
+        functions_only: compare only function enter/exit markers (the
+            granularity Flush+Reload on shared-library code observes);
+            set False to include tainted-compare outcomes.
+    """
+    ta, tb = reduced_trace(ctx_a), reduced_trace(ctx_b)
+    if functions_only:
+        ta = [e for e in ta if not e.startswith("cmp.")]
+        tb = [e for e in tb if not e.startswith("cmp.")]
+    for i, (a, b) in enumerate(zip(ta, tb)):
+        if a != b:
+            return ControlFlowDivergence(i, a, b)
+    if len(ta) != len(tb):
+        i = min(len(ta), len(tb))
+        return ControlFlowDivergence(
+            i,
+            ta[i] if i < len(ta) else None,
+            tb[i] if i < len(tb) else None,
+        )
+    return None
+
+
+def avx_memcpy(ctx, dst, src, size: int) -> None:
+    """The paper's memcpy control-flow gadget (Section III-B).
+
+    glibc memcpy copies with AVX registers when it can and falls back to
+    a byte tail otherwise; *which* path runs — visible to Flush+Reload on
+    the code lines — reveals ``size mod 32``.  The model bracketes the
+    two paths in ``ctx.func`` so trace diffing exposes the divergence.
+    """
+    with ctx.func("memcpy"):
+        chunks, tail = divmod(size, AVX_REGISTER_BYTES)
+        with ctx.func("memcpy/avx_loop"):
+            for c in range(chunks):
+                base = c * AVX_REGISTER_BYTES
+                for k in range(AVX_REGISTER_BYTES):
+                    dst.set(base + k, src.get(base + k))
+                ctx.tick(1)
+        if tail:
+            with ctx.func("memcpy/byte_tail"):
+                base = chunks * AVX_REGISTER_BYTES
+                for k in range(tail):
+                    dst.set(base + k, src.get(base + k))
+                    ctx.tick(1)

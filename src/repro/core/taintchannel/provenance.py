@@ -1,0 +1,52 @@
+"""Provenance walking: from a dereferenced pointer back to input bytes.
+
+"TaintChannel outputs all instructions accessing the secret.  Therefore,
+users can directly see how the accessed address was computed based on the
+input" (Section III-A).  The data-flow DAG is materialised by
+:class:`~repro.taint.value.OpRecord` links; this module linearises the
+slice that feeds one memory access.
+"""
+
+from __future__ import annotations
+
+from repro.taint.value import InputRecord, OpRecord, Origin
+
+
+def backward_slice(origin: Origin | None, max_nodes: int = 10_000) -> list[Origin]:
+    """All records reachable backwards from ``origin``, in execution
+    (sequence-number) order — the exact computation chain.
+
+    Args:
+        origin: the provenance node of the dereferenced address.
+        max_nodes: safety cap for pathological chains.
+
+    Returns:
+        records sorted by ``seq`` (inputs first), ending at ``origin``.
+    """
+    if origin is None:
+        return []
+    seen: dict[int, Origin] = {}
+    stack = [origin]
+    while stack:
+        node = stack.pop()
+        if id(node) in seen:
+            continue
+        seen[id(node)] = node
+        if len(seen) > max_nodes:
+            break
+        if isinstance(node, OpRecord):
+            for operand in node.operands:
+                if operand.origin is not None:
+                    stack.append(operand.origin)
+    return sorted(seen.values(), key=lambda r: r.seq)
+
+
+def input_roots(origin: Origin | None) -> list[InputRecord]:
+    """The input-byte reads at the roots of the slice."""
+    return [r for r in backward_slice(origin) if isinstance(r, InputRecord)]
+
+
+def opcode_chain(origin: Origin | None) -> list[str]:
+    """Just the opcodes along the slice, e.g. ``['shl', 'xor', 'and']`` —
+    handy for asserting the shape of a leaking computation."""
+    return [r.op for r in backward_slice(origin) if isinstance(r, OpRecord)]

@@ -1,0 +1,77 @@
+"""Human-readable gadget reports in the style of the paper's Figs. 2-4.
+
+For the taint-dependent dereference TaintChannel "additionally outputs
+ASCII art that illustrates which operand bits are tainted with what tag"
+(Section III-B).  :func:`render_access` reproduces that bit table; rows
+are input-byte indices, columns are address bits (most significant on the
+left), and an ``x`` marks taint.
+"""
+
+from __future__ import annotations
+
+from repro.core.taintchannel.gadgets import Gadget
+from repro.core.taintchannel.provenance import backward_slice
+from repro.exec.events import MemoryAccess
+from repro.taint.tags import TagRegistry
+
+_CELL = 3  # "|15" / "| x" column width
+
+
+def _bit_table(access: MemoryAccess, registry: TagRegistry) -> list[str]:
+    rows = access.addr_taint.rows()
+    if not rows:
+        return ["    (address untainted)"]
+    hi_bit = max(max(bits) for bits in rows.values())
+    hi_bit = max(hi_bit, 15)
+    labels = {tag: registry.label(tag) for tag in rows}
+    width = max(len(s) for s in labels.values())
+
+    lines = []
+    for tag in sorted(rows, key=lambda t: registry.info(t).index):
+        cells = []
+        for bit in range(hi_bit, -1, -1):
+            cells.append(" x" if bit in rows[tag] else "  ")
+        lines.append(f"  {labels[tag]:>{width}}: |" + "|".join(cells) + "|")
+    ruler = "|".join(f"{bit:>2}" for bit in range(hi_bit, -1, -1))
+    lines.append("  " + " " * width + "  |" + ruler + "|")
+    return lines
+
+
+def render_access(
+    access: MemoryAccess,
+    registry: TagRegistry,
+    with_slice: bool = True,
+    max_slice: int = 30,
+) -> str:
+    """Fig. 2-style report for one taint-dependent memory access."""
+    lines = [
+        "Taint-dependent memory access",
+        f"  0x{access.address:016x}  {access.site or access.array}",
+        f"  {access.kind} {access.array}[{access.index}] "
+        f"[{access.elem_size}byte]   (tainted)",
+    ]
+    lines += _bit_table(access, registry)
+    if with_slice:
+        chain = backward_slice(access.addr_origin)
+        if chain:
+            lines.append("  computation (input -> pointer):")
+            shown = chain[-max_slice:]
+            if len(chain) > len(shown):
+                lines.append(f"    ... {len(chain) - len(shown)} earlier ops ...")
+            for record in shown:
+                lines.append("    " + record.describe())
+    return "\n".join(lines)
+
+
+def render_gadget(
+    gadget: Gadget,
+    registry: TagRegistry,
+    sample_index: int = 0,
+    with_slice: bool = True,
+) -> str:
+    """Report for a gadget: summary line plus one sample access."""
+    header = gadget.describe()
+    if not gadget.accesses:
+        return header
+    sample = gadget.accesses[min(sample_index, len(gadget.accesses) - 1)]
+    return header + "\n" + render_access(sample, registry, with_slice)

@@ -1,0 +1,95 @@
+"""The TaintChannel tool entry point.
+
+Usage mirrors the paper's interface ("the user has to provide a command
+line to invoke the application"): here the target is any callable taking
+an :class:`~repro.exec.TracingContext`, typically a closure over the
+input file::
+
+    tc = TaintChannel()
+    result = tc.analyze("zlib", lambda ctx: deflate_compress(data, ctx))
+    print(result.summary())
+    print(tc.render(result, result.gadgets[0]))
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.core.taintchannel.controlflow import (
+    ControlFlowDivergence,
+    diff_function_traces,
+)
+from repro.core.taintchannel.gadgets import AnalysisResult, group_gadgets
+from repro.core.taintchannel.report import render_gadget
+from repro.exec.context import TracingContext
+
+Target = Callable[[TracingContext], object]
+
+
+class TaintChannel:
+    """Automatic cache side-channel gadget detector (Section III).
+
+    Args:
+        carry_aware_add: use the conservative carry-propagating rule for
+            additions instead of the positional one (see
+            :mod:`repro.taint.bittaint`).
+        max_events: per-run trace budget; protects against unbounded
+            loops in the target.
+    """
+
+    def __init__(
+        self, carry_aware_add: bool = False, max_events: int = 2_000_000
+    ) -> None:
+        self.carry_aware_add = carry_aware_add
+        self.max_events = max_events
+
+    def _make_context(self) -> TracingContext:
+        return TracingContext(
+            carry_aware_add=self.carry_aware_add, max_events=self.max_events
+        )
+
+    def trace(self, target: Target) -> TracingContext:
+        """Run the target under tracing and return the raw context."""
+        ctx = self._make_context()
+        target(ctx)
+        return ctx
+
+    def analyze(
+        self,
+        name: str,
+        target: Target,
+        ctx: Optional[TracingContext] = None,
+    ) -> AnalysisResult:
+        """Run the target (or reuse a finished trace) and detect gadgets."""
+        if ctx is None:
+            ctx = self.trace(target)
+        input_len = sum(
+            1
+            for tag in range(len(ctx.tags))
+            if ctx.tags.info(tag).source == "input"
+        )
+        return AnalysisResult(
+            target=name,
+            input_len=input_len,
+            gadgets=group_gadgets(ctx.tainted_accesses()),
+            tags=ctx.tags,
+            n_events=len(ctx.events),
+            n_compares=len(ctx.compares()),
+            n_plain_accesses=ctx.plain_accesses,
+        )
+
+    def render(self, result: AnalysisResult, gadget, **kwargs) -> str:
+        """Fig. 2-style report for one gadget of a result."""
+        return render_gadget(gadget, result.tags, **kwargs)
+
+    def diff(
+        self, target_a: Target, target_b: Target, functions_only: bool = True
+    ) -> Optional[ControlFlowDivergence]:
+        """Control-flow discovery: run two inputs, diff reduced traces.
+
+        Returns the first divergence, or None when the control flow is
+        input-independent at the chosen granularity.
+        """
+        return diff_function_traces(
+            self.trace(target_a), self.trace(target_b), functions_only
+        )

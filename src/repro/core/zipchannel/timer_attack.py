@@ -1,0 +1,166 @@
+"""The timer-interrupt stepping baseline attack (Section V-A's reject).
+
+Same victim, same cache, same recovery as
+:class:`repro.core.zipchannel.sgx_attack.SgxBzip2Attack`, but instead of
+the mprotect controlled channel the attacker preempts the enclave with a
+jittered timer (SGX-Step style) and measures at interrupt granularity:
+
+* no architectural page leak — the whole 65-page ftab must be monitored
+  on every window;
+* no exact iteration boundary — windows drift against iterations, so
+  observations are misassigned, merged or lost.
+
+The ABL-STEP benchmark quantifies the accuracy gap that justifies the
+paper's contribution 4d (user-space mprotect single-stepping).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.cache.cat import CatController
+from repro.cache.model import Cache, CacheConfig
+from repro.cache.noise import BackgroundNoise, OsPollution
+from repro.compression.bzip2.blocksort import FTAB_LEN, FTAB_MISALIGN, histogram
+from repro.memsys.paging import PAGE_SIZE, AddressSpace
+from repro.recovery.bzip2_recover import (
+    Observation,
+    RecoveredBlock,
+    recover_bzip2_block,
+)
+from repro.sgx.enclave import Enclave
+from repro.sidechannel.prime_probe import AttackerMemory, PrimeProbe
+from repro.sidechannel.timer_step import TimerStepper
+
+ACCESSES_PER_ITERATION = 3  # quadrant write + block read + ftab update
+
+
+@dataclass
+class TimerAttackOutcome:
+    recovered: RecoveredBlock
+    bit_accuracy: float
+    byte_accuracy: float
+    elapsed_seconds: float
+    interrupts: int
+    observations_empty: int
+    observations_ambiguous: int
+
+    def summary(self) -> str:
+        return (
+            f"timer-stepping attack: bit accuracy {self.bit_accuracy * 100:.2f}%, "
+            f"byte accuracy {self.byte_accuracy * 100:.2f}%, "
+            f"{self.interrupts} interrupts, "
+            f"{self.observations_empty} empty / "
+            f"{self.observations_ambiguous} ambiguous observations"
+        )
+
+
+class TimerSgxBzip2Attack:
+    """The baseline: Prime+Probe paced by a jittered timer interrupt."""
+
+    def __init__(
+        self,
+        secret: bytes,
+        period: int = ACCESSES_PER_ITERATION,
+        jitter: int = 1,
+        background_noise_rate: int = 2,
+        cache: Optional[CacheConfig] = None,
+    ) -> None:
+        if not secret:
+            raise ValueError("need a non-empty secret buffer")
+        self.secret = secret
+
+        self.cache = Cache(cache or CacheConfig())
+        CatController(self.cache).partition_for_attack(attack_cos=0, other_cos=1)
+        self.noise = BackgroundNoise(self.cache, rate=background_noise_rate, cos=1)
+        self.pollution = OsPollution(self.cache, cos=0)
+
+        self.space = AddressSpace()
+        self.timer = TimerStepper(
+            period=period, jitter=jitter, on_interrupt=self._on_interrupt
+        )
+
+        def env_hook(paddr: int, kind: str) -> None:
+            self.noise.step()
+            self.timer.on_victim_access(paddr, kind)
+
+        self.enclave = Enclave(self.space, self.cache, cos=0, env_hook=env_hook)
+
+        n = len(secret)
+        self.block = self.enclave.array("block", n, elem_size=1)
+        self.block.load(list(secret))
+        self.quadrant = self.enclave.array("quadrant", n, elem_size=2)
+        self.ftab = self.enclave.array(
+            "ftab", FTAB_LEN, elem_size=4, misalign=FTAB_MISALIGN
+        )
+
+        self.pp = PrimeProbe(
+            self.cache, AttackerMemory(self.cache), cos=0, ways=1
+        )
+
+        # All (location, line vaddr) pairs covering ftab — no page leak
+        # to narrow this down.
+        self._monitored: list[tuple[tuple[int, int], int]] = []
+        first_line = self.ftab.base & ~63
+        last_line = (self.ftab.base + FTAB_LEN * 4 - 1) & ~63
+        for line_vaddr in range(first_line, last_line + 1, 64):
+            page = line_vaddr & ~(PAGE_SIZE - 1)
+            frame = self.space.frame_of(page)
+            paddr = frame * PAGE_SIZE + (line_vaddr & (PAGE_SIZE - 1))
+            self._monitored.append((self.cache.location(paddr), line_vaddr))
+        self._locations = [loc for loc, _ in self._monitored]
+        self._known_noisy: set[tuple[int, int]] = set()
+        self._windows: list[list[int]] = []
+
+    def _profile_pollution(self) -> None:
+        """Dry interrupt to learn persistently noisy locations."""
+        self.pp.prime(self._locations)
+        self.pollution.fault_entry()
+        self._known_noisy = self.pp.probe(self._locations)
+
+    def _on_interrupt(self) -> None:
+        self.pollution.fault_entry()  # interrupt delivery cost
+        missed = self.pp.probe(self._locations) - self._known_noisy
+        lines = [
+            vaddr >> 6 for loc, vaddr in self._monitored if loc in missed
+        ]
+        self._windows.append(lines)
+        self.pp.prime(self._locations)
+
+    def run(self) -> TimerAttackOutcome:
+        start = time.perf_counter()
+        n = len(self.secret)
+
+        self._profile_pollution()
+        self.pp.prime(self._locations)
+        histogram(
+            self.enclave, self.block, n, ftab=self.ftab, quadrant=self.quadrant
+        )
+        self._on_interrupt()  # drain the final window
+
+        # Best-effort alignment: window w ends after ~ (w+1) * period
+        # victim accesses ~= (w+1) * period / 3 iterations.
+        per_index: list[Observation] = [None] * n
+        for w, lines in enumerate(self._windows):
+            if not lines:
+                continue
+            iterations_done = ((w + 1) * self.timer.period) // ACCESSES_PER_ITERATION
+            i = n - 1 - min(iterations_done - 1, n - 1)
+            existing = list(per_index[i] or [])
+            per_index[i] = existing + lines
+
+        recovered = recover_bzip2_block(per_index, self.ftab.base, n)
+        elapsed = time.perf_counter() - start
+        return TimerAttackOutcome(
+            recovered=recovered,
+            bit_accuracy=recovered.bit_accuracy(self.secret),
+            byte_accuracy=recovered.byte_accuracy(self.secret),
+            elapsed_seconds=elapsed,
+            interrupts=self.timer.interrupts,
+            observations_empty=sum(1 for o in per_index if not o),
+            observations_ambiguous=sum(
+                1 for o in per_index if o and len(o) > 1
+            ),
+        )

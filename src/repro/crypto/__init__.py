@@ -1,0 +1,10 @@
+"""Cryptographic validation workloads for TaintChannel.
+
+The paper validates TaintChannel by rediscovering the Osvik et al. AES
+T-table gadget in OpenSSL's software AES; :mod:`repro.crypto.aes` is a
+from-scratch T-table AES-128 serving the same role.
+"""
+
+from repro.crypto.aes import aes128_encrypt_block, expand_key
+
+__all__ = ["aes128_encrypt_block", "expand_key"]

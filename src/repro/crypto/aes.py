@@ -1,0 +1,182 @@
+"""T-table AES-128, the classic cache side-channel victim.
+
+This is the software AES structure Osvik, Shamir and Tromer attacked
+(the paper's reference [1]) and that TaintChannel is validated against
+(Section III-B): each round reads four 1 KiB tables ``Te0..Te3`` at
+indices that are bytes of the state, so the *addresses* of the lookups
+carry plaintext taint (first round: ``pt[i] ^ key[i]``) and key taint
+(every round, through the round keys).
+
+The implementation is a real AES — verified against the FIPS-197 known
+answer — written against the execution-context API so TaintChannel can
+analyse it exactly like the compression kernels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exec.context import ExecutionContext, NativeContext
+from repro.taint.value import value_of
+
+SITE_TE = "aes/Te{k}[state byte]"
+SITE_SBOX = "aes/sbox[state byte]"
+
+
+def _build_sbox() -> list[int]:
+    """Generate the Rijndael S-box (GF(2^8) inverse + affine map)."""
+
+    def gf_mul(a: int, b: int) -> int:
+        p = 0
+        for _ in range(8):
+            if b & 1:
+                p ^= a
+            hi = a & 0x80
+            a = (a << 1) & 0xFF
+            if hi:
+                a ^= 0x1B
+            b >>= 1
+        return p
+
+    # Discrete-log tables over the generator 3.
+    exp = [0] * 256
+    log = [0] * 256
+    x = 1
+    for i in range(255):
+        exp[i] = x
+        log[x] = i
+        x = gf_mul(x, 3)
+    exp[255] = exp[0]
+
+    sbox = [0] * 256
+    for v in range(256):
+        inv = 0 if v == 0 else exp[255 - log[v]]
+        s = inv
+        for _ in range(4):
+            inv = ((inv << 1) | (inv >> 7)) & 0xFF
+            s ^= inv
+        sbox[v] = s ^ 0x63
+    return sbox
+
+
+def _xtime(v: int) -> int:
+    v <<= 1
+    return (v ^ 0x1B) & 0xFF if v & 0x100 else v
+
+
+SBOX = _build_sbox()
+TE0 = [
+    (_xtime(s) << 24) | (s << 16) | (s << 8) | (_xtime(s) ^ s)
+    for s in SBOX
+]
+TE1 = [((t >> 8) | (t << 24)) & 0xFFFFFFFF for t in TE0]
+TE2 = [((t >> 16) | (t << 16)) & 0xFFFFFFFF for t in TE0]
+TE3 = [((t >> 24) | (t << 8)) & 0xFFFFFFFF for t in TE0]
+RCON = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1B, 0x36]
+
+
+def expand_key(key_bytes: list, sbox_array) -> list:
+    """Rijndael key schedule for AES-128: 44 round-key words.
+
+    ``key_bytes`` may be tainted; S-box lookups during expansion are
+    themselves key-dependent memory accesses (and show up as gadgets).
+    """
+    words = []
+    for i in range(4):
+        w = key_bytes[4 * i]
+        for b in key_bytes[4 * i + 1 : 4 * i + 4]:
+            w = (w << 8) | b
+        words.append(w & 0xFFFFFFFF)
+    for i in range(4, 44):
+        temp = words[i - 1]
+        if i % 4 == 0:
+            rotated = ((temp << 8) | (temp >> 24)) & 0xFFFFFFFF
+            sub = 0
+            for shift in (24, 16, 8, 0):
+                byte = (rotated >> shift) & 0xFF
+                sub = (sub << 8) | sbox_array.get(byte, site=SITE_SBOX)
+            temp = sub ^ (RCON[i // 4 - 1] << 24)
+        words.append((words[i - 4] ^ temp) & 0xFFFFFFFF)
+    return words
+
+
+def aes128_encrypt_block(
+    key: bytes,
+    plaintext: bytes,
+    ctx: Optional[ExecutionContext] = None,
+) -> bytes:
+    """Encrypt one 16-byte block with T-table AES-128.
+
+    Key and plaintext are registered as distinct taint sources
+    (``"key"`` / ``"input"``) so gadget reports show which one reaches
+    each lookup address.
+    """
+    if len(key) != 16 or len(plaintext) != 16:
+        raise ValueError("AES-128 needs 16-byte key and block")
+    if ctx is None:
+        ctx = NativeContext()
+
+    sbox = ctx.array("sbox", 256, elem_size=1)
+    sbox.load(SBOX)
+    tables = []
+    for k, te in enumerate((TE0, TE1, TE2, TE3)):
+        arr = ctx.array(f"Te{k}", 256, elem_size=4)
+        arr.load(te)
+        tables.append(arr)
+    te0, te1, te2, te3 = tables
+
+    with ctx.func("aes128_encrypt"):
+        key_vals = ctx.input_bytes(key, source="key")
+        pt_vals = ctx.input_bytes(plaintext)
+        rk = expand_key(key_vals, sbox)
+
+        state = []
+        for col in range(4):
+            w = pt_vals[4 * col]
+            for b in pt_vals[4 * col + 1 : 4 * col + 4]:
+                w = (w << 8) | b
+            state.append(w ^ rk[col])
+
+        for rnd in range(1, 10):
+            ctx.tick(4)
+            s0, s1, s2, s3 = state
+            state = [
+                te0.get((s0 >> 24) & 0xFF, site=SITE_TE.format(k=0))
+                ^ te1.get((s1 >> 16) & 0xFF, site=SITE_TE.format(k=1))
+                ^ te2.get((s2 >> 8) & 0xFF, site=SITE_TE.format(k=2))
+                ^ te3.get(s3 & 0xFF, site=SITE_TE.format(k=3))
+                ^ rk[4 * rnd],
+                te0.get((s1 >> 24) & 0xFF, site=SITE_TE.format(k=0))
+                ^ te1.get((s2 >> 16) & 0xFF, site=SITE_TE.format(k=1))
+                ^ te2.get((s3 >> 8) & 0xFF, site=SITE_TE.format(k=2))
+                ^ te3.get(s0 & 0xFF, site=SITE_TE.format(k=3))
+                ^ rk[4 * rnd + 1],
+                te0.get((s2 >> 24) & 0xFF, site=SITE_TE.format(k=0))
+                ^ te1.get((s3 >> 16) & 0xFF, site=SITE_TE.format(k=1))
+                ^ te2.get((s0 >> 8) & 0xFF, site=SITE_TE.format(k=2))
+                ^ te3.get(s1 & 0xFF, site=SITE_TE.format(k=3))
+                ^ rk[4 * rnd + 2],
+                te0.get((s3 >> 24) & 0xFF, site=SITE_TE.format(k=0))
+                ^ te1.get((s0 >> 16) & 0xFF, site=SITE_TE.format(k=1))
+                ^ te2.get((s1 >> 8) & 0xFF, site=SITE_TE.format(k=2))
+                ^ te3.get(s2 & 0xFF, site=SITE_TE.format(k=3))
+                ^ rk[4 * rnd + 3],
+            ]
+
+        # Final round: plain S-box, shifted rows, no MixColumns.
+        s0, s1, s2, s3 = state
+        srcs = [(s0, s1, s2, s3), (s1, s2, s3, s0), (s2, s3, s0, s1), (s3, s0, s1, s2)]
+        out = []
+        for col, (a, b, c, d) in enumerate(srcs):
+            w = (
+                (sbox.get((a >> 24) & 0xFF, site=SITE_SBOX) << 24)
+                | (sbox.get((b >> 16) & 0xFF, site=SITE_SBOX) << 16)
+                | (sbox.get((c >> 8) & 0xFF, site=SITE_SBOX) << 8)
+                | sbox.get(d & 0xFF, site=SITE_SBOX)
+            ) ^ rk[40 + col]
+            out.append(value_of(w) & 0xFFFFFFFF)
+
+    result = bytearray()
+    for w in out:
+        result += bytes(((w >> 24) & 0xFF, (w >> 16) & 0xFF, (w >> 8) & 0xFF, w & 0xFF))
+    return bytes(result)

@@ -1,0 +1,81 @@
+"""First-round AES key recovery from T-table cache lines.
+
+The classic exploitation of the gadget TaintChannel is validated against
+(Osvik, Shamir and Tromer — the paper's reference [1]): the round-1
+lookups are ``Te_t[pt[p] ^ k[p]]`` with 4-byte entries, so a
+line-granular observer sees the index's top 4 bits and, knowing the
+plaintext, learns the top nibble of every key byte — 64 of the 128 key
+bits from a single known-plaintext encryption, confirmable across many.
+
+This complements the detection story: the same trace TaintChannel used
+to *find* the gadget suffices to *exploit* it.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.aes import aes128_encrypt_block
+from repro.exec.context import TracingContext
+
+# Byte position (into plaintext and round-0 key) consumed by each of the
+# 16 round-1 table lookups, in execution order: output column-major,
+# ShiftRows applied.
+ROUND1_BYTE_ORDER = [
+    0, 5, 10, 15,
+    4, 9, 14, 3,
+    8, 13, 2, 7,
+    12, 1, 6, 11,
+]
+
+ENTRIES_PER_LINE = 64 // 4  # Te entries share 16-entry cache lines
+
+
+def capture_round1_lines(key: bytes, plaintext: bytes) -> list[int]:
+    """Cache-line indices of the 16 first-round Te lookups, in order
+    (what Flush+Reload/Prime+Probe on the tables observes)."""
+    ctx = TracingContext()
+    aes128_encrypt_block(key, plaintext, ctx=ctx)
+    lines = []
+    for access in ctx.memory_accesses():
+        if access.array.startswith("Te"):
+            table = ctx.arrays[access.array]
+            lines.append((access.address - table.base) // 4 // ENTRIES_PER_LINE)
+            if len(lines) == 16:
+                break
+    return lines
+
+
+def recover_high_nibbles(
+    plaintexts: list[bytes], observed: list[list[int]]
+) -> list[set[int]]:
+    """Per key byte, the surviving candidates for its top nibble.
+
+    Args:
+        plaintexts: the known plaintexts.
+        observed: per plaintext, the 16 round-1 line offsets (as from
+            :func:`capture_round1_lines`).
+
+    Returns:
+        16 candidate sets; with noise-free observations each is a
+        singleton ``{k[p] >> 4}``.
+    """
+    candidates: list[set[int]] = [set(range(16)) for _ in range(16)]
+    for pt, lines in zip(plaintexts, observed):
+        for slot, line in enumerate(lines):
+            p = ROUND1_BYTE_ORDER[slot]
+            # line == index >> 4 == (pt[p] ^ k[p]) >> 4; the xor of the
+            # top nibbles is exact (low nibble cannot carry).
+            k_high = line ^ (pt[p] >> 4)
+            candidates[p] &= {k_high}
+    return candidates
+
+
+def recovered_key_mask(candidates: list[set[int]]) -> tuple[bytes, bytes]:
+    """(partial_key, mask): recovered top nibbles and which bits are
+    known (0xF0 where a nibble survived uniquely)."""
+    key = bytearray(16)
+    mask = bytearray(16)
+    for p, cand in enumerate(candidates):
+        if len(cand) == 1:
+            key[p] = next(iter(cand)) << 4
+            mask[p] = 0xF0
+    return bytes(key), bytes(mask)

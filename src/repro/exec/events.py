@@ -1,0 +1,65 @@
+"""Trace event types produced by instrumented execution."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.taint.bittaint import BitTaint
+from repro.taint.value import Origin
+
+
+class TraceLimitExceeded(RuntimeError):
+    """Raised when a traced run exceeds its configured event budget."""
+
+
+@dataclass
+class MemoryAccess(Origin):
+    """One array access, the unit TaintChannel inspects for gadgets.
+
+    ``address`` is the full virtual address of the accessed element;
+    ``addr_taint`` is the taint of that address.  A non-empty
+    ``addr_taint`` makes this access a *data-flow leakage gadget
+    candidate*: the cache channel exposes ``address`` minus its 6
+    line-offset bits (Section IV-A), so any taint on bits >= 6 leaks.
+    """
+
+    kind: str = "read"  # "read" | "write" | "update" (read-modify-write)
+    array: str = ""
+    index: int = 0
+    elem_size: int = 1
+    address: int = 0
+    addr_taint: BitTaint = None  # type: ignore[assignment]
+    addr_origin: Optional[Origin] = None
+    value_taint: BitTaint = None  # type: ignore[assignment]
+    site: str = ""  # source location label, e.g. "deflate_slow/head[ins_h]"
+
+    def __post_init__(self) -> None:
+        if self.addr_taint is None:
+            self.addr_taint = BitTaint.empty()
+        if self.value_taint is None:
+            self.value_taint = BitTaint.empty()
+
+    @property
+    def cache_line(self) -> int:
+        """The address as an attacker sees it: low 6 bits masked."""
+        return self.address >> 6
+
+    def describe(self) -> str:
+        mark = "*" if self.addr_taint else ""
+        return (
+            f"#{self.seq:06d} {self.kind:<6} {self.array}[{self.index}]"
+            f" @0x{self.address:x}{mark} ({self.site})"
+        )
+
+
+@dataclass
+class FunctionEvent(Origin):
+    """Function enter/exit marker with the virtual time it happened at."""
+
+    name: str = ""
+    kind: str = "enter"  # "enter" | "exit"
+    time: int = 0
+
+    def describe(self) -> str:
+        return f"#{self.seq:06d} {self.kind} {self.name} @t={self.time}"

@@ -1,0 +1,25 @@
+"""Paged virtual memory with attacker-controllable permissions.
+
+The substitution for a real OS + SGX page tables (DESIGN.md).  The
+controlled-channel attack needs exactly three properties, all modelled
+here: per-page permissions revocable by the attacker (``mprotect``),
+faults that reveal the faulting *page* but not the offset (SGX masks the
+low 12 address bits), and remappable virtual-to-physical frames (the
+substrate of the frame-selection technique).
+"""
+
+from repro.memsys.paging import (
+    PAGE_BITS,
+    PAGE_SIZE,
+    AddressSpace,
+    PageFault,
+    Permissions,
+)
+
+__all__ = [
+    "AddressSpace",
+    "PageFault",
+    "Permissions",
+    "PAGE_SIZE",
+    "PAGE_BITS",
+]

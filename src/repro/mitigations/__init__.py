@@ -1,0 +1,30 @@
+"""Mitigations against compression cache side-channels (Section VIII).
+
+The paper's discussion names constant-time compression as the would-be
+defence (while noting that disabling compression is the only deployed
+complete fix).  This package implements the two oblivious-access
+building blocks that make the studied gadgets constant-*access*:
+
+* :func:`oblivious_histogram` — a Bzip2 histogram whose loop touches
+  every cache line of ``ftab`` on every iteration, so the access trace
+  is input-independent at cache-line granularity.
+* :class:`ObliviousTable` — a table wrapper whose reads/writes stream
+  over all lines (ORAM-free linear scanning, the classic constant-time
+  lookup), used to build a hardened LZW probe.
+
+They are deliberately honest about cost: the benchmarks measure the
+(large) slowdown, which is why such mitigations are not deployed — the
+paper's point.
+"""
+
+from repro.mitigations.oblivious import (
+    ObliviousTable,
+    oblivious_histogram,
+    oblivious_lzw_compress,
+)
+
+__all__ = [
+    "ObliviousTable",
+    "oblivious_histogram",
+    "oblivious_lzw_compress",
+]

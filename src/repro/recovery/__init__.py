@@ -1,0 +1,33 @@
+"""Input recovery from cache-line-granular access traces.
+
+These are the attacker-side computations of Section IV: given the
+sequence of cache lines a leakage gadget touched (addresses with the low
+6 bits masked) and the array base addresses (known in the threat model of
+Section IV-A), reconstruct the plaintext.
+
+* :mod:`repro.recovery.zlib_recover` — 2 direct bits per byte (25 %), or
+  the full input when the top 3 bits of every byte are known a priori
+  (e.g. lowercase ASCII).
+* :mod:`repro.recovery.lzw_recover` — full input by replaying the
+  dictionary; 8 candidates for the first byte's low 3 bits.
+* :mod:`repro.recovery.bzip2_recover` — full input from the ftab trace
+  with off-by-one ambiguity resolution and the consecutive-iteration
+  redundancy used as error correction (Section V-D).
+"""
+
+from repro.recovery.observe import observed_lines
+from repro.recovery.zlib_recover import (
+    recover_direct_bits,
+    recover_known_high_bits,
+)
+from repro.recovery.lzw_recover import recover_lzw_input
+from repro.recovery.bzip2_recover import RecoveredBlock, recover_bzip2_block
+
+__all__ = [
+    "observed_lines",
+    "recover_direct_bits",
+    "recover_known_high_bits",
+    "recover_lzw_input",
+    "recover_bzip2_block",
+    "RecoveredBlock",
+]

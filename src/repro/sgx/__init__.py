@@ -1,0 +1,14 @@
+"""Simulated SGX enclave execution.
+
+An :class:`Enclave` is an execution context whose array accesses go
+through the attacker-controlled page tables
+(:class:`repro.memsys.AddressSpace`) and the shared cache
+(:class:`repro.cache.Cache`).  Page faults are delivered synchronously to
+the attacker's handler — the controlled channel of Xu et al. that the
+paper builds its single-stepping on — with fault addresses masked to
+page granularity exactly as SGX guarantees.
+"""
+
+from repro.sgx.enclave import Enclave, EnclaveKilled
+
+__all__ = ["Enclave", "EnclaveKilled"]

@@ -1,0 +1,29 @@
+"""Cache side-channel attack primitives.
+
+* :mod:`repro.sidechannel.prime_probe` — Prime+Probe over (slice, set)
+  locations, with the attacker's precomputed slice mapping
+  (Section V-C1) and support for 1-way (CAT) or full-associativity
+  priming.
+* :mod:`repro.sidechannel.flush_reload` — Flush+Reload on shared lines
+  (the fingerprinting attack's channel, Section VI).
+* :mod:`repro.sidechannel.single_step` — the mprotect controlled-channel
+  state machine of Fig. 5.
+* :mod:`repro.sidechannel.frame_selection` — the paper's novel frame
+  vetting/remapping technique (Section V-C2).
+"""
+
+from repro.sidechannel.prime_probe import AttackerMemory, PrimeProbe
+from repro.sidechannel.flush_reload import FlushReload
+from repro.sidechannel.single_step import SingleStepper
+from repro.sidechannel.frame_selection import FrameSelector
+from repro.sidechannel.eviction_sets import EvictionSetBuilder, EvictionSetError
+
+__all__ = [
+    "AttackerMemory",
+    "PrimeProbe",
+    "FlushReload",
+    "SingleStepper",
+    "FrameSelector",
+    "EvictionSetBuilder",
+    "EvictionSetError",
+]

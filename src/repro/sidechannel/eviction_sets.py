@@ -1,0 +1,114 @@
+"""Minimal eviction-set construction without knowing the slice hash.
+
+The Section V attack sidesteps slice reverse engineering by precomputing
+the mapping over the enclave's small physical range (Section V-C1).
+This module provides the complementary, general technique the
+side-channel literature uses when no such shortcut exists: group-testing
+reduction of a large candidate pool to a minimal eviction set (the
+O(n·w) algorithm of Vila, Köpf and Morales), driven purely by timing —
+no knowledge of the slice function required.
+
+It serves two roles here: a from-scratch implementation of the standard
+building block the paper's related work relies on, and a cross-check of
+the cache model (the sets it finds must agree with the model's true
+(slice, set) mapping — see ``tests/test_eviction_sets.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cache.model import LINE_SIZE, Cache
+
+
+class EvictionSetError(RuntimeError):
+    """The candidate pool cannot evict the target (pool too small)."""
+
+
+class EvictionSetBuilder:
+    """Finds minimal eviction sets by timing alone.
+
+    Args:
+        cache: the shared cache (used only through ``access`` timing,
+            as a real attacker would).
+        pool_base: base of the attacker's own memory region.
+        pool_lines: number of candidate lines available.
+        cos: class of service for the attacker's accesses.
+    """
+
+    def __init__(
+        self,
+        cache: Cache,
+        pool_base: int = 0x6_0000_0000,
+        pool_lines: int = 1 << 17,
+        cos: int = 0,
+        threshold: Optional[float] = None,
+    ) -> None:
+        self.cache = cache
+        self.pool_base = pool_base
+        self.pool_lines = pool_lines
+        self.cos = cos
+        cfg = cache.config
+        self.threshold = (
+            threshold
+            if threshold is not None
+            else (cfg.hit_latency + cfg.miss_latency) / 2
+        )
+        self.tests_performed = 0
+
+    # -- the timing oracle --------------------------------------------------
+    def evicts(self, target: int, candidates: list[int]) -> bool:
+        """Does accessing ``candidates`` evict ``target``?
+
+        Prime the target, stream the candidates, re-time the target.
+        """
+        self.tests_performed += 1
+        self.cache.access(target, cos=self.cos)
+        for addr in candidates:
+            self.cache.access(addr, cos=self.cos)
+        result = self.cache.access(target, cos=self.cos)
+        return result.latency > self.threshold
+
+    # -- candidate pool -----------------------------------------------------
+    def _congruent_pool(self, target: int) -> list[int]:
+        """Lines sharing the target's set-index bits (what an attacker
+        can match from address bits alone; the slice remains unknown)."""
+        set_stride = LINE_SIZE * self.cache.config.sets_per_slice
+        offset = (target % set_stride) & ~(LINE_SIZE - 1)
+        first = self.pool_base - (self.pool_base % set_stride) + offset
+        if first < self.pool_base:
+            first += set_stride
+        limit = self.pool_base + self.pool_lines * LINE_SIZE
+        return list(range(first, limit, set_stride))
+
+    # -- group-testing reduction ----------------------------------------------
+    def find(self, target: int) -> list[int]:
+        """A minimal (``ways``-sized) eviction set for ``target``.
+
+        Raises:
+            EvictionSetError: the pool cannot evict the target at all.
+        """
+        ways = self.cache.config.ways
+        candidates = self._congruent_pool(target)
+        if not self.evicts(target, candidates):
+            raise EvictionSetError(
+                f"pool of {len(candidates)} congruent lines does not evict "
+                f"0x{target:x}"
+            )
+
+        while len(candidates) > ways:
+            n_groups = ways + 1
+            group_size = -(-len(candidates) // n_groups)
+            for g in range(n_groups):
+                trial = (
+                    candidates[: g * group_size]
+                    + candidates[(g + 1) * group_size :]
+                )
+                if self.evicts(target, trial):
+                    candidates = trial
+                    break
+            else:
+                # No group removable: with a deterministic cache this
+                # means we are already minimal-ish; stop.
+                break
+        return candidates

@@ -1,0 +1,41 @@
+"""Flush+Reload on shared cache lines (Section II-B / Section VI).
+
+The attacker maps a shared library (here: knows the physical line
+addresses of the monitored function entry points), flushes them with
+``clflush``, waits, and reloads while timing: a fast reload means the
+victim executed that code since the flush.
+"""
+
+from __future__ import annotations
+
+from repro.cache.model import Cache
+
+
+class FlushReload:
+    """clflush + timed reload on shared lines."""
+
+    def __init__(self, cache: Cache, threshold: float | None = None) -> None:
+        self.cache = cache
+        cfg = cache.config
+        self.threshold = (
+            threshold
+            if threshold is not None
+            else (cfg.hit_latency + cfg.miss_latency) / 2
+        )
+
+    def flush(self, paddr: int) -> None:
+        self.cache.flush(paddr)
+
+    def reload(self, paddr: int) -> bool:
+        """True if the reload hit, i.e. the victim touched the line."""
+        result = self.cache.access(paddr)
+        return result.latency < self.threshold
+
+    def sample(self, paddrs: list[int]) -> list[bool]:
+        """One Flush+Reload round over several monitored lines: reload
+        (measure), then flush again for the next round."""
+        hits = []
+        for paddr in paddrs:
+            hits.append(self.reload(paddr))
+            self.cache.flush(paddr)
+        return hits

@@ -1,0 +1,91 @@
+"""Prime+Probe over a sliced, way-partitioned LLC.
+
+The attacker owns a pool of physical memory and precomputes, for every
+(slice, set) location, which of its own lines land there — the paper's
+"we precompute the slicing function for these addresses instead of
+reverse engineering the full function" (Section V-C1).  Priming then
+fills the location with attacker lines; probing times them again and
+reports locations where a line went missing.
+
+With the CAT attack partition reduced to a single way, one line per
+location suffices and the victim's fill *must* evict it — the property
+that makes the channel near-deterministic.  Without CAT, ``ways`` lines
+per location are primed and any unrelated fill shows up as a false
+positive.
+"""
+
+from __future__ import annotations
+
+from repro.cache.model import LINE_SIZE, Cache
+
+Location = tuple[int, int]  # (slice, set)
+
+
+class AttackerMemory:
+    """The attacker's own lines, indexed by cache location."""
+
+    def __init__(
+        self,
+        cache: Cache,
+        base: int = 0x4_0000_0000,
+        n_lines: int = 1 << 17,
+    ) -> None:
+        self._by_location: dict[Location, list[int]] = {}
+        for k in range(n_lines):
+            paddr = base + k * LINE_SIZE
+            self._by_location.setdefault(cache.location(paddr), []).append(paddr)
+
+    def lines_for(self, location: Location, count: int) -> list[int]:
+        """``count`` attacker line addresses mapping to ``location``."""
+        lines = self._by_location.get(location, [])
+        if len(lines) < count:
+            raise ValueError(
+                f"attacker pool has only {len(lines)} lines for {location}"
+            )
+        return lines[:count]
+
+    def coverage(self) -> int:
+        return len(self._by_location)
+
+
+class PrimeProbe:
+    """The measurement loop of the Section V attack."""
+
+    def __init__(
+        self,
+        cache: Cache,
+        memory: AttackerMemory,
+        cos: int = 0,
+        ways: int = 1,
+        threshold: float | None = None,
+    ) -> None:
+        self.cache = cache
+        self.memory = memory
+        self.cos = cos
+        self.ways = ways
+        cfg = cache.config
+        self.threshold = (
+            threshold
+            if threshold is not None
+            else (cfg.hit_latency + cfg.miss_latency) / 2
+        )
+
+    def prime(self, locations: list[Location]) -> None:
+        """Fill each location's attack-partition ways with own lines."""
+        for loc in locations:
+            for paddr in self.memory.lines_for(loc, self.ways):
+                self.cache.access(paddr, cos=self.cos)
+
+    def probe(self, locations: list[Location]) -> set[Location]:
+        """Re-time the primed lines; return locations showing a miss.
+
+        A miss means *someone* filled the location since the prime —
+        the victim's secret-dependent access, or noise.
+        """
+        active: set[Location] = set()
+        for loc in locations:
+            for paddr in self.memory.lines_for(loc, self.ways):
+                result = self.cache.access(paddr, cos=self.cos)
+                if result.latency > self.threshold:
+                    active.add(loc)
+        return active

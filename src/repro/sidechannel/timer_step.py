@@ -1,0 +1,59 @@
+"""Timer-interrupt stepping: the baseline the paper rejects.
+
+"Previous methods rely on timer interrupts for [single-stepping], but we
+found these interrupts to be unreliable.  Instead, we use a
+controlled-channel attack" (Section V-A).  This module models the
+rejected baseline so the claim can be measured: an APIC-timer-style
+interrupt preempts the victim every ~``period`` memory accesses with
+jitter, and the attacker primes/probes at interrupt granularity instead
+of at exact instruction boundaries.
+
+Consequences (visible in the ABL-STEP benchmark):
+
+* a window may contain zero or several ``ftab`` accesses — observations
+  get merged or lost;
+* the attacker cannot tell *which* loop iteration an access belongs to,
+  so per-iteration alignment of the recovery is approximate.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional
+
+
+class TimerStepper:
+    """Preempts the victim every ``period`` accesses (with jitter).
+
+    Wire :meth:`on_victim_access` into the enclave's environment hook;
+    ``on_interrupt`` fires at each (jittered) timer expiry, like the
+    attacker's handler running on the interrupt.
+    """
+
+    def __init__(
+        self,
+        period: int,
+        jitter: int,
+        on_interrupt: Callable[[], None],
+        seed: int = 0,
+    ) -> None:
+        if period <= 0:
+            raise ValueError("period must be positive")
+        if jitter >= period:
+            raise ValueError("jitter must be smaller than the period")
+        self.period = period
+        self.jitter = jitter
+        self.on_interrupt = on_interrupt
+        self._rng = random.Random(seed)
+        self._until_next = self._next_deadline()
+        self.interrupts = 0
+
+    def _next_deadline(self) -> int:
+        return self.period + self._rng.randint(-self.jitter, self.jitter)
+
+    def on_victim_access(self, paddr: int, kind: str) -> None:
+        self._until_next -= 1
+        if self._until_next <= 0:
+            self.interrupts += 1
+            self._until_next = self._next_deadline()
+            self.on_interrupt()

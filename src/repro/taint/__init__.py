@@ -1,0 +1,28 @@
+"""Bit-precise taint-tracking algebra.
+
+This package is the foundation of the TaintChannel reproduction: it provides
+taint *tags* (one per input byte), *bit-level taint sets* attached to integer
+values, and a :class:`TaintedInt` wrapper whose operator overloads implement
+the same direct-data-flow propagation rules the paper describes in
+Section III (xor/or merge per bit, ``and`` with a constant masks taint to the
+constant's set bits, shifts translate taint positionally, and so on).
+
+Taint never propagates through control flow: comparing a tainted value
+produces a plain :class:`bool` (the comparison itself is *recorded* so that
+control-flow gadgets can be discovered, but the branch outcome carries no
+taint) — mirroring the paper's ``if (x<5) cnt++`` example where ``cnt``
+stays untainted.
+"""
+
+from repro.taint.tags import TagInfo, TagRegistry
+from repro.taint.bittaint import BitTaint
+from repro.taint.value import TaintedInt, value_of, taint_of
+
+__all__ = [
+    "TagInfo",
+    "TagRegistry",
+    "BitTaint",
+    "TaintedInt",
+    "value_of",
+    "taint_of",
+]

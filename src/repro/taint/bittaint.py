@@ -1,0 +1,217 @@
+"""Bit-level taint sets.
+
+A :class:`BitTaint` records, for every bit position of a value, the set of
+taint tags that influence that bit.  This is the representation behind the
+ASCII-art maps in the paper's Figs. 2-4, where e.g. "bits 6-13 are tainted
+with information from input byte 5751".
+
+The propagation rules follow Section III-B of the paper:
+
+* ``xor``/``or`` of two values merges the taint of the sources per bit
+  ("each bit can hold an arbitrary number of taint tags").
+* ``and`` with an untainted mask keeps taint "only at the locations where
+  the untainted values were 1".
+* Shifts translate taint "the same number of bits as the instruction
+  itself".
+* Addition is propagated *positionally* by default (per-bit union, like
+  ``or``): this matches the positional bit maps TaintChannel prints for
+  pointer arithmetic such as ``head + ins_h<<1`` (Fig. 2).  A conservative
+  carry-aware mode (each result bit additionally tainted by all lower
+  operand bits) is available for analyses that prefer over- to
+  under-approximation.
+
+Instances are immutable by convention: every operation returns a new
+``BitTaint`` and never mutates ``self._bits``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+_EMPTY_SET: frozenset[int] = frozenset()
+
+
+class BitTaint:
+    """Sparse map from bit position to the ``frozenset`` of tags on it."""
+
+    __slots__ = ("_bits",)
+
+    def __init__(self, bits: dict[int, frozenset[int]] | None = None) -> None:
+        self._bits = bits or {}
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls) -> "BitTaint":
+        """Taint of an untainted value."""
+        return _EMPTY
+
+    @classmethod
+    def byte(cls, tag: int, lo_bit: int = 0) -> "BitTaint":
+        """Taint of a freshly-read input byte: ``tag`` on 8 consecutive
+        bits starting at ``lo_bit``."""
+        tags = frozenset((tag,))
+        return cls({bit: tags for bit in range(lo_bit, lo_bit + 8)})
+
+    @classmethod
+    def of_bits(cls, tag: int, bits: Iterable[int]) -> "BitTaint":
+        """Taint ``tag`` on an explicit collection of bit positions."""
+        tags = frozenset((tag,))
+        return cls({bit: tags for bit in bits})
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def is_empty(self) -> bool:
+        return not self._bits
+
+    def __bool__(self) -> bool:
+        return bool(self._bits)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BitTaint):
+            return NotImplemented
+        return self._bits == other._bits
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bits.items()))
+
+    def __iter__(self) -> Iterator[tuple[int, frozenset[int]]]:
+        return iter(sorted(self._bits.items()))
+
+    def at(self, bit: int) -> frozenset[int]:
+        """Tags on a single bit position."""
+        return self._bits.get(bit, _EMPTY_SET)
+
+    def tainted_bits(self) -> list[int]:
+        """Sorted list of bit positions that carry any taint."""
+        return sorted(self._bits)
+
+    def tags(self) -> frozenset[int]:
+        """Union of the tags over all bits."""
+        out: set[int] = set()
+        for tags in self._bits.values():
+            out |= tags
+        return frozenset(out)
+
+    def bits_of_tag(self, tag: int) -> list[int]:
+        """Bit positions carrying a specific tag (one row of the ASCII
+        art in Fig. 2)."""
+        return sorted(bit for bit, tags in self._bits.items() if tag in tags)
+
+    # ------------------------------------------------------------------
+    # Propagation rules
+    # ------------------------------------------------------------------
+    def union(self, other: "BitTaint") -> "BitTaint":
+        """Per-bit union: the rule for ``xor``, ``or`` and positional
+        ``add``/``sub``."""
+        if not other._bits:
+            return self
+        if not self._bits:
+            return other
+        bits = dict(self._bits)
+        for bit, tags in other._bits.items():
+            mine = bits.get(bit)
+            bits[bit] = tags if mine is None else mine | tags
+        return BitTaint(bits)
+
+    def shifted(self, amount: int) -> "BitTaint":
+        """Translate every tainted bit by ``amount`` (negative = right
+        shift); bits shifted below position 0 disappear."""
+        if amount == 0 or not self._bits:
+            return self
+        bits = {
+            bit + amount: tags
+            for bit, tags in self._bits.items()
+            if bit + amount >= 0
+        }
+        return BitTaint(bits)
+
+    def masked(self, mask: int) -> "BitTaint":
+        """``and`` with an untainted constant: keep taint only where the
+        constant has a 1 bit."""
+        if not self._bits:
+            return self
+        bits = {bit: tags for bit, tags in self._bits.items() if (mask >> bit) & 1}
+        return BitTaint(bits)
+
+    def truncated(self, width: int) -> "BitTaint":
+        """Drop taint on bits at or above ``width`` (register narrowing,
+        e.g. using ``al`` out of ``rax``)."""
+        if not self._bits:
+            return self
+        bits = {bit: tags for bit, tags in self._bits.items() if bit < width}
+        return BitTaint(bits)
+
+    def smeared(self, width: int) -> "BitTaint":
+        """Conservative rule for multiplication/division by a tainted or
+        non-power-of-two value: every bit from the lowest tainted bit up to
+        ``width - 1`` receives the union of all tags."""
+        if not self._bits:
+            return self
+        lo = min(self._bits)
+        tags = self.tags()
+        return BitTaint({bit: tags for bit in range(lo, width)})
+
+    def carry_extended(self, width: int) -> "BitTaint":
+        """Conservative carry-aware add: each bit additionally receives
+        the tags of every lower tainted bit."""
+        if not self._bits:
+            return self
+        bits: dict[int, frozenset[int]] = {}
+        running: set[int] = set()
+        for bit in range(min(self._bits), width):
+            running |= self._bits.get(bit, _EMPTY_SET)
+            if running:
+                bits[bit] = frozenset(running)
+        return BitTaint(bits)
+
+    def sign_extended(self, from_width: int, to_width: int) -> "BitTaint":
+        """Replicate the sign bit's taint into the widened bits
+        (arithmetic right shift / ``movsx``)."""
+        sign = self._bits.get(from_width - 1)
+        if sign is None or to_width <= from_width:
+            return self.truncated(to_width)
+        bits = {bit: tags for bit, tags in self._bits.items() if bit < from_width}
+        for bit in range(from_width, to_width):
+            bits[bit] = sign
+        return BitTaint(bits)
+
+    # ------------------------------------------------------------------
+    # Rendering helpers
+    # ------------------------------------------------------------------
+    def rows(self) -> dict[int, list[int]]:
+        """``{tag: [bit, ...]}`` — the data behind one ASCII-art block."""
+        out: dict[int, list[int]] = {}
+        for bit, tags in self._bits.items():
+            for tag in tags:
+                out.setdefault(tag, []).append(bit)
+        for bits in out.values():
+            bits.sort()
+        return out
+
+    def __repr__(self) -> str:
+        if not self._bits:
+            return "BitTaint()"
+        parts = []
+        for tag, bits in sorted(self.rows().items()):
+            parts.append(f"{tag}:{_span(bits)}")
+        return f"BitTaint({', '.join(parts)})"
+
+
+def _span(bits: list[int]) -> str:
+    """Render a sorted bit list compactly, e.g. ``[1-8,11]``."""
+    runs: list[str] = []
+    start = prev = bits[0]
+    for bit in bits[1:]:
+        if bit == prev + 1:
+            prev = bit
+            continue
+        runs.append(str(start) if start == prev else f"{start}-{prev}")
+        start = prev = bit
+    runs.append(str(start) if start == prev else f"{start}-{prev}")
+    return "[" + ",".join(runs) + "]"
+
+
+_EMPTY = BitTaint()

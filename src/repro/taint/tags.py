@@ -1,0 +1,66 @@
+"""Taint tags: compact identifiers for taint sources.
+
+TaintChannel "assigns a sequential index for each input byte, i.e., the
+first byte read with the system call read would be #1, the second would be
+#2 etc." (Section III-B).  A tag here is a plain ``int`` for speed; the
+:class:`TagRegistry` maps each tag back to a human-readable description of
+the input byte it stands for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TagInfo:
+    """Description of a single taint source.
+
+    Attributes:
+        source: name of the input stream (e.g. ``"input"``, ``"key"``).
+        index: zero-based byte offset within that stream.
+    """
+
+    source: str
+    index: int
+
+    def __str__(self) -> str:
+        if self.source == "input":
+            return str(self.index)
+        return f"{self.source}[{self.index}]"
+
+
+class TagRegistry:
+    """Allocates integer tags and remembers what each one means.
+
+    One registry instance belongs to one traced execution; tags from
+    different registries must never be mixed.
+    """
+
+    def __init__(self) -> None:
+        self._infos: list[TagInfo] = []
+        self._by_info: dict[TagInfo, int] = {}
+
+    def __len__(self) -> int:
+        return len(self._infos)
+
+    def new_tag(self, source: str, index: int) -> int:
+        """Return the tag for byte ``index`` of ``source``, allocating it
+        on first use so repeated reads of the same byte share a tag."""
+        info = TagInfo(source, index)
+        existing = self._by_info.get(info)
+        if existing is not None:
+            return existing
+        tag = len(self._infos)
+        self._infos.append(info)
+        self._by_info[info] = tag
+        return tag
+
+    def info(self, tag: int) -> TagInfo:
+        """Look up the :class:`TagInfo` behind an integer tag."""
+        return self._infos[tag]
+
+    def label(self, tag: int) -> str:
+        """Human-readable label for a tag (the input byte index, as in the
+        left-hand column of the paper's Fig. 2 ASCII art)."""
+        return str(self._infos[tag])

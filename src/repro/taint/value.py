@@ -1,0 +1,379 @@
+"""Tainted integer values with direct-data-flow propagation.
+
+:class:`TaintedInt` wraps a fixed-width unsigned integer together with its
+:class:`~repro.taint.bittaint.BitTaint` and a provenance link to the
+operation that produced it.  All arithmetic/logic operators are overloaded
+so that instrumented code reads like ordinary Python while every operation
+
+* computes the result value with fixed-width unsigned semantics,
+* propagates taint per the rules of the paper's Section III-B, and
+* (when a recorder is attached) appends an :class:`OpRecord` to the
+  execution trace, which is what lets TaintChannel later print "all
+  instructions accessing the secret".
+
+Comparisons deliberately return plain ``bool``: taint does not propagate
+through control flow.  When a comparison involves a tainted operand it is
+recorded as a *control-flow use*, the raw material for the control-flow
+gadget discovery of Sections III-B and VI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Union
+
+from repro.taint.bittaint import BitTaint
+
+IntLike = Union[int, "TaintedInt"]
+
+
+@dataclass
+class Origin:
+    """Base class for provenance records (a node in the data-flow DAG)."""
+
+    seq: int
+
+
+@dataclass
+class InputRecord(Origin):
+    """A byte read from a taint source (the root of a provenance chain)."""
+
+    source: str = "input"
+    index: int = 0
+    value: int = 0
+    tag: int = 0
+
+    def describe(self) -> str:
+        return (
+            f"#{self.seq:06d} read {self.source}[{self.index}] "
+            f"= 0x{self.value:02x} -> tag {self.tag}"
+        )
+
+
+@dataclass(frozen=True)
+class Operand:
+    """Snapshot of one operand at the time an operation executed."""
+
+    value: int
+    taint: BitTaint
+    origin: Optional[Origin]
+
+    @property
+    def tainted(self) -> bool:
+        return bool(self.taint)
+
+
+@dataclass
+class OpRecord(Origin):
+    """One executed data-flow operation involving taint."""
+
+    op: str = ""
+    operands: tuple[Operand, ...] = ()
+    result_value: int = 0
+    result_taint: BitTaint = field(default_factory=BitTaint.empty)
+    width: int = 64
+
+    def describe(self) -> str:
+        ops = ", ".join(
+            f"0x{o.value:x}{'*' if o.tainted else ''}" for o in self.operands
+        )
+        return (
+            f"#{self.seq:06d} {self.op:<5} {ops} -> "
+            f"0x{self.result_value:x}  taint={self.result_taint!r}"
+        )
+
+
+@dataclass
+class CompareRecord(Origin):
+    """A comparison (or truth test) with at least one tainted operand."""
+
+    op: str = ""
+    operands: tuple[Operand, ...] = ()
+    outcome: bool = False
+
+    def describe(self) -> str:
+        ops = ", ".join(
+            f"0x{o.value:x}{'*' if o.tainted else ''}" for o in self.operands
+        )
+        return f"#{self.seq:06d} cmp.{self.op} {ops} -> {self.outcome}"
+
+
+class TaintRecorder(Protocol):
+    """What :class:`TaintedInt` needs from an execution context."""
+
+    carry_aware_add: bool
+
+    def next_seq(self) -> int: ...
+
+    def record_op(self, record: OpRecord) -> None: ...
+
+    def record_compare(self, record: CompareRecord) -> None: ...
+
+
+def value_of(x: IntLike) -> int:
+    """The plain integer behind a possibly-tainted value."""
+    return x.value if isinstance(x, TaintedInt) else x
+
+
+def taint_of(x: IntLike) -> BitTaint:
+    """The taint of a possibly-tainted value (empty for plain ints)."""
+    return x.taint if isinstance(x, TaintedInt) else BitTaint.empty()
+
+
+def origin_of(x: IntLike) -> Optional[Origin]:
+    """The provenance node of a possibly-tainted value (None for ints)."""
+    return x.origin if isinstance(x, TaintedInt) else None
+
+
+def _operand(x: IntLike) -> Operand:
+    return Operand(value_of(x), taint_of(x), origin_of(x))
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+class TaintedInt:
+    """A fixed-width unsigned integer carrying bit-level taint.
+
+    Instances are immutable.  Mixing with plain ``int`` works in either
+    operand position; the result is a ``TaintedInt`` when it carries taint
+    and may degrade to one with empty taint otherwise (we keep the wrapper
+    so provenance of e.g. ``x & 0`` is preserved in the trace).
+    """
+
+    __slots__ = ("value", "width", "taint", "origin", "_rec")
+
+    def __init__(
+        self,
+        value: int,
+        width: int = 64,
+        taint: BitTaint | None = None,
+        origin: Optional[Origin] = None,
+        recorder: Optional[TaintRecorder] = None,
+    ) -> None:
+        self.width = width
+        self.value = value & ((1 << width) - 1)
+        self.taint = taint if taint is not None else BitTaint.empty()
+        self.origin = origin
+        self._rec = recorder
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _emit(
+        self, op: str, operands: tuple[IntLike, ...], value: int, taint: BitTaint, width: int
+    ) -> "TaintedInt":
+        """Build the result and, if anything is tainted, log the op."""
+        origin: Optional[Origin] = None
+        rec = self._rec
+        if rec is not None and (taint or any(taint_of(o) for o in operands)):
+            record = OpRecord(
+                seq=rec.next_seq(),
+                op=op,
+                operands=tuple(_operand(o) for o in operands),
+                result_value=value & ((1 << width) - 1),
+                result_taint=taint,
+                width=width,
+            )
+            rec.record_op(record)
+            origin = record
+        return TaintedInt(value, width, taint, origin, rec)
+
+    def _coerce_width(self, other: IntLike) -> int:
+        if isinstance(other, TaintedInt):
+            return max(self.width, other.width)
+        return self.width
+
+    # ------------------------------------------------------------------
+    # Conversions
+    # ------------------------------------------------------------------
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"TaintedInt(0x{self.value:x}, w={self.width}, {self.taint!r})"
+
+    def truncate(self, width: int) -> "TaintedInt":
+        """Narrow to ``width`` bits (e.g. taking ``al`` out of ``rax``)."""
+        return self._emit(
+            f"trunc{width}", (self,), self.value, self.taint.truncated(width), width
+        )
+
+    def extend(self, width: int) -> "TaintedInt":
+        """Zero-extend to a wider register."""
+        return self._emit(f"zext{width}", (self,), self.value, self.taint, width)
+
+    # ------------------------------------------------------------------
+    # Bitwise ops
+    # ------------------------------------------------------------------
+    def __xor__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        taint = self.taint.union(taint_of(other))
+        return self._emit("xor", (self, other), self.value ^ value_of(other), taint, width)
+
+    __rxor__ = __xor__
+
+    def __or__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        taint = self.taint.union(taint_of(other))
+        return self._emit("or", (self, other), self.value | value_of(other), taint, width)
+
+    __ror__ = __or__
+
+    def __and__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        other_taint = taint_of(other)
+        if not other_taint:
+            taint = self.taint.masked(value_of(other))
+        elif not self.taint:
+            taint = other_taint.masked(self.value)
+        else:
+            taint = self.taint.union(other_taint)
+        return self._emit("and", (self, other), self.value & value_of(other), taint, width)
+
+    __rand__ = __and__
+
+    def __invert__(self) -> "TaintedInt":
+        return self._emit("not", (self,), ~self.value, self.taint, self.width)
+
+    def __lshift__(self, amount: IntLike) -> "TaintedInt":
+        n = value_of(amount)
+        taint = self.taint.shifted(n).truncated(self.width)
+        if taint_of(amount):
+            taint = self.taint.smeared(self.width).union(taint)
+        return self._emit("shl", (self, amount), self.value << n, taint, self.width)
+
+    def __rshift__(self, amount: IntLike) -> "TaintedInt":
+        n = value_of(amount)
+        taint = self.taint.shifted(-n)
+        if taint_of(amount):
+            taint = self.taint.smeared(self.width).union(taint)
+        return self._emit("shr", (self, amount), self.value >> n, taint, self.width)
+
+    def sar(self, amount: int, width: int | None = None) -> "TaintedInt":
+        """Arithmetic right shift: the sign bit's taint replicates."""
+        width = width or self.width
+        signed = self.value - (1 << width) if self.value >> (width - 1) else self.value
+        taint = self.taint.sign_extended(width, width + amount).shifted(-amount)
+        taint = taint.truncated(width)
+        return self._emit("sar", (self, amount), signed >> amount, taint, width)
+
+    # ------------------------------------------------------------------
+    # Arithmetic ops
+    # ------------------------------------------------------------------
+    def _additive_taint(self, other: IntLike, width: int) -> BitTaint:
+        taint = self.taint.union(taint_of(other))
+        rec = self._rec
+        if rec is not None and getattr(rec, "carry_aware_add", False):
+            taint = taint.carry_extended(width)
+        return taint
+
+    def __add__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        taint = self._additive_taint(other, width)
+        return self._emit("add", (self, other), self.value + value_of(other), taint, width)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        taint = self._additive_taint(other, width)
+        return self._emit("sub", (self, other), self.value - value_of(other), taint, width)
+
+    def __rsub__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        taint = self._additive_taint(other, width)
+        return self._emit("sub", (other, self), value_of(other) - self.value, taint, width)
+
+    def __mul__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        ov, ot = value_of(other), taint_of(other)
+        if not ot and _is_pow2(ov):
+            taint = self.taint.shifted(ov.bit_length() - 1).truncated(width)
+        elif not self.taint and _is_pow2(self.value):
+            taint = ot.shifted(self.value.bit_length() - 1).truncated(width)
+        else:
+            taint = self.taint.union(ot).smeared(width)
+        return self._emit("mul", (self, other), self.value * ov, taint, width)
+
+    __rmul__ = __mul__
+
+    def __floordiv__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        ov, ot = value_of(other), taint_of(other)
+        if not ot and _is_pow2(ov):
+            taint = self.taint.shifted(-(ov.bit_length() - 1))
+        else:
+            taint = self.taint.union(ot).smeared(width)
+        return self._emit("div", (self, other), self.value // ov, taint, width)
+
+    def __rfloordiv__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        taint = self.taint.union(taint_of(other)).smeared(width)
+        return self._emit("div", (other, self), value_of(other) // self.value, taint, width)
+
+    def __mod__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        ov, ot = value_of(other), taint_of(other)
+        if not ot and _is_pow2(ov):
+            taint = self.taint.masked(ov - 1)
+        else:
+            taint = self.taint.union(ot).smeared(width)
+        return self._emit("mod", (self, other), self.value % ov, taint, width)
+
+    def __rmod__(self, other: IntLike) -> "TaintedInt":
+        width = self._coerce_width(other)
+        taint = self.taint.union(taint_of(other)).smeared(width)
+        return self._emit("mod", (other, self), value_of(other) % self.value, taint, width)
+
+    def __neg__(self) -> "TaintedInt":
+        taint = self._additive_taint(0, self.width)
+        return self._emit("neg", (self,), -self.value, taint, self.width)
+
+    # ------------------------------------------------------------------
+    # Comparisons: plain bool out, control-flow use recorded
+    # ------------------------------------------------------------------
+    def _compare(self, op: str, other: IntLike, outcome: bool) -> bool:
+        rec = self._rec
+        if rec is not None and (self.taint or taint_of(other)):
+            rec.record_compare(
+                CompareRecord(
+                    seq=rec.next_seq(),
+                    op=op,
+                    operands=(_operand(self), _operand(other)),
+                    outcome=outcome,
+                )
+            )
+        return outcome
+
+    def __eq__(self, other: object) -> bool:  # type: ignore[override]
+        if not isinstance(other, (int, TaintedInt)):
+            return NotImplemented
+        return self._compare("eq", other, self.value == value_of(other))
+
+    def __ne__(self, other: object) -> bool:  # type: ignore[override]
+        if not isinstance(other, (int, TaintedInt)):
+            return NotImplemented
+        return self._compare("ne", other, self.value != value_of(other))
+
+    def __lt__(self, other: IntLike) -> bool:
+        return self._compare("lt", other, self.value < value_of(other))
+
+    def __le__(self, other: IntLike) -> bool:
+        return self._compare("le", other, self.value <= value_of(other))
+
+    def __gt__(self, other: IntLike) -> bool:
+        return self._compare("gt", other, self.value > value_of(other))
+
+    def __ge__(self, other: IntLike) -> bool:
+        return self._compare("ge", other, self.value >= value_of(other))
+
+    def __bool__(self) -> bool:
+        return self._compare("nz", 0, self.value != 0)
+
+    def __hash__(self) -> int:
+        return hash(self.value)

@@ -1,0 +1,26 @@
+"""Workload generators: the inputs the paper's experiments run on.
+
+The paper uses Brotli's 21-file test corpus (Fig. 7) and 5 lipsum-based
+files of graded repetitiveness (Fig. 8); neither ships here, so
+:mod:`repro.workloads.corpus` synthesises a 21-file corpus spanning the
+same regimes (tiny files, English-like text, DNA-like data, random
+binary, pathological repetition) and :mod:`repro.workloads.lipsum`
+implements the deterministic lipsum generator and the Fig. 8 series.
+"""
+
+from repro.workloads.lipsum import lipsum_paragraph, repetitiveness_series
+from repro.workloads.corpus import brotli_like_corpus
+from repro.workloads.generators import (
+    english_like,
+    lowercase_ascii,
+    random_bytes,
+)
+
+__all__ = [
+    "lipsum_paragraph",
+    "repetitiveness_series",
+    "brotli_like_corpus",
+    "english_like",
+    "lowercase_ascii",
+    "random_bytes",
+]

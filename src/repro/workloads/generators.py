@@ -1,0 +1,50 @@
+"""Low-level deterministic data generators."""
+
+from __future__ import annotations
+
+import random
+
+_WORDS = (
+    "the quick brown fox jumps over lazy dog while seven wizards "
+    "quietly mix a potion of bright blue vexing liquid under warm "
+    "evening light and small children watch from behind old wooden "
+    "fences counting stars that drift across an autumn sky toward "
+    "distant hills where rivers bend through quiet valleys carrying "
+    "stories of travellers markets bridges lanterns and songs"
+).split()
+
+
+def random_bytes(n: int, seed: int = 0) -> bytes:
+    """Uniform random bytes — the hardest data to leak (no redundancy,
+    Section V-E)."""
+    rng = random.Random(seed)
+    return bytes(rng.randrange(256) for _ in range(n))
+
+
+def lowercase_ascii(n: int, seed: int = 0) -> bytes:
+    """Uniform lowercase letters: the Zlib survey's known-high-bits
+    plaintext class (every byte in 0x61-0x7a)."""
+    rng = random.Random(seed)
+    return bytes(rng.randrange(0x61, 0x7B) for _ in range(n))
+
+
+def english_like(n: int, seed: int = 0, words: tuple[str, ...] | None = None) -> bytes:
+    """Word-salad English-like text: realistic entropy and match
+    structure for the compressors."""
+    rng = random.Random(seed)
+    pool = list(words or _WORDS)
+    out = []
+    length = 0
+    while length < n:
+        word = rng.choice(pool)
+        out.append(word)
+        length += len(word) + 1
+    # The loop counts word+space, join emits count-1 spaces: pad one
+    # trailing space so the slice always reaches exactly n bytes.
+    return (" ".join(out) + " ").encode()[:n]
+
+
+def dna_like(n: int, seed: int = 0) -> bytes:
+    """Four-letter alphabet (E.coli-style corpus member)."""
+    rng = random.Random(seed)
+    return bytes(rng.choice(b"acgt") for _ in range(n))

@@ -1,0 +1,59 @@
+"""Deterministic lorem-ipsum generation and the Fig. 8 file series.
+
+"We create a series of 5 similar files of the same size, 20,000 bytes
+each.  For generating these files, we use the Python utility lipsum to
+output 5 random paragraphs ... we truncate each of them to the first 20
+characters.  To generate the i-th file, where 1 <= i <= 5, we output a
+random selection from [the] i first paragraphs."  File 1 is therefore a
+single 20-character unit repeated — maximally repetitive — and each
+later file mixes more distinct units, i.e. is *less* repetitive.
+"""
+
+from __future__ import annotations
+
+import random
+
+_LIPSUM_WORDS = (
+    "lorem ipsum dolor sit amet consectetur adipiscing elit sed do "
+    "eiusmod tempor incididunt ut labore et dolore magna aliqua enim "
+    "ad minim veniam quis nostrud exercitation ullamco laboris nisi "
+    "aliquip ex ea commodo consequat duis aute irure in reprehenderit "
+    "voluptate velit esse cillum fugiat nulla pariatur excepteur sint "
+    "occaecat cupidatat non proident sunt culpa qui officia deserunt "
+    "mollit anim id est laborum"
+).split()
+
+FILE_SIZE = 20_000  # bytes, per the paper
+UNIT_LENGTH = 20  # truncated paragraph length
+N_FILES = 5
+
+
+def lipsum_paragraph(rng: random.Random, n_words: int = 40) -> str:
+    """One random lipsum paragraph ("similar to English text")."""
+    words = [rng.choice(_LIPSUM_WORDS) for _ in range(n_words)]
+    words[0] = words[0].capitalize()
+    return " ".join(words) + "."
+
+
+def repetitiveness_series(
+    seed: int = 42,
+    n_files: int = N_FILES,
+    file_size: int = FILE_SIZE,
+    unit_length: int = UNIT_LENGTH,
+) -> list[bytes]:
+    """The Fig. 8 inputs: ``n_files`` equal-size files where file *i*
+    samples from the first *i* distinct 20-character units."""
+    rng = random.Random(seed)
+    units = [
+        lipsum_paragraph(rng)[:unit_length].encode() for _ in range(n_files)
+    ]
+    files = []
+    for i in range(1, n_files + 1):
+        chunks = []
+        size = 0
+        while size < file_size:
+            unit = units[rng.randrange(i)]
+            chunks.append(unit)
+            size += len(unit)
+        files.append(b"".join(chunks)[:file_size])
+    return files

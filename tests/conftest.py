@@ -1,0 +1,15 @@
+"""Shared test configuration.
+
+Pins a hypothesis profile with no deadline (the traced/simulated runs
+have high variance on shared CI machines) and a fixed derandomization
+seed is deliberately NOT set — property tests should explore.
+"""
+
+from hypothesis import HealthCheck, settings
+
+settings.register_profile(
+    "repro",
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")

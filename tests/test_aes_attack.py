@@ -1,0 +1,72 @@
+"""Tests for first-round AES key recovery through the T-table channel."""
+
+import random
+
+import pytest
+
+from repro.crypto.aes_attack import (
+    ROUND1_BYTE_ORDER,
+    capture_round1_lines,
+    recover_high_nibbles,
+    recovered_key_mask,
+)
+
+
+def random_key_and_plaintexts(seed: int, n: int):
+    rng = random.Random(seed)
+    key = bytes(rng.randrange(256) for _ in range(16))
+    plaintexts = [
+        bytes(rng.randrange(256) for _ in range(16)) for _ in range(n)
+    ]
+    return key, plaintexts
+
+
+class TestByteOrder:
+    def test_is_a_permutation(self):
+        assert sorted(ROUND1_BYTE_ORDER) == list(range(16))
+
+    def test_capture_returns_16_lines(self):
+        key, (pt,) = random_key_and_plaintexts(1, 1)
+        lines = capture_round1_lines(key, pt)
+        assert len(lines) == 16
+        assert all(0 <= l < 16 for l in lines)
+
+    def test_lines_match_index_model(self):
+        """Observed line == (pt[p] ^ k[p]) >> 4 for every slot."""
+        key, (pt,) = random_key_and_plaintexts(2, 1)
+        lines = capture_round1_lines(key, pt)
+        for slot, line in enumerate(lines):
+            p = ROUND1_BYTE_ORDER[slot]
+            assert line == (pt[p] ^ key[p]) >> 4
+
+
+class TestRecovery:
+    def test_single_plaintext_recovers_all_high_nibbles(self):
+        key, plaintexts = random_key_and_plaintexts(3, 1)
+        observed = [capture_round1_lines(key, pt) for pt in plaintexts]
+        candidates = recover_high_nibbles(plaintexts, observed)
+        for p in range(16):
+            assert candidates[p] == {key[p] >> 4}
+
+    def test_multiple_plaintexts_stay_consistent(self):
+        key, plaintexts = random_key_and_plaintexts(4, 8)
+        observed = [capture_round1_lines(key, pt) for pt in plaintexts]
+        candidates = recover_high_nibbles(plaintexts, observed)
+        partial, mask = recovered_key_mask(candidates)
+        assert mask == b"\xf0" * 16
+        for p in range(16):
+            assert partial[p] == key[p] & 0xF0
+
+    def test_64_of_128_key_bits_leak(self):
+        key, plaintexts = random_key_and_plaintexts(5, 4)
+        observed = [capture_round1_lines(key, pt) for pt in plaintexts]
+        _, mask = recovered_key_mask(recover_high_nibbles(plaintexts, observed))
+        known_bits = sum(bin(m).count("1") for m in mask)
+        assert known_bits == 64
+
+    def test_wrong_key_guess_rejected(self):
+        key, plaintexts = random_key_and_plaintexts(6, 2)
+        observed = [capture_round1_lines(key, pt) for pt in plaintexts]
+        candidates = recover_high_nibbles(plaintexts, observed)
+        wrong = bytes((key[0] ^ 0x10,)) + key[1:]
+        assert candidates[0] != {wrong[0] >> 4}

@@ -1,0 +1,207 @@
+"""End-to-end tests for the Bzip2 pipeline: round trips, sorting paths,
+and the ftab leakage gadget."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bzip2 import (
+    BLOCK_SIZE,
+    SITE_FTAB,
+    bzip2_compress,
+    bzip2_decompress,
+)
+from repro.compression.bzip2.blocksort import (
+    BudgetExhausted,
+    fallback_sort,
+    histogram,
+    main_sort,
+)
+from repro.compression.bzip2.pipeline import bzip2_compress_with_paths
+from repro.exec import NativeContext, TracingContext
+
+
+def naive_rotation_order(data: bytes) -> list[int]:
+    n = len(data)
+    return sorted(range(n), key=lambda i: data[i:] + data[:i])
+
+
+def make_text(n: int, seed: int = 0) -> bytes:
+    rng = random.Random(seed)
+    words = [b"lorem", b"ipsum", b"dolor", b"sit", b"amet", b"sed", b"ut"]
+    out = bytearray()
+    while len(out) < n:
+        out += rng.choice(words) + b" "
+    return bytes(out[:n])
+
+
+class TestSorters:
+    @pytest.mark.parametrize(
+        "data", [b"BANANA", b"abracadabra", b"the quick brown fox", b"xy"]
+    )
+    def test_fallback_matches_naive(self, data):
+        ctx = NativeContext()
+        block = ctx.array("block", len(data))
+        for i, b in enumerate(data):
+            block.set(i, b)
+        assert fallback_sort(ctx, block, len(data)) == naive_rotation_order(data)
+
+    def test_main_matches_naive_on_text(self):
+        data = make_text(800, seed=2)
+        ctx = NativeContext()
+        block = ctx.array("block", len(data))
+        for i, b in enumerate(data):
+            block.set(i, b)
+        got = main_sort(ctx, block, len(data), budget=30 * len(data))
+        naive = naive_rotation_order(data)
+        # Rotation *content* must agree even if ties order differently.
+        to_rot = lambda i: data[i:] + data[:i]
+        assert [to_rot(i) for i in got] == [to_rot(i) for i in naive]
+
+    def test_main_budget_exhausts_on_periodic_input(self):
+        data = b"ab" * 500
+        ctx = NativeContext()
+        block = ctx.array("block", len(data))
+        for i, b in enumerate(data):
+            block.set(i, b)
+        with pytest.raises(BudgetExhausted):
+            main_sort(ctx, block, len(data), budget=10 * len(data))
+
+    def test_fallback_handles_fully_periodic_input(self):
+        data = b"ab" * 100
+        ctx = NativeContext()
+        block = ctx.array("block", len(data))
+        for i, b in enumerate(data):
+            block.set(i, b)
+        order = fallback_sort(ctx, block, len(data))
+        assert sorted(order) == list(range(len(data)))
+
+    @given(st.binary(min_size=2, max_size=80))
+    @settings(max_examples=50, deadline=None)
+    def test_fallback_rotation_order_property(self, data):
+        ctx = NativeContext()
+        block = ctx.array("block", len(data))
+        for i, b in enumerate(data):
+            block.set(i, b)
+        got = fallback_sort(ctx, block, len(data))
+        to_rot = lambda i: data[i:] + data[:i]
+        expected = [to_rot(i) for i in naive_rotation_order(data)]
+        assert [to_rot(i) for i in got] == expected
+
+
+class TestHistogram:
+    def test_counts_all_wrapping_pairs(self):
+        data = b"BANANA"
+        ctx = NativeContext()
+        block = ctx.array("block", len(data))
+        for i, b in enumerate(data):
+            block.set(i, b)
+        ftab = histogram(ctx, block, len(data))
+        counts = ftab.snapshot()
+        n = len(data)
+        for i in range(n):
+            j = (data[i] << 8) | data[(i + 1) % n]
+            assert counts[j] >= 1
+        assert sum(counts) == n
+
+    def test_ftab_taint_matches_fig4(self):
+        """Consecutive ftab[j]++ accesses carry byte k in bits 0-7 of the
+        index and then bits 8-15 (Fig. 4)."""
+        ctx = TracingContext()
+        data = b"\x10\x20\x30\x40"
+        block = ctx.array("block", len(data))
+        for i, v in enumerate(ctx.input_bytes(data)):
+            block.set(i, v)
+        histogram(ctx, block, len(data))
+        updates = [a for a in ctx.tainted_accesses() if a.site == SITE_FTAB]
+        assert len(updates) == len(data)
+        # Loop runs i = n-1 .. 0; at i, j = (block[i] << 8) | block[i+1].
+        # elem size 4 shifts index bits up by 2 in the address.
+        acc_i2 = updates[1]  # i == 2: high byte = tag 2, low = tag 3
+        assert acc_i2.addr_taint.bits_of_tag(2) == list(range(8 + 2, 16 + 2))
+        assert acc_i2.addr_taint.bits_of_tag(3) == list(range(0 + 2, 8 + 2))
+        acc_i1 = updates[2]  # i == 1: high byte = tag 1, low = tag 2
+        assert acc_i1.addr_taint.bits_of_tag(2) == list(range(0 + 2, 8 + 2))
+
+    def test_ftab_not_cache_aligned(self):
+        ctx = NativeContext()
+        block = ctx.array("block", 4, init=1)
+        ftab = histogram(ctx, block, 4)
+        assert ftab.base % 64 != 0  # the paper's off-by-one ambiguity source
+
+
+class TestPipelineRoundTrip:
+    def test_empty(self):
+        assert bzip2_decompress(bzip2_compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert bzip2_decompress(bzip2_compress(b"q")) == b"q"
+
+    def test_banana(self):
+        assert bzip2_decompress(bzip2_compress(b"BANANA")) == b"BANANA"
+
+    def test_text_short_block(self):
+        data = make_text(3000, seed=1)
+        assert bzip2_decompress(bzip2_compress(data)) == data
+
+    def test_text_multi_block(self):
+        data = make_text(2 * BLOCK_SIZE + 1234, seed=4)
+        assert bzip2_decompress(bzip2_compress(data)) == data
+
+    def test_random_data(self):
+        rng = random.Random(9)
+        data = bytes(rng.randrange(256) for _ in range(BLOCK_SIZE + 500))
+        assert bzip2_decompress(bzip2_compress(data)) == data
+
+    def test_highly_repetitive(self):
+        data = b"ab" * 8000  # forces mainSort -> fallbackSort retreat
+        assert bzip2_decompress(bzip2_compress(data)) == data
+
+    def test_long_runs_through_rle1(self):
+        data = b"\x00" * 5000 + b"hello" + b"\xff" * 5000
+        assert bzip2_decompress(bzip2_compress(data)) == data
+
+    def test_text_compresses(self):
+        data = make_text(9000, seed=3)
+        assert len(bzip2_compress(data)) < len(data)
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            bzip2_decompress(b"NOPE" + b"\x00" * 10)
+
+    def test_truncated_stream(self):
+        blob = bzip2_compress(b"some data here")
+        with pytest.raises((ValueError, EOFError, struct_error := Exception)):
+            bzip2_decompress(blob[:-2])
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert bzip2_decompress(bzip2_compress(data)) == data
+
+
+class TestSortingPaths:
+    """Fig. 6: the control flow the fingerprinting attack observes."""
+
+    def test_short_file_goes_straight_to_fallback(self):
+        _, paths = bzip2_compress_with_paths(b"short file content")
+        assert paths == ["fallbackSort"]
+
+    def test_full_text_block_stays_in_main_sort(self):
+        data = make_text(BLOCK_SIZE + 5000, seed=7)
+        _, paths = bzip2_compress_with_paths(data)
+        assert paths[0] == "mainSort"
+        assert paths[-1] == "fallbackSort"  # short tail block
+
+    def test_repetitive_full_block_retreats(self):
+        data = (b"ababab" * 4000)[: BLOCK_SIZE * 2]
+        _, paths = bzip2_compress_with_paths(data)
+        assert "mainSort+fallbackSort" in paths
+
+    def test_exact_multiple_has_no_short_tail(self):
+        data = make_text(BLOCK_SIZE, seed=8)
+        # RLE1 can shrink the block; pick data with no 4-runs.
+        _, paths = bzip2_compress_with_paths(data)
+        assert len(paths) >= 1

@@ -1,0 +1,200 @@
+"""Stage-by-stage tests for the Bzip2 pipeline components."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.bitio import MSBBitReader, MSBBitWriter
+from repro.compression.bzip2.huffman import (
+    HuffmanTable,
+    build_code_lengths,
+    canonical_codes,
+)
+from repro.compression.bzip2.mtf import (
+    _decode_zero_run,
+    _encode_zero_run,
+    mtf_rle2_decode,
+    mtf_rle2_encode,
+)
+from repro.compression.bzip2.pipeline import inverse_bwt
+from repro.compression.bzip2.rle import rle1_decode, rle1_encode
+from repro.exec import NativeContext
+
+
+def naive_bwt(data: bytes) -> tuple[list[int], int]:
+    """Reference BWT by literally sorting all rotations."""
+    n = len(data)
+    rotations = sorted(range(n), key=lambda i: data[i:] + data[:i])
+    last = [data[(p + n - 1) % n] for p in rotations]
+    return last, rotations.index(0)
+
+
+class TestRLE1:
+    def _roundtrip(self, data: bytes) -> bytes:
+        enc = rle1_encode(list(data), NativeContext())
+        return rle1_decode(enc)
+
+    def test_empty(self):
+        assert self._roundtrip(b"") == b""
+
+    def test_no_runs(self):
+        assert self._roundtrip(b"abcdef") == b"abcdef"
+
+    def test_run_of_three_untouched(self):
+        enc = rle1_encode(list(b"aaab"), NativeContext())
+        assert bytes(enc) == b"aaab"
+
+    def test_run_of_four_gets_count(self):
+        enc = rle1_encode(list(b"aaaa"), NativeContext())
+        assert bytes(enc) == b"aaaa\x00"
+
+    def test_run_of_ten(self):
+        enc = rle1_encode(list(b"a" * 10), NativeContext())
+        assert bytes(enc) == b"aaaa\x06"
+
+    def test_max_run_and_split(self):
+        assert self._roundtrip(b"z" * 300) == b"z" * 300
+
+    def test_run_of_byte_255(self):
+        # Count byte value collides with the run byte itself.
+        assert self._roundtrip(b"\xff" * 300) == b"\xff" * 300
+
+    def test_truncated_run_rejected(self):
+        with pytest.raises(ValueError):
+            rle1_decode(list(b"aaaa"))  # missing count byte
+
+    @given(st.binary(max_size=600))
+    @settings(max_examples=80, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert self._roundtrip(data) == data
+
+    @given(st.lists(st.tuples(st.integers(0, 255), st.integers(1, 600)), max_size=8))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_runs(self, runs):
+        data = b"".join(bytes([b]) * k for b, k in runs)
+        assert self._roundtrip(data) == data
+
+
+class TestZeroRun:
+    @pytest.mark.parametrize("run", list(range(1, 50)) + [100, 255, 1000])
+    def test_bijective_roundtrip(self, run):
+        digits: list[int] = []
+        _encode_zero_run(run, digits)
+        assert _decode_zero_run(digits) == run
+
+    def test_zero_run_emits_nothing(self):
+        digits: list[int] = []
+        _encode_zero_run(0, digits)
+        assert digits == []
+
+
+class TestMTF:
+    def _roundtrip(self, data: list[int]) -> list[int]:
+        symbols, in_use = mtf_rle2_encode(data)
+        return mtf_rle2_decode(symbols, in_use)
+
+    def test_empty(self):
+        assert self._roundtrip([]) == []
+
+    def test_single_value_run(self):
+        assert self._roundtrip([7] * 20) == [7] * 20
+
+    def test_mixed(self):
+        data = list(b"banana bandana")
+        assert self._roundtrip(data) == data
+
+    def test_missing_eob_rejected(self):
+        symbols, in_use = mtf_rle2_encode(list(b"abc"))
+        with pytest.raises(ValueError):
+            mtf_rle2_decode(symbols[:-1], in_use)
+
+    def test_eob_is_alphabet_size_plus_one(self):
+        symbols, in_use = mtf_rle2_encode(list(b"ab"))
+        assert symbols[-1] == sum(in_use) + 1
+
+    @given(st.lists(st.integers(0, 255), max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert self._roundtrip(data) == data
+
+
+class TestHuffman:
+    def test_two_symbols(self):
+        lengths = build_code_lengths([5, 3])
+        assert lengths == [1, 1]
+
+    def test_single_symbol_gets_length_one(self):
+        assert build_code_lengths([0, 9, 0]) == [0, 1, 0]
+
+    def test_empty(self):
+        assert build_code_lengths([0, 0]) == [0, 0]
+
+    def test_kraft_inequality(self):
+        freqs = [random.Random(5).randrange(1, 100) for _ in range(40)]
+        lengths = build_code_lengths(freqs)
+        assert sum(2.0 ** -l for l in lengths if l) <= 1.0 + 1e-9
+
+    def test_length_limit_respected(self):
+        # Fibonacci-ish frequencies force deep trees without a limit.
+        freqs = [1, 1]
+        while len(freqs) < 40:
+            freqs.append(freqs[-1] + freqs[-2])
+        lengths = build_code_lengths(freqs, max_len=12)
+        assert max(lengths) <= 12
+
+    def test_canonical_codes_are_prefix_free(self):
+        lengths = build_code_lengths([7, 1, 3, 3, 9, 2])
+        codes = canonical_codes(lengths)
+        items = [(codes[i], lengths[i]) for i in range(len(lengths)) if lengths[i]]
+        for i, (ca, la) in enumerate(items):
+            for j, (cb, lb) in enumerate(items):
+                if i == j:
+                    continue
+                if la <= lb:
+                    assert (cb >> (lb - la)) != ca
+
+    def test_encode_unused_symbol_rejected(self):
+        table = HuffmanTable.from_freqs([3, 0, 5])
+        with pytest.raises(ValueError):
+            table.encode(MSBBitWriter(), 1)
+
+    @given(st.lists(st.integers(0, 60), min_size=2, max_size=64))
+    @settings(max_examples=60, deadline=None)
+    def test_stream_roundtrip(self, freqs):
+        present = [i for i, f in enumerate(freqs) if f > 0]
+        if not present:
+            return
+        table = HuffmanTable.from_freqs(freqs)
+        symbols = [s for s in present for _ in range(freqs[s])]
+        out = MSBBitWriter()
+        for s in symbols:
+            table.encode(out, s)
+        reader = MSBBitReader(out.getvalue())
+        dec = table.decoder()
+        assert [dec.decode(reader) for _ in symbols] == symbols
+
+    def test_lengths_serialisation_roundtrip(self):
+        table = HuffmanTable.from_freqs([4, 9, 0, 2, 7])
+        out = MSBBitWriter()
+        table.write_lengths(out)
+        back = HuffmanTable.read_lengths(MSBBitReader(out.getvalue()), 5)
+        assert back.lengths == table.lengths
+        assert back.codes == table.codes
+
+
+class TestInverseBWT:
+    @pytest.mark.parametrize(
+        "data",
+        [b"BANANA", b"abracadabra", b"aaaa", b"ab", b"x", b"mississippi river"],
+    )
+    def test_against_naive_forward(self, data):
+        last, orig = naive_bwt(data)
+        assert bytes(inverse_bwt(last, orig)) == data
+
+    @given(st.binary(min_size=1, max_size=64))
+    @settings(max_examples=80, deadline=None)
+    def test_inverse_property(self, data):
+        last, orig = naive_bwt(data)
+        assert bytes(inverse_bwt(last, orig)) == data

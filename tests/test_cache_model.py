@@ -1,0 +1,160 @@
+"""Unit tests for the cache model, CAT, and noise sources."""
+
+import pytest
+
+from repro.cache import (
+    BackgroundNoise,
+    Cache,
+    CacheConfig,
+    CatController,
+    OsPollution,
+)
+from repro.cache.model import LINE_SIZE
+
+
+@pytest.fixture
+def cache():
+    return Cache(CacheConfig(noise_sigma=0.0))
+
+
+class TestMapping:
+    def test_set_index_from_address_bits(self, cache):
+        assert cache.set_of(0) == 0
+        assert cache.set_of(64) == 1
+        assert cache.set_of(64 * 1024) == 0  # wraps at sets_per_slice
+
+    def test_same_line_same_location(self, cache):
+        a, b = 0x12345, 0x12345 + 63 - (0x12345 % 64)
+        assert cache.location(0x12340) == cache.location(0x12340 + 63)
+
+    def test_slice_in_range(self, cache):
+        for addr in range(0, 1 << 20, 4096 + 64):
+            assert 0 <= cache.slice_of(addr) < cache.config.n_slices
+
+    def test_slices_are_used(self, cache):
+        slices = {cache.slice_of(a) for a in range(0, 1 << 22, 64)}
+        assert slices == set(range(cache.config.n_slices))
+
+    def test_capacity(self, cache):
+        assert cache.config.capacity_bytes == 4 * 1024 * 16 * 64
+
+
+class TestAccessPath:
+    def test_miss_then_hit(self, cache):
+        assert cache.access(0x1000).hit is False
+        assert cache.access(0x1000).hit is True
+
+    def test_hit_anywhere_in_line(self, cache):
+        cache.access(0x1000)
+        assert cache.access(0x103F).hit is True
+        assert cache.access(0x1040).hit is False
+
+    def test_latency_separable(self, cache):
+        miss = cache.access(0x2000).latency
+        hit = cache.access(0x2000).latency
+        assert miss > hit
+
+    def test_lru_eviction(self, cache):
+        ways = cache.config.ways
+        sl, st = cache.location(0)
+        # Fill one set with addresses mapping to the same (slice, set).
+        addrs = []
+        a = 0
+        while len(addrs) < ways + 1:
+            if cache.location(a) == (sl, st):
+                addrs.append(a)
+            a += 64 * cache.config.sets_per_slice
+        for addr in addrs[:ways]:
+            cache.access(addr)
+        evicted = cache.access(addrs[ways])
+        assert evicted.evicted == addrs[0]
+        assert not cache.contains(addrs[0])
+
+    def test_flush_removes_line(self, cache):
+        cache.access(0x5000)
+        cache.flush(0x5000)
+        assert not cache.contains(0x5000)
+        assert cache.access(0x5000).hit is False
+
+    def test_clear(self, cache):
+        cache.access(0x1000)
+        cache.clear()
+        assert not cache.contains(0x1000)
+
+    def test_stats(self, cache):
+        cache.access(0x9000)
+        cache.access(0x9000)
+        cache.flush(0x9000)
+        assert cache.stats == {"hits": 1, "misses": 1, "flushes": 1}
+
+
+class TestCat:
+    def test_contiguity_enforced(self, cache):
+        cat = CatController(cache)
+        with pytest.raises(ValueError):
+            cat.set_mask(0, 0b101)
+        with pytest.raises(ValueError):
+            cat.set_mask(0, 0)
+
+    def test_mask_width_enforced(self, cache):
+        cat = CatController(cache)
+        with pytest.raises(ValueError):
+            cat.set_mask(0, 1 << cache.config.ways)
+
+    def test_partition_restricts_fills(self, cache):
+        cat = CatController(cache)
+        cat.partition_for_attack()
+        sl, st = cache.location(0x1000)
+        cache.access(0x1000, cos=0)  # fills way 0
+        # cos 1 traffic to the same set must not evict way 0's line.
+        a = 0x1000
+        filled = 0
+        addr = a
+        while filled < 40:
+            addr += 64 * cache.config.sets_per_slice
+            if cache.location(addr) == (sl, st):
+                cache.access(addr, cos=1)
+                filled += 1
+        assert cache.contains(0x1000)
+
+    def test_one_way_partition_deterministic_eviction(self, cache):
+        cat = CatController(cache)
+        cat.partition_for_attack()
+        sl, st = cache.location(0x1000)
+        cache.access(0x1000, cos=0)
+        # Any other cos-0 fill into the same set evicts it immediately.
+        addr = 0x1000
+        while True:
+            addr += 64 * cache.config.sets_per_slice
+            if cache.location(addr) == (sl, st):
+                break
+        cache.access(addr, cos=0)
+        assert not cache.contains(0x1000)
+
+    def test_reset(self, cache):
+        cat = CatController(cache)
+        cat.partition_for_attack()
+        cat.reset()
+        assert cache.cos_masks[0] == tuple(range(cache.config.ways))
+
+
+class TestNoise:
+    def test_background_rate(self, cache):
+        noise = BackgroundNoise(cache, rate=5)
+        before = cache.stats["misses"] + cache.stats["hits"]
+        noise.step()
+        after = cache.stats["misses"] + cache.stats["hits"]
+        assert after - before == 5
+
+    def test_pollution_is_fixed_working_set(self, cache):
+        pollution = OsPollution(cache, n_lines=10)
+        pollution.fault_entry()
+        locs1 = pollution.polluted_locations()
+        pollution.fault_entry()
+        assert pollution.polluted_locations() == locs1
+        assert len(locs1) <= 10
+
+    def test_pollution_lines_deterministic_across_instances(self, cache):
+        a = OsPollution(cache, n_lines=16)
+        b = OsPollution(Cache(CacheConfig()), n_lines=16)
+        assert a.lines == b.lines

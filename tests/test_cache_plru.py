@@ -1,0 +1,125 @@
+"""Tests for the tree-PLRU replacement policy."""
+
+import pytest
+
+from repro.cache import Cache, CacheConfig, CatController
+from repro.cache.model import PlruTree
+
+
+def same_set_addresses(cache: Cache, count: int, start: int = 0) -> list[int]:
+    """Addresses all mapping to one (slice, set)."""
+    target = cache.location(start)
+    out = [start]
+    addr = start
+    while len(out) < count:
+        addr += 64 * cache.config.sets_per_slice
+        if cache.location(addr) == target:
+            out.append(addr)
+    return out
+
+
+class TestPlruTree:
+    def test_untouched_tree_victims_way_zero(self):
+        tree = PlruTree(8)
+        assert tree.victim(range(8)) == 0
+
+    def test_touch_steers_victim_away(self):
+        tree = PlruTree(8)
+        tree.touch(0)
+        assert tree.victim(range(8)) != 0
+
+    def test_round_robin_touch_cycles_victims(self):
+        tree = PlruTree(4)
+        victims = []
+        for _ in range(4):
+            v = tree.victim(range(4))
+            victims.append(v)
+            tree.touch(v)
+        assert sorted(victims) == [0, 1, 2, 3]
+
+    def test_victim_respects_allowed_mask(self):
+        tree = PlruTree(8)
+        for way in range(8):
+            tree.touch(way)
+        assert tree.victim({5}) == 5
+        assert tree.victim({2, 3}) in {2, 3}
+
+    def test_single_way_tree(self):
+        assert PlruTree(1).victim({0}) == 0
+
+    def test_recently_touched_way_never_immediate_victim(self):
+        tree = PlruTree(16)
+        for way in (3, 7, 11, 3, 15):
+            tree.touch(way)
+            assert tree.victim(range(16)) != way
+
+
+class TestPlruCache:
+    def _cache(self) -> Cache:
+        return Cache(CacheConfig(noise_sigma=0.0, replacement="plru"))
+
+    def test_validates_config(self):
+        with pytest.raises(ValueError):
+            CacheConfig(replacement="random")
+        with pytest.raises(ValueError):
+            CacheConfig(replacement="plru", ways=12)
+
+    def test_working_set_of_ways_size_stays_resident(self):
+        cache = self._cache()
+        addrs = same_set_addresses(cache, cache.config.ways)
+        for a in addrs:
+            cache.access(a)
+        assert all(cache.contains(a) for a in addrs)
+
+    def test_overflow_evicts_exactly_one(self):
+        cache = self._cache()
+        addrs = same_set_addresses(cache, cache.config.ways + 1)
+        for a in addrs[:-1]:
+            cache.access(a)
+        result = cache.access(addrs[-1])
+        assert not result.hit
+        assert result.evicted in addrs[:-1]
+        resident = sum(1 for a in addrs if cache.contains(a))
+        assert resident == cache.config.ways
+
+    def test_victim_not_most_recently_used(self):
+        cache = self._cache()
+        addrs = same_set_addresses(cache, cache.config.ways + 1)
+        for a in addrs[:-1]:
+            cache.access(a)
+        mru = addrs[-2]
+        result = cache.access(addrs[-1])
+        assert result.evicted != mru
+
+    def test_cat_partition_under_plru(self):
+        cache = self._cache()
+        CatController(cache).partition_for_attack()
+        protected = same_set_addresses(cache, 1)[0]
+        cache.access(protected, cos=0)
+        for a in same_set_addresses(cache, 30, start=1 << 22):
+            if cache.location(a) == cache.location(protected):
+                cache.access(a, cos=1)
+        assert cache.contains(protected)
+
+    def test_prime_probe_detection_under_plru(self):
+        """Full-associativity Prime+Probe still detects one victim access."""
+        from repro.sidechannel import AttackerMemory, PrimeProbe
+
+        cache = self._cache()
+        mem = AttackerMemory(cache)
+        pp = PrimeProbe(cache, mem, ways=cache.config.ways)
+        victim_addr = 0x7777000
+        loc = cache.location(victim_addr)
+        pp.prime([loc])
+        cache.access(victim_addr, cos=0)
+        assert loc in pp.probe([loc])
+
+    def test_sgx_attack_works_under_plru(self):
+        from repro.core.zipchannel import AttackConfig, SgxBzip2Attack
+        from repro.workloads import random_bytes
+
+        config = AttackConfig(
+            cache=CacheConfig(replacement="plru"),
+        )
+        outcome = SgxBzip2Attack(random_bytes(120, seed=2), config).run()
+        assert outcome.bit_accuracy > 0.99

@@ -1,0 +1,92 @@
+"""Unit and property tests for bit-level I/O."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.compression.bitio import (
+    LSBBitReader,
+    LSBBitWriter,
+    MSBBitReader,
+    MSBBitWriter,
+)
+
+fields = st.lists(
+    st.integers(min_value=1, max_value=24).flatmap(
+        lambda n: st.tuples(st.integers(0, (1 << n) - 1), st.just(n))
+    ),
+    min_size=0,
+    max_size=50,
+)
+
+
+class TestLSB:
+    def test_single_byte(self):
+        w = LSBBitWriter()
+        w.write(0xAB, 8)
+        assert w.getvalue() == b"\xab"
+
+    def test_low_bits_first(self):
+        w = LSBBitWriter()
+        w.write(0b1, 1)
+        w.write(0b0, 1)
+        w.write(0b111111, 6)
+        assert w.getvalue() == bytes([0b11111101])
+
+    def test_partial_final_byte(self):
+        w = LSBBitWriter()
+        w.write(0b101, 3)
+        assert w.getvalue() == bytes([0b00000101])
+
+    def test_value_masked_to_width(self):
+        w = LSBBitWriter()
+        w.write(0x1FF, 8)
+        assert w.getvalue() == b"\xff"
+
+    def test_reader_eof(self):
+        r = LSBBitReader(b"\x00")
+        r.read(8)
+        with pytest.raises(EOFError):
+            r.read(1)
+
+    @given(fields)
+    def test_roundtrip(self, items):
+        w = LSBBitWriter()
+        for value, n in items:
+            w.write(value, n)
+        r = LSBBitReader(w.getvalue())
+        for value, n in items:
+            assert r.read(n) == value
+
+
+class TestMSB:
+    def test_high_bits_first(self):
+        w = MSBBitWriter()
+        w.write(0b1, 1)
+        w.write(0b0, 1)
+        w.write(0b111111, 6)
+        assert w.getvalue() == bytes([0b10111111])
+
+    def test_partial_final_byte_padded_low(self):
+        w = MSBBitWriter()
+        w.write(0b101, 3)
+        assert w.getvalue() == bytes([0b10100000])
+
+    def test_reader_bits_left(self):
+        r = MSBBitReader(b"\xff\x00")
+        r.read(5)
+        assert r.bits_left() == 11
+
+    def test_read_bit(self):
+        r = MSBBitReader(b"\x80")
+        assert r.read_bit() == 1
+        assert r.read_bit() == 0
+
+    @given(fields)
+    def test_roundtrip(self, items):
+        w = MSBBitWriter()
+        for value, n in items:
+            w.write(value, n)
+        r = MSBBitReader(w.getvalue())
+        for value, n in items:
+            assert r.read(n) == value

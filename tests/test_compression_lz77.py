@@ -1,0 +1,124 @@
+"""Tests for the zlib-style deflate implementation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.lz77 import (
+    HASH_MASK,
+    H_SHIFT,
+    MIN_MATCH,
+    SITE_HEAD,
+    deflate_compress,
+    deflate_decompress,
+)
+from repro.exec import TracingContext
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert deflate_decompress(deflate_compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert deflate_decompress(deflate_compress(b"Z")) == b"Z"
+
+    def test_short_no_match(self):
+        assert deflate_decompress(deflate_compress(b"abc")) == b"abc"
+
+    def test_overlapping_match(self):
+        data = b"a" * 300  # match with distance 1, length > distance
+        assert deflate_decompress(deflate_compress(data)) == data
+
+    def test_text(self):
+        data = b"she sells sea shells by the sea shore " * 60
+        assert deflate_decompress(deflate_compress(data)) == data
+
+    def test_random(self):
+        rng = random.Random(3)
+        data = bytes(rng.randrange(256) for _ in range(5000))
+        assert deflate_decompress(deflate_compress(data)) == data
+
+    def test_long_matches(self):
+        data = (b"0123456789abcdef" * 40 + b"XYZ") * 10
+        assert deflate_decompress(deflate_compress(data)) == data
+
+    def test_repetitive_compresses(self):
+        data = b"hello world " * 400
+        assert len(deflate_compress(data)) < len(data) // 2
+
+    def test_binary_with_long_runs(self):
+        data = b"\x00" * 1000 + bytes(range(256)) + b"\xff" * 1000
+        assert deflate_decompress(deflate_compress(data)) == data
+
+    @given(st.binary(min_size=0, max_size=500))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert deflate_decompress(deflate_compress(data)) == data
+
+    @given(st.text(alphabet="abc ", min_size=0, max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_matchy(self, text):
+        data = text.encode()
+        assert deflate_decompress(deflate_compress(data)) == data
+
+
+class TestFormat:
+    def test_bad_magic(self):
+        with pytest.raises(ValueError):
+            deflate_decompress(b"XY\x00\x00\x00\x00")
+
+    def test_corrupt_distance(self):
+        blob = bytearray(deflate_compress(b"abcabcabc" * 10))
+        # Smash the token stream: decoding should fail loudly, not hang.
+        for i in range(6, len(blob)):
+            blob[i] ^= 0xFF
+        with pytest.raises((ValueError, EOFError)):
+            deflate_decompress(bytes(blob))
+
+
+class TestGadget:
+    """head[ins_h] must carry the 3-byte sliding-xor taint of Fig. 2."""
+
+    def test_insert_taint_layout(self):
+        ctx = TracingContext()
+        deflate_compress(b"\x01\x02\x03\x04\x05\x06", ctx=ctx)
+        writes = [
+            a
+            for a in ctx.tainted_accesses()
+            if a.site == SITE_HEAD and a.kind == "write"
+        ]
+        assert writes, "no head[ins_h] store recorded"
+        acc = writes[0]  # insert at position 0 consumes bytes 0,1,2
+        # Address = head + ins_h*2: byte i at addr bits 11-15, byte i+1
+        # at 6-13, byte i+2 at 1-8 (Fig. 2).
+        assert acc.addr_taint.bits_of_tag(0) == list(range(11, 16))
+        assert acc.addr_taint.bits_of_tag(1) == list(range(6, 14))
+        assert acc.addr_taint.bits_of_tag(2) == list(range(1, 9))
+
+    def test_insert_address_formula(self):
+        data = b"\x11\x22\x33\x44"
+        ctx = TracingContext()
+        deflate_compress(data, ctx=ctx)
+        head = ctx.arrays["head"]
+        writes = [
+            a
+            for a in ctx.tainted_accesses()
+            if a.site == SITE_HEAD and a.kind == "write"
+        ]
+        ins_h = 0
+        for c in data[:3]:
+            ins_h = ((ins_h << H_SHIFT) ^ c) & HASH_MASK
+        assert writes[0].address == head.base + ins_h * 2
+
+    def test_every_position_inserted_once_in_order(self):
+        data = b"abcabcabcabc" * 30  # exercises the match-skip insertion
+        ctx = TracingContext()
+        deflate_compress(data, ctx=ctx)
+        writes = [
+            a
+            for a in ctx.tainted_accesses()
+            if a.site == SITE_HEAD and a.kind == "write"
+        ]
+        assert len(writes) == len(data) - (MIN_MATCH - 1)

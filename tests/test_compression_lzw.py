@@ -1,0 +1,169 @@
+"""Tests for the ncompress-style LZW implementation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.lzw import (
+    HSHIFT,
+    MAGIC,
+    SITE_PRIMARY,
+    lzw_compress,
+    lzw_decompress,
+)
+from repro.exec import TracingContext
+
+
+class TestRoundTrip:
+    def test_empty(self):
+        assert lzw_decompress(lzw_compress(b"")) == b""
+
+    def test_single_byte(self):
+        assert lzw_decompress(lzw_compress(b"A")) == b"A"
+
+    def test_two_bytes(self):
+        assert lzw_decompress(lzw_compress(b"AB")) == b"AB"
+
+    def test_kwkwk_case(self):
+        # "aaa..." triggers the classic code == free_ent special case.
+        data = b"a" * 50
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_text(self):
+        data = b"the quick brown fox jumps over the lazy dog " * 40
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_all_byte_values(self):
+        data = bytes(range(256)) * 4
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_random_data_crossing_width_boundaries(self):
+        # Enough distinct pairs to push code width past 9 and 10 bits.
+        rng = random.Random(7)
+        data = bytes(rng.randrange(256) for _ in range(3000))
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_large_random(self):
+        rng = random.Random(1)
+        data = bytes(rng.randrange(256) for _ in range(20000))
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    def test_repetitive_compresses(self):
+        data = b"abcabcabc" * 500
+        assert len(lzw_compress(data)) < len(data) // 2
+
+    @given(st.binary(min_size=0, max_size=400))
+    @settings(max_examples=60, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert lzw_decompress(lzw_compress(data)) == data
+
+    @given(st.text(alphabet="ab", min_size=0, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_low_entropy(self, text):
+        data = text.encode()
+        assert lzw_decompress(lzw_compress(data)) == data
+
+
+class TestFormat:
+    def test_magic(self):
+        assert lzw_compress(b"x").startswith(MAGIC)
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            lzw_decompress(b"XX\x90abc")
+
+    def test_bad_maxbits_rejected(self):
+        with pytest.raises(ValueError):
+            lzw_decompress(MAGIC + bytes([0x80 | 5]) + b"\x00")
+
+
+class TestBlockMode:
+    """compress's block mode: CLEAR resets the dictionary when full."""
+
+    def _roundtrip(self, data, **kwargs):
+        return lzw_decompress(lzw_compress(data, **kwargs))
+
+    def test_small_maxbits_roundtrip(self):
+        import random
+
+        rng = random.Random(3)
+        data = bytes(rng.randrange(256) for _ in range(6000))
+        assert self._roundtrip(data, max_bits=12) == data
+
+    def test_block_mode_emits_clear_and_roundtrips(self):
+        import random
+
+        rng = random.Random(4)
+        # max_bits=10: table (1024 codes) fills quickly, forcing clears.
+        data = bytes(rng.randrange(256) for _ in range(8000))
+        frozen = lzw_compress(data, max_bits=10, block_mode=False)
+        cleared = lzw_compress(data, max_bits=10, block_mode=True)
+        assert lzw_decompress(frozen) == data
+        assert lzw_decompress(cleared) == data
+        assert frozen != cleared  # clears actually happened
+
+    def test_block_mode_helps_on_shifting_statistics(self):
+        # Phase change after the table froze: clearing re-learns.
+        data = b"abcd" * 3000 + b"wxyz" * 3000
+        frozen = lzw_compress(data, max_bits=10, block_mode=False)
+        cleared = lzw_compress(data, max_bits=10, block_mode=True)
+        assert lzw_decompress(cleared) == data
+        assert len(cleared) <= len(frozen)
+
+    def test_header_flag_encodes_mode(self):
+        from repro.compression.lzw import BLOCK_MODE_FLAG
+
+        assert lzw_compress(b"x", block_mode=True)[2] & BLOCK_MODE_FLAG
+        assert not lzw_compress(b"x", block_mode=False)[2] & BLOCK_MODE_FLAG
+
+    def test_invalid_max_bits_rejected(self):
+        with pytest.raises(ValueError):
+            lzw_compress(b"x", max_bits=8)
+        with pytest.raises(ValueError):
+            lzw_compress(b"x", max_bits=17)
+
+    def test_text_block_mode_roundtrip(self):
+        from repro.workloads import english_like
+
+        data = english_like(30000, seed=9)
+        assert self._roundtrip(data, max_bits=11, block_mode=True) == data
+
+
+class TestGadget:
+    """The htab probe must leak the current byte in hp bits 9-16."""
+
+    def test_primary_probe_taints_bits_9_16(self):
+        ctx = TracingContext()
+        lzw_compress(b"\x00\x20", ctx=ctx)  # paper's example byte 0x20
+        probes = [
+            a for a in ctx.tainted_accesses() if a.site == SITE_PRIMARY
+        ]
+        assert probes, "no htab probe recorded"
+        acc = probes[0]
+        # Address taint = hp taint shifted by 3 (elem size 8).  Byte #1
+        # (value 0x20, tag 1) sits at hp bits 9-16 -> addr bits 12-19.
+        bits = acc.addr_taint.bits_of_tag(1)
+        assert bits == list(range(9 + 3, 17 + 3))
+
+    def test_probe_address_formula(self):
+        ctx = TracingContext()
+        data = b"\x05\x20"
+        lzw_compress(data, ctx=ctx)
+        (acc,) = [
+            a
+            for a in ctx.tainted_accesses()
+            if a.site == SITE_PRIMARY and a.kind == "read"
+        ]
+        htab = ctx.arrays["htab"]
+        hp = (data[1] << HSHIFT) ^ data[0]
+        assert acc.address == htab.base + hp * 8
+
+    def test_one_primary_probe_per_input_byte(self):
+        ctx = TracingContext()
+        data = b"abcdefgh"
+        lzw_compress(data, ctx=ctx)
+        probes = [a for a in ctx.tainted_accesses() if a.site == SITE_PRIMARY]
+        reads = [a for a in probes if a.kind == "read"]
+        assert len(reads) == len(data) - 1

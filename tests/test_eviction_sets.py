@@ -1,0 +1,81 @@
+"""Tests for timing-only eviction-set construction."""
+
+import pytest
+
+from repro.cache import Cache, CacheConfig
+from repro.sidechannel import EvictionSetBuilder, EvictionSetError
+
+
+@pytest.fixture
+def cache():
+    return Cache(CacheConfig(noise_sigma=0.0))
+
+
+class TestOracle:
+    def test_congruent_lines_evict(self, cache):
+        builder = EvictionSetBuilder(cache)
+        target = 0x1234040
+        pool = builder._congruent_pool(target)
+        assert builder.evicts(target, pool)
+
+    def test_disjoint_lines_do_not_evict(self, cache):
+        builder = EvictionSetBuilder(cache)
+        target = 0x1234040
+        # Lines with a different set index never touch the target's set.
+        other = [a + 64 for a in builder._congruent_pool(target)[:64]]
+        assert not builder.evicts(target, other)
+
+    def test_pool_lines_share_set_index(self, cache):
+        builder = EvictionSetBuilder(cache)
+        target = 0x1234040
+        for addr in builder._congruent_pool(target):
+            assert cache.set_of(addr) == cache.set_of(target)
+
+
+class TestReduction:
+    def test_finds_minimal_set(self, cache):
+        builder = EvictionSetBuilder(cache)
+        target = 0xDEAD040
+        found = builder.find(target)
+        assert len(found) == cache.config.ways
+        assert builder.evicts(target, found)
+
+    def test_found_lines_share_slice_and_set(self, cache):
+        """Cross-check against the model's ground-truth mapping, which
+        the builder itself never consulted."""
+        builder = EvictionSetBuilder(cache)
+        target = 0xBEEF9C0
+        found = builder.find(target)
+        assert {cache.location(a) for a in found} == {cache.location(target)}
+
+    def test_works_for_multiple_targets(self, cache):
+        builder = EvictionSetBuilder(cache)
+        for target in (0x100040, 0x2FEDC80, 0x7654000):
+            found = builder.find(target)
+            assert len(found) == cache.config.ways
+            assert {cache.location(a) for a in found} == {
+                cache.location(target)
+            }
+
+    def test_too_small_pool_raises(self, cache):
+        builder = EvictionSetBuilder(cache, pool_lines=256)
+        with pytest.raises(EvictionSetError):
+            builder.find(0x9990040)
+
+    def test_test_count_is_reasonable(self, cache):
+        """Group testing needs O(ways^2) oracle calls, not O(pool)."""
+        builder = EvictionSetBuilder(cache)
+        builder.find(0x5550040)
+        assert builder.tests_performed < 200
+
+    def test_smaller_cache_geometry(self):
+        cache = Cache(
+            CacheConfig(
+                n_slices=2, sets_per_slice=64, ways=4, noise_sigma=0.0
+            )
+        )
+        builder = EvictionSetBuilder(cache, pool_lines=1 << 12)
+        target = 0x8080
+        found = builder.find(target)
+        assert len(found) == 4
+        assert {cache.location(a) for a in found} == {cache.location(target)}

@@ -1,0 +1,157 @@
+"""Unit tests for execution contexts and array access recording."""
+
+import pytest
+
+from repro.exec import (
+    FunctionEvent,
+    MemoryAccess,
+    NativeContext,
+    Profiler,
+    TraceLimitExceeded,
+    TracingContext,
+)
+
+
+class TestNativeContext:
+    def test_input_bytes_plain(self):
+        ctx = NativeContext()
+        assert ctx.input_bytes(b"ab") == [97, 98]
+
+    def test_array_roundtrip(self):
+        ctx = NativeContext()
+        a = ctx.array("a", 10, elem_size=4)
+        a.set(3, 42)
+        assert a.get(3) == 42
+        a.add(3, 1)
+        assert a[3] == 43
+        a[4] = 7
+        assert a[4] == 7
+
+    def test_array_bounds_checked(self):
+        ctx = NativeContext()
+        a = ctx.array("a", 4)
+        with pytest.raises(IndexError):
+            a.get(4)
+        with pytest.raises(IndexError):
+            a.set(-1, 0)
+
+    def test_arrays_do_not_overlap(self):
+        ctx = NativeContext()
+        a = ctx.array("a", 100, elem_size=8)
+        b = ctx.array("b", 100, elem_size=8)
+        assert b.base >= a.base + 100 * 8
+
+    def test_alignment_and_misalign(self):
+        ctx = NativeContext()
+        a = ctx.array("a", 10, align=64)
+        assert a.base % 64 == 0
+        b = ctx.array("b", 10, align=64, misalign=16)
+        assert b.base % 64 == 16
+
+    def test_fill_and_snapshot(self):
+        ctx = NativeContext()
+        a = ctx.array("a", 5, init=1)
+        assert a.snapshot() == [1] * 5
+        a.fill(9)
+        assert a.snapshot() == [9] * 5
+
+    def test_profiler_intervals(self):
+        prof = Profiler()
+        ctx = NativeContext(profiler=prof)
+        with ctx.func("mainSort"):
+            ctx.tick(100)
+            with ctx.func("inner"):
+                ctx.tick(50)
+        with ctx.func("fallbackSort"):
+            ctx.tick(30)
+        assert prof.intervals("mainSort") == [(0, 150)]
+        assert prof.intervals("inner") == [(100, 150)]
+        assert prof.intervals("fallbackSort") == [(150, 180)]
+
+    def test_profiler_open_interval_closed_at_now(self):
+        prof = Profiler()
+        prof.mark("f", "enter")
+        prof.tick(10)
+        assert prof.intervals("f") == [(0, 10)]
+
+    def test_tick_without_profiler_is_noop(self):
+        NativeContext().tick(5)
+
+
+class TestTracingContext:
+    def test_tainted_index_access_recorded(self):
+        ctx = TracingContext()
+        (b,) = ctx.input_bytes(b"\x05")
+        head = ctx.array("head", 256, elem_size=2)
+        head.get(b, site="probe")
+        accesses = ctx.tainted_accesses()
+        assert len(accesses) == 1
+        acc = accesses[0]
+        assert acc.array == "head" and acc.site == "probe"
+        assert acc.address == head.base + 5 * 2
+        # elem_size 2 shifts the index taint up by one bit.
+        assert acc.addr_taint.tainted_bits() == list(range(1, 9))
+
+    def test_untainted_access_only_counted(self):
+        ctx = TracingContext()
+        a = ctx.array("a", 8)
+        a.get(3)
+        a.set(4, 1)
+        assert ctx.memory_accesses() == []
+        assert ctx.plain_accesses == 2
+
+    def test_store_of_tainted_value_recorded(self):
+        ctx = TracingContext()
+        (b,) = ctx.input_bytes(b"x")
+        a = ctx.array("a", 8)
+        a.set(0, b)
+        (acc,) = ctx.memory_accesses()
+        assert acc.kind == "write" and acc.value_taint
+
+    def test_taint_flows_through_memory(self):
+        ctx = TracingContext()
+        (b,) = ctx.input_bytes(b"x")
+        a = ctx.array("a", 8)
+        a.set(2, b)
+        out = a.get(2)
+        assert out.taint.tags() == {0}
+
+    def test_update_is_single_event(self):
+        ctx = TracingContext()
+        (b,) = ctx.input_bytes(b"\x01")
+        ftab = ctx.array("ftab", 256, elem_size=4)
+        ftab.add(b, 1, site="ftab++")
+        events = ctx.memory_accesses()
+        assert len(events) == 1
+        assert events[0].kind == "update"
+
+    def test_cache_line_masks_low_six_bits(self):
+        ctx = TracingContext()
+        (b,) = ctx.input_bytes(b"\x01")
+        a = ctx.array("a", 256, align=64)
+        a.get(b)
+        (acc,) = ctx.memory_accesses()
+        assert acc.cache_line == acc.address >> 6
+
+    def test_function_events(self):
+        ctx = TracingContext()
+        with ctx.func("mainSort"):
+            pass
+        evs = ctx.function_events()
+        assert [e.kind for e in evs] == ["enter", "exit"]
+        assert all(e.name == "mainSort" for e in evs)
+
+    def test_event_budget_enforced(self):
+        ctx = TracingContext(max_events=16)
+        (b,) = ctx.input_bytes(b"x")
+        with pytest.raises(TraceLimitExceeded):
+            for _ in range(40):
+                b = b ^ 1
+
+    def test_describe_smoke(self):
+        ctx = TracingContext()
+        (b,) = ctx.input_bytes(b"\x01")
+        a = ctx.array("a", 8, elem_size=8)
+        a.get(b, site="s")
+        for ev in ctx.events:
+            assert ev.describe()

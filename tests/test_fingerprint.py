@@ -1,0 +1,189 @@
+"""Tests for the fingerprinting channel, classifier, and workloads."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.classify import (
+    MLPClassifier,
+    confusion_matrix,
+    render_confusion,
+    split_dataset,
+)
+from repro.core.zipchannel.fingerprint import (
+    N_SAMPLES,
+    TENSOR_WIDTH,
+    FingerprintChannel,
+    build_dataset,
+    capture_trace,
+    pool_trace,
+    victim_timeline,
+)
+from repro.workloads import (
+    brotli_like_corpus,
+    english_like,
+    repetitiveness_series,
+)
+
+
+class TestVictimTimeline:
+    def test_short_file_is_fallback_only(self):
+        tl = victim_timeline(b"short input")
+        assert tl.paths == ["fallbackSort"]
+        assert tl.intervals["mainSort"] == []
+        assert len(tl.intervals["fallbackSort"]) == 1
+
+    def test_long_text_uses_main_sort(self):
+        tl = victim_timeline(english_like(24000, seed=8))
+        assert tl.paths[0] == "mainSort"
+        assert tl.intervals["mainSort"]
+
+    def test_repetitive_file_shows_both(self):
+        tl = victim_timeline(b"abcabc" * 4000)
+        assert "mainSort+fallbackSort" in tl.paths
+        assert tl.intervals["mainSort"] and tl.intervals["fallbackSort"]
+
+    def test_timeline_deterministic(self):
+        data = english_like(5000, seed=2)
+        a, b = victim_timeline(data), victim_timeline(data)
+        assert a.intervals == b.intervals and a.duration == b.duration
+
+
+class TestChannel:
+    def _timeline(self):
+        return victim_timeline(english_like(12000, seed=4))
+
+    def test_trace_shape(self):
+        tl = self._timeline()
+        trace = FingerprintChannel().capture(tl, random.Random(0))
+        assert trace.shape == (2, N_SAMPLES)
+        assert set(np.unique(trace)) <= {0, 1}
+
+    def test_noise_free_trace_marks_intervals(self):
+        tl = self._timeline()
+        chan = FingerprintChannel(p_false_negative=0.0, p_false_positive=0.0)
+        trace = chan.capture(tl, random.Random(1))
+        assert trace[0].sum() > 0  # mainSort row active
+        assert trace[1].sum() > 0  # short-tail fallbackSort too
+
+    def test_traces_differ_by_noise(self):
+        tl = self._timeline()
+        chan = FingerprintChannel()
+        rng = random.Random(5)
+        t1, t2 = chan.capture(tl, rng), chan.capture(tl, rng)
+        assert (t1 != t2).any()
+
+    def test_pooling_shape_and_monotonicity(self):
+        trace = np.zeros((2, N_SAMPLES), dtype=np.int8)
+        trace[0, 55] = 1
+        pooled = pool_trace(trace)
+        assert pooled.shape == (2, TENSOR_WIDTH)
+        assert pooled[0, 5] == 1 and pooled.sum() == 1
+
+    def test_capture_trace_flattens(self):
+        tl = self._timeline()
+        vec = capture_trace(tl, random.Random(3))
+        assert vec.shape == (2 * TENSOR_WIDTH,)
+
+    def test_build_dataset_shapes(self):
+        files = [b"a" * 30, english_like(3000, seed=1)]
+        x, y, timelines = build_dataset(files, traces_per_file=4, seed=0)
+        assert x.shape == (8, 2 * TENSOR_WIDTH)
+        assert list(y) == [0, 0, 0, 0, 1, 1, 1, 1]
+        assert len(timelines) == 2
+
+
+class TestClassifier:
+    def test_learns_separable_blobs(self):
+        rng = np.random.default_rng(0)
+        x0 = rng.normal(0, 0.3, (60, 10))
+        x1 = rng.normal(2, 0.3, (60, 10))
+        x = np.vstack([x0, x1]).astype(np.float32)
+        y = np.array([0] * 60 + [1] * 60)
+        clf = MLPClassifier(10, 2, hidden=16, seed=1)
+        clf.fit(x, y, epochs=40)
+        assert clf.accuracy(x, y) > 0.95
+
+    def test_loss_decreases(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(0, 1, (100, 8)).astype(np.float32)
+        y = (x[:, 0] > 0).astype(int)
+        clf = MLPClassifier(8, 2, seed=2)
+        history = clf.fit(x, y, epochs=25)
+        assert history[-1] < history[0]
+
+    def test_predict_proba_normalised(self):
+        clf = MLPClassifier(4, 3, seed=0)
+        probs = clf.predict_proba(np.zeros((5, 4), dtype=np.float32))
+        assert np.allclose(probs.sum(axis=1), 1.0)
+
+    def test_split_dataset_partitions(self):
+        x = np.arange(200).reshape(100, 2).astype(np.float32)
+        y = np.arange(100)
+        (tr, va, te) = split_dataset(x, y, seed=0)
+        total = len(tr[0]) + len(va[0]) + len(te[0])
+        assert total == 100
+        all_ids = np.concatenate([tr[1], va[1], te[1]])
+        assert sorted(all_ids) == list(range(100))
+
+    def test_confusion_matrix_columns_normalised(self):
+        y_true = np.array([0, 0, 1, 1, 2])
+        y_pred = np.array([0, 1, 1, 1, 0])
+        cm = confusion_matrix(y_true, y_pred, 3)
+        assert np.allclose(cm.sum(axis=0), [1, 1, 1])
+        assert cm[1, 1] == 1.0
+
+    def test_render_confusion_smoke(self):
+        cm = np.eye(3)
+        text = render_confusion(cm, ["alpha", "beta", "gamma"])
+        assert "alpha" in text and "1.00" in text
+
+
+class TestWorkloads:
+    def test_corpus_has_21_files(self):
+        corpus = brotli_like_corpus()
+        assert len(corpus) == 21
+        assert corpus["x"] == b"x"
+
+    def test_corpus_deterministic(self):
+        assert brotli_like_corpus() == brotli_like_corpus()
+
+    def test_corpus_spans_regimes(self):
+        corpus = brotli_like_corpus()
+        sizes = [len(v) for v in corpus.values()]
+        assert min(sizes) == 1
+        assert max(sizes) > 20000
+
+    def test_repetitiveness_series_shape(self):
+        files = repetitiveness_series()
+        assert len(files) == 5
+        assert all(len(f) == 20000 for f in files)
+
+    def test_series_repetitiveness_decreases(self):
+        """File 1 uses one 20-byte unit; file i uses i distinct units."""
+        files = repetitiveness_series()
+        distinct = [len({f[k : k + 20] for k in range(0, 20000, 20)}) for f in files]
+        assert distinct[0] == 1
+        assert distinct == sorted(distinct)
+
+
+class TestEndToEndFingerprinting:
+    def test_two_very_different_files_classify_perfectly(self):
+        files = [b"x", english_like(15000, seed=3)]
+        x_train, y_train, _ = build_dataset(files, traces_per_file=20, seed=1)
+        x_test, y_test, _ = build_dataset(files, traces_per_file=10, seed=9)
+        clf = MLPClassifier(x_train.shape[1], 2, hidden=16, seed=0)
+        clf.fit(x_train, y_train, epochs=60)
+        assert clf.accuracy(x_test, y_test) == 1.0
+
+    def test_straight_to_fallback_files_are_confusable(self):
+        """The paper's observation: tiny files that skip mainSort are
+        hard to tell apart."""
+        files = [b"x", b"y", b"z"]
+        x_train, y_train, _ = build_dataset(files, traces_per_file=12, seed=2)
+        x_test, y_test, _ = build_dataset(files, traces_per_file=12, seed=3)
+        clf = MLPClassifier(x_train.shape[1], 3, hidden=16, seed=0)
+        clf.fit(x_train, y_train, epochs=20)
+        # Held-out traces of identical-profile files: near chance (1/3).
+        assert clf.accuracy(x_test, y_test) < 0.7

@@ -1,0 +1,92 @@
+"""Tests for CRC-32 and the gzip container."""
+
+import zlib as stdlib_zlib  # cross-check oracle for CRC-32 only
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compression.crc import crc32
+from repro.compression.gzip_container import (
+    GzipFormatError,
+    gzip_compress,
+    gzip_decompress,
+    gzip_mtime,
+)
+
+
+class TestCrc32:
+    def test_empty(self):
+        assert crc32(b"") == 0
+
+    def test_known_value(self):
+        # The classic check value for CRC-32/ISO-HDLC.
+        assert crc32(b"123456789") == 0xCBF43926
+
+    def test_streaming_matches_oneshot(self):
+        data = b"stream me in pieces"
+        partial = crc32(data[:7])
+        assert crc32(data[7:], partial) == crc32(data)
+
+    @given(st.binary(max_size=300))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_implementation(self, data):
+        assert crc32(data) == stdlib_zlib.crc32(data)
+
+
+class TestGzipContainer:
+    def test_roundtrip(self):
+        data = b"hello gzip container " * 30
+        assert gzip_decompress(gzip_compress(data)) == data
+
+    def test_empty(self):
+        assert gzip_decompress(gzip_compress(b"")) == b""
+
+    def test_header_fields(self):
+        blob = gzip_compress(b"x", mtime=1234567890)
+        assert blob[:2] == b"\x1f\x8b"
+        assert blob[2] == 0x08
+        assert gzip_mtime(blob) == 1234567890
+
+    def test_bad_magic_rejected(self):
+        blob = bytearray(gzip_compress(b"data"))
+        blob[0] = 0x00
+        with pytest.raises(GzipFormatError, match="magic"):
+            gzip_decompress(bytes(blob))
+
+    def test_corrupt_payload_detected_by_crc(self):
+        data = b"integrity matters" * 20
+        blob = bytearray(gzip_compress(data))
+        blob[-8] ^= 0x01  # flip a bit in the stored CRC
+        with pytest.raises(GzipFormatError, match="crc"):
+            gzip_decompress(bytes(blob))
+
+    def test_length_mismatch_detected(self):
+        blob = bytearray(gzip_compress(b"abcdef"))
+        blob[-4:] = (99).to_bytes(4, "little")
+        with pytest.raises(GzipFormatError, match="length"):
+            gzip_decompress(bytes(blob))
+
+    def test_truncated_rejected(self):
+        with pytest.raises(GzipFormatError, match="short"):
+            gzip_decompress(b"\x1f\x8b\x08")
+
+    def test_unsupported_method_rejected(self):
+        blob = bytearray(gzip_compress(b"x"))
+        blob[2] = 0x07
+        with pytest.raises(GzipFormatError, match="method"):
+            gzip_decompress(bytes(blob))
+
+    @given(st.binary(max_size=400))
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, data):
+        assert gzip_decompress(gzip_compress(data)) == data
+
+    def test_gadget_still_present_through_container(self):
+        """The container changes nothing about the leak."""
+        from repro.compression.lz77 import SITE_HEAD
+        from repro.exec import TracingContext
+
+        ctx = TracingContext()
+        gzip_compress(b"the gadget survives framing", ctx=ctx)
+        assert any(a.site == SITE_HEAD for a in ctx.tainted_accesses())

@@ -1,0 +1,212 @@
+"""Tests for the Section VIII mitigations: correctness, the
+constant-access property, and defeat of the end-to-end attack."""
+
+import pytest
+
+from repro.compression.bzip2.blocksort import histogram
+from repro.compression.lzw import lzw_compress, lzw_decompress
+from repro.core.zipchannel import AttackConfig, SgxBzip2Attack
+from repro.exec import NativeContext, TracingContext
+from repro.mitigations import (
+    ObliviousTable,
+    oblivious_histogram,
+    oblivious_lzw_compress,
+)
+from repro.mitigations.oblivious import SITE_OBLIVIOUS_FTAB, SITE_OBLIVIOUS_HTAB
+from repro.workloads import random_bytes
+
+
+class TestObliviousTable:
+    def _table(self, length=100, elem_size=8, init=0):
+        ctx = NativeContext()
+        arr = ctx.array("t", length, elem_size=elem_size, init=init)
+        return arr, ObliviousTable(arr)
+
+    def test_get_set_roundtrip(self):
+        arr, ob = self._table()
+        ob.set(37, 1234)
+        assert ob.get(37) == 1234
+        assert arr.get(37) == 1234
+
+    def test_set_preserves_other_entries(self):
+        arr, ob = self._table(init=5)
+        ob.set(10, 99)
+        snapshot = arr.snapshot()
+        assert snapshot[10] == 99
+        assert all(v == 5 for i, v in enumerate(snapshot) if i != 10)
+
+    def test_add(self):
+        arr, ob = self._table(init=1)
+        ob.add(3, 41)
+        assert arr.get(3) == 42
+        assert arr.get(4) == 1
+
+    def test_access_count_is_input_independent(self):
+        """Same number of touches regardless of which index is used."""
+        counts = []
+        for index in (0, 50, 99):
+            ctx = TracingContext()
+            arr = ctx.array("t", 100, elem_size=8)
+            before = ctx.plain_accesses
+            ObliviousTable(arr).get(index)
+            counts.append(ctx.plain_accesses - before)
+        assert len(set(counts)) == 1
+
+    def test_line_trace_is_index_independent(self):
+        """The cache-line sequence must not depend on the index; observe
+        the real channel by running on the enclave memory system."""
+
+        def lines_for(index):
+            from repro.cache import Cache, CacheConfig
+            from repro.memsys import AddressSpace
+            from repro.sgx import Enclave
+
+            touched: list[int] = []
+            enclave = Enclave(
+                AddressSpace(seed=5),
+                Cache(CacheConfig()),
+                env_hook=lambda paddr, kind: touched.append(paddr >> 6),
+            )
+            arr = enclave.array("t", 256, elem_size=8)
+            ObliviousTable(arr).get(index)
+            return touched
+
+        assert lines_for(3) == lines_for(250)
+
+
+class TestObliviousHistogram:
+    def test_same_counts_as_vulnerable_version(self):
+        data = random_bytes(120, seed=1)
+        ctx_a, ctx_b = NativeContext(), NativeContext()
+        block_a = ctx_a.array("block", len(data))
+        block_b = ctx_b.array("block", len(data))
+        block_a.load(list(data))
+        block_b.load(list(data))
+        plain = histogram(ctx_a, block_a, len(data)).snapshot()
+        hardened = oblivious_histogram(ctx_b, block_b, len(data)).snapshot()
+        assert plain == hardened
+
+    def test_ftab_line_trace_is_input_independent(self):
+        """The full victim line sequence is identical across inputs."""
+
+        def all_lines(data):
+            from repro.cache import Cache, CacheConfig
+            from repro.memsys import AddressSpace
+            from repro.sgx import Enclave
+
+            touched: list[int] = []
+            enclave = Enclave(
+                AddressSpace(seed=7),
+                Cache(CacheConfig()),
+                env_hook=lambda paddr, kind: touched.append(paddr >> 6),
+            )
+            block = enclave.array("block", len(data))
+            block.load(list(data))
+            oblivious_histogram(enclave, block, len(data))
+            return touched
+
+        lines_a = all_lines(b"\x00\x11\x22\x33")
+        lines_b = all_lines(b"\xff\xee\xdd\xcc")
+        assert lines_a and lines_a == lines_b
+
+    def test_vulnerable_histogram_trace_is_input_dependent(self):
+        """Control: the Listing 3 loop's line trace differs by input."""
+
+        def all_lines(data):
+            from repro.cache import Cache, CacheConfig
+            from repro.memsys import AddressSpace
+            from repro.sgx import Enclave
+
+            touched: list[int] = []
+            enclave = Enclave(
+                AddressSpace(seed=7),
+                Cache(CacheConfig()),
+                env_hook=lambda paddr, kind: touched.append(paddr >> 6),
+            )
+            block = enclave.array("block", len(data))
+            block.load(list(data))
+            histogram(enclave, block, len(data))
+            return touched
+
+        assert all_lines(b"\x00\x11\x22\x33") != all_lines(b"\xff\xee\xdd\xcc")
+
+
+class TestObliviousLzw:
+    def test_roundtrip_with_standard_decompressor(self):
+        data = b"the oblivious compressor emits ordinary lzw streams"
+        assert lzw_decompress(oblivious_lzw_compress(data)) == data
+
+    def test_roundtrip_repetitive(self):
+        data = b"abcabc" * 30
+        assert lzw_decompress(oblivious_lzw_compress(data)) == data
+
+    def test_empty(self):
+        assert lzw_decompress(oblivious_lzw_compress(b"")) == b""
+
+    def test_htab_line_trace_is_input_independent(self):
+        """The full victim cache-line sequence (the real channel) must be
+        identical for different same-length inputs."""
+
+        def all_lines(data):
+            from repro.cache import Cache, CacheConfig
+            from repro.memsys import AddressSpace
+            from repro.sgx import Enclave
+
+            touched: list[int] = []
+            enclave = Enclave(
+                AddressSpace(seed=6),
+                Cache(CacheConfig()),
+                env_hook=lambda paddr, kind: touched.append(paddr >> 6),
+            )
+            oblivious_lzw_compress(data, ctx=enclave, hash_bits=8)
+            return touched
+
+        assert all_lines(b"ab") == all_lines(b"zq")
+
+    def test_vulnerable_lzw_trace_is_input_dependent(self):
+        """Control: the unmitigated compressor's line trace differs."""
+
+        def all_lines(data):
+            from repro.cache import Cache, CacheConfig
+            from repro.memsys import AddressSpace
+            from repro.sgx import Enclave
+
+            touched: list[int] = []
+            enclave = Enclave(
+                AddressSpace(seed=6),
+                Cache(CacheConfig()),
+                env_hook=lambda paddr, kind: touched.append(paddr >> 6),
+            )
+            lzw_compress(data, ctx=enclave)
+            return touched
+
+        assert all_lines(b"ab") != all_lines(b"zq")
+
+    def test_output_differs_from_fast_path_only_in_timing(self):
+        # Same dictionary decisions -> same compressed bytes as the
+        # unmitigated compressor when no hash collisions differ.
+        data = b"to be or not to be"
+        assert lzw_decompress(oblivious_lzw_compress(data)) == (
+            lzw_decompress(lzw_compress(data))
+        )
+
+
+class TestAttackVsMitigation:
+    def test_oblivious_victim_defeats_extraction(self):
+        secret = random_bytes(120, seed=31)
+        vulnerable = SgxBzip2Attack(secret, AttackConfig()).run()
+        hardened = SgxBzip2Attack(
+            secret, AttackConfig(), victim_histogram=oblivious_histogram
+        ).run()
+        assert vulnerable.byte_accuracy > 0.95
+        assert hardened.byte_accuracy < 0.10
+        assert hardened.bit_accuracy < 0.80
+
+    def test_mitigation_cost_is_visible(self):
+        secret = random_bytes(60, seed=32)
+        vulnerable = SgxBzip2Attack(secret, AttackConfig()).run()
+        hardened = SgxBzip2Attack(
+            secret, AttackConfig(), victim_histogram=oblivious_histogram
+        ).run()
+        # The oblivious scan costs orders of magnitude more accesses.
+        assert hardened.victim_accesses > 100 * vulnerable.victim_accesses

@@ -1,0 +1,280 @@
+"""Hypothesis property tests for core invariants.
+
+Covers the taint algebra laws the propagation rules must satisfy, the
+fixed-width value semantics of TaintedInt, cache-model invariants, the
+CAT fill contract, oblivious-table equivalence, and end-to-end recovery
+properties under random inputs and random observation loss.
+"""
+
+import random as stdlib_random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import Cache, CacheConfig, CatController
+from repro.exec import NativeContext, TracingContext
+from repro.mitigations import ObliviousTable
+from repro.taint import BitTaint, TaintedInt
+
+def make_taint(items) -> BitTaint:
+    out = BitTaint.empty()
+    for tag, bits in items:
+        out = out.union(BitTaint.of_bits(tag, bits))
+    return out
+
+
+taints = st.lists(
+    st.tuples(st.integers(0, 5), st.lists(st.integers(0, 20), min_size=1, max_size=6)),
+    max_size=4,
+).map(make_taint)
+
+
+class TestTaintAlgebraLaws:
+    @given(taints, taints)
+    def test_union_commutative(self, a, b):
+        assert a.union(b) == b.union(a)
+
+    @given(taints, taints, taints)
+    def test_union_associative(self, a, b, c):
+        assert a.union(b).union(c) == a.union(b.union(c))
+
+    @given(taints)
+    def test_union_idempotent(self, a):
+        assert a.union(a) == a
+
+    @given(taints, st.integers(0, 8), st.integers(0, 8))
+    def test_left_shift_composes(self, a, n, m):
+        assert a.shifted(n).shifted(m) == a.shifted(n + m)
+
+    @given(taints, st.integers(0, (1 << 22) - 1))
+    def test_mask_shrinks(self, a, mask):
+        masked = a.masked(mask)
+        assert set(masked.tainted_bits()) <= set(a.tainted_bits())
+
+    @given(taints, st.integers(0, (1 << 22) - 1), st.integers(0, (1 << 22) - 1))
+    def test_mask_composes_as_and(self, a, m1, m2):
+        assert a.masked(m1).masked(m2) == a.masked(m1 & m2)
+
+    @given(taints, st.integers(1, 24))
+    def test_truncate_idempotent(self, a, width):
+        assert a.truncated(width).truncated(width) == a.truncated(width)
+
+    @given(taints)
+    def test_carry_extension_only_adds(self, a):
+        extended = a.carry_extended(32)
+        assert set(a.tainted_bits()) <= set(extended.tainted_bits())
+
+    @given(taints)
+    def test_smear_covers_original(self, a):
+        smeared = a.smeared(32)
+        assert set(a.truncated(32).tainted_bits()) <= set(smeared.tainted_bits())
+
+    @given(taints)
+    def test_tags_are_union_of_rows(self, a):
+        assert a.tags() == frozenset(a.rows().keys())
+
+
+ops = st.sampled_from(["add", "sub", "mul", "xor", "or", "and", "shl", "shr"])
+
+
+def apply_op(op: str, x: int, y: int) -> int:
+    if op == "add":
+        return x + y
+    if op == "sub":
+        return x - y
+    if op == "mul":
+        return x * y
+    if op == "xor":
+        return x ^ y
+    if op == "or":
+        return x | y
+    if op == "and":
+        return x & y
+    if op == "shl":
+        return x << (y % 16)
+    return x >> (y % 16)
+
+
+class TestTaintedIntSemantics:
+    @given(
+        st.integers(0, (1 << 32) - 1),
+        st.lists(st.tuples(ops, st.integers(0, (1 << 16) - 1)), max_size=8),
+    )
+    @settings(max_examples=120, deadline=None)
+    def test_matches_plain_unsigned_arithmetic(self, start, steps):
+        ctx = TracingContext()
+        tainted = TaintedInt(start, 64, BitTaint.byte(0), None, ctx)
+        plain = start
+        mask = (1 << 64) - 1
+        for op, operand in steps:
+            if op in ("shl", "shr"):
+                operand = operand % 16
+            tainted = apply_op(op, tainted, operand)
+            plain = apply_op(op, plain, operand) & mask
+        assert tainted.value == plain
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_xor_taint_is_exact_union(self, a, b):
+        ctx = TracingContext()
+        x = TaintedInt(a, 64, BitTaint.byte(0), None, ctx)
+        y = TaintedInt(b, 64, BitTaint.byte(1, lo_bit=4), None, ctx)
+        r = x ^ y
+        assert r.taint == x.taint.union(y.taint)
+
+    @given(st.integers(0, 255), st.integers(0, 15))
+    def test_shift_then_mask_matches_manual(self, v, n):
+        ctx = TracingContext()
+        x = TaintedInt(v, 64, BitTaint.byte(0), None, ctx)
+        r = (x << n) & 0x7FFF
+        assert r.taint == BitTaint.byte(0).shifted(n).masked(0x7FFF)
+
+
+class TestCacheInvariants:
+    @given(st.lists(st.integers(0, (1 << 24) - 1), max_size=150))
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_ways(self, addrs):
+        cache = Cache(CacheConfig(noise_sigma=0.0))
+        for a in addrs:
+            cache.access(a)
+        for sl in range(cache.config.n_slices):
+            for st_ in range(0, cache.config.sets_per_slice, 97):
+                assert cache.occupancy(sl, st_) <= cache.config.ways
+
+    @given(st.lists(st.integers(0, (1 << 24) - 1), min_size=1, max_size=60))
+    @settings(max_examples=60, deadline=None)
+    def test_access_inserts_line(self, addrs):
+        cache = Cache(CacheConfig(noise_sigma=0.0))
+        for a in addrs:
+            cache.access(a)
+            assert cache.contains(a)
+
+    @given(st.lists(st.integers(0, (1 << 24) - 1), min_size=1, max_size=60))
+    @settings(max_examples=40, deadline=None)
+    def test_flush_removes(self, addrs):
+        cache = Cache(CacheConfig(noise_sigma=0.0))
+        for a in addrs:
+            cache.access(a)
+        cache.flush(addrs[0])
+        assert not cache.contains(addrs[0])
+
+    @given(st.integers(0, (1 << 30) - 1))
+    def test_location_is_line_granular(self, addr):
+        cache = Cache(CacheConfig())
+        base = addr & ~63
+        assert cache.location(base) == cache.location(base + 63)
+
+    @given(st.lists(st.tuples(st.integers(0, 1), st.integers(0, (1 << 22) - 1)), max_size=120))
+    @settings(max_examples=40, deadline=None)
+    def test_cat_partition_isolates_way_zero(self, traffic):
+        """Under the attack partition, no cos-1 access may ever evict a
+        cos-0 resident line."""
+        cache = Cache(CacheConfig(noise_sigma=0.0))
+        CatController(cache).partition_for_attack()
+        protected = 0x123440
+        cache.access(protected, cos=0)
+        for cos, addr in traffic:
+            if cos == 0:
+                continue  # only cos-1 traffic in this property
+            cache.access(addr, cos=1)
+            assert cache.contains(protected)
+
+
+class TestObliviousTableEquivalence:
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(["get", "set", "add"]),
+                st.integers(0, 79),
+                st.integers(0, 1000),
+            ),
+            max_size=25,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_behaves_like_plain_array(self, script):
+        ctx_a, ctx_b = NativeContext(), NativeContext()
+        plain = ctx_a.array("p", 80, elem_size=4, init=7)
+        backing = ctx_b.array("o", 80, elem_size=4, init=7)
+        oblivious = ObliviousTable(backing)
+        for op, index, value in script:
+            if op == "get":
+                assert oblivious.get(index) == plain.get(index)
+            elif op == "set":
+                oblivious.set(index, value)
+                plain.set(index, value)
+            else:
+                oblivious.add(index, value)
+                plain.add(index, value)
+        assert backing.snapshot() == plain.snapshot()
+
+
+class TestRecoveryProperties:
+    @given(st.binary(min_size=4, max_size=120), st.integers(0, 2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_bzip2_recovery_exact_on_clean_trace(self, data, seed):
+        from repro.compression.bzip2 import SITE_FTAB
+        from repro.compression.bzip2.blocksort import histogram
+        from repro.recovery import observed_lines
+        from repro.recovery.bzip2_recover import (
+            observations_from_lines,
+            recover_bzip2_block,
+        )
+
+        ctx = TracingContext()
+        block = ctx.array("block", len(data))
+        for i, v in enumerate(ctx.input_bytes(data)):
+            block.set(i, v)
+        histogram(ctx, block, len(data))
+        obs = observations_from_lines(
+            observed_lines(ctx, SITE_FTAB), len(data)
+        )
+        rec = recover_bzip2_block(obs, ctx.arrays["ftab"].base, len(data))
+        assert rec.bit_accuracy(data) == 1.0
+
+    @given(st.binary(min_size=2, max_size=60))
+    @settings(max_examples=25, deadline=None)
+    def test_lzw_recovery_always_includes_truth(self, data):
+        from repro.compression.lzw import (
+            SITE_PRIMARY,
+            SITE_SECONDARY,
+            lzw_compress,
+        )
+        from repro.recovery import recover_lzw_input
+
+        ctx = TracingContext()
+        lzw_compress(data, ctx=ctx)
+        lines = [
+            a.address >> 6
+            for a in ctx.tainted_accesses()
+            if a.site in (SITE_PRIMARY, SITE_SECONDARY) and a.kind == "read"
+        ]
+        candidates = recover_lzw_input(lines, ctx.arrays["htab"].base, len(data))
+        assert data in candidates
+
+    @given(st.integers(0, 2**31), st.floats(0.0, 0.3))
+    @settings(max_examples=15, deadline=None)
+    def test_bzip2_recovery_degrades_gracefully_with_loss(self, seed, loss):
+        from repro.compression.bzip2 import SITE_FTAB
+        from repro.compression.bzip2.blocksort import histogram
+        from repro.recovery import observed_lines
+        from repro.recovery.bzip2_recover import (
+            observations_from_lines,
+            recover_bzip2_block,
+        )
+
+        rng = stdlib_random.Random(seed)
+        data = bytes(rng.randrange(256) for _ in range(200))
+        ctx = TracingContext()
+        block = ctx.array("block", len(data))
+        for i, v in enumerate(ctx.input_bytes(data)):
+            block.set(i, v)
+        histogram(ctx, block, len(data))
+        obs = observations_from_lines(observed_lines(ctx, SITE_FTAB), len(data))
+        for i in range(len(obs)):
+            if rng.random() < loss:
+                obs[i] = None
+        rec = recover_bzip2_block(obs, ctx.arrays["ftab"].base, len(data))
+        # Bit accuracy should stay clearly above coin-flipping even with
+        # 30% of probes lost.
+        assert rec.bit_accuracy(data) > 0.6

@@ -1,0 +1,89 @@
+"""Integration tests for the end-to-end SGX extraction attack."""
+
+import pytest
+
+from repro.core.zipchannel import AttackConfig, SgxBzip2Attack
+from repro.workloads.generators import lowercase_ascii, random_bytes
+
+
+class TestAttackEndToEnd:
+    def test_random_data_extraction(self):
+        secret = random_bytes(256, seed=42)
+        outcome = SgxBzip2Attack(secret).run()
+        assert outcome.bit_accuracy > 0.99
+        assert outcome.faults == 3 * len(secret)
+
+    def test_text_extraction(self):
+        secret = lowercase_ascii(300, seed=1)
+        outcome = SgxBzip2Attack(secret).run()
+        assert outcome.bit_accuracy > 0.99
+
+    def test_recovered_bytes_match(self):
+        secret = random_bytes(200, seed=7)
+        outcome = SgxBzip2Attack(secret).run()
+        matches = sum(
+            1 for got, want in zip(outcome.recovered.values, secret) if got == want
+        )
+        assert matches >= 0.98 * len(secret)
+
+    def test_summary_smoke(self):
+        outcome = SgxBzip2Attack(random_bytes(64, seed=0)).run()
+        text = outcome.summary()
+        assert "bit accuracy" in text and "faults" in text
+
+    def test_empty_secret_rejected(self):
+        with pytest.raises(ValueError):
+            SgxBzip2Attack(b"")
+
+    def test_attack_does_not_corrupt_victim(self):
+        """Single-stepping must be transparent: the histogram the victim
+        computes is identical to an unattacked run."""
+        secret = random_bytes(150, seed=3)
+        attack = SgxBzip2Attack(secret)
+        attack.run()
+        counts = attack.ftab.snapshot()
+        assert sum(counts) == len(secret)
+        n = len(secret)
+        for i in range(n):
+            j = (secret[i] << 8) | secret[(i + 1) % n]
+            assert counts[j] >= 1
+
+
+class TestAblations:
+    """The paper's accuracy techniques must each earn their keep."""
+
+    def test_frame_selection_reduces_ambiguity(self):
+        secret = random_bytes(300, seed=9)
+        with_fs = SgxBzip2Attack(secret, AttackConfig()).run()
+        without_fs = SgxBzip2Attack(
+            secret, AttackConfig(use_frame_selection=False)
+        ).run()
+        assert (
+            without_fs.observations_ambiguous > with_fs.observations_ambiguous
+        )
+        assert with_fs.bit_accuracy >= without_fs.bit_accuracy
+
+    def test_cat_removes_background_false_positives(self):
+        secret = random_bytes(250, seed=11)
+        noisy = dict(background_noise_rate=40)
+        with_cat = SgxBzip2Attack(
+            secret, AttackConfig(use_cat=True, **noisy)
+        ).run()
+        without_cat = SgxBzip2Attack(
+            secret, AttackConfig(use_cat=False, **noisy)
+        ).run()
+        assert with_cat.observations_ambiguous < without_cat.observations_ambiguous
+        assert with_cat.bit_accuracy >= without_cat.bit_accuracy
+
+    def test_error_correction_survives_heavy_noise(self):
+        secret = random_bytes(300, seed=13)
+        outcome = SgxBzip2Attack(
+            secret,
+            AttackConfig(
+                use_cat=False,
+                use_frame_selection=False,
+                background_noise_rate=30,
+            ),
+        ).run()
+        # Even the stripped-down attack stays far above chance (50% bits).
+        assert outcome.bit_accuracy > 0.9

@@ -1,0 +1,182 @@
+"""Unit tests for TaintedInt operator semantics and trace recording."""
+
+import pytest
+
+from repro.exec import TracingContext
+from repro.taint import BitTaint, TaintedInt
+from repro.taint.value import CompareRecord, OpRecord
+
+
+def tainted(ctx, value, tag=0, width=64):
+    return TaintedInt(value, width, BitTaint.byte(tag), None, ctx)
+
+
+@pytest.fixture
+def ctx():
+    return TracingContext()
+
+
+class TestValueSemantics:
+    def test_wraps_to_width(self, ctx):
+        x = TaintedInt(0x1FF, width=8)
+        assert x.value == 0xFF
+
+    def test_add_sub(self, ctx):
+        x = tainted(ctx, 10)
+        assert (x + 5).value == 15
+        assert (5 + x).value == 15
+        assert (x - 3).value == 7
+        assert (20 - x).value == 10
+
+    def test_sub_wraps_unsigned(self, ctx):
+        x = TaintedInt(1, width=8, recorder=ctx)
+        assert (x - 2).value == 0xFF
+
+    def test_mul_div_mod(self, ctx):
+        x = tainted(ctx, 12)
+        assert (x * 3).value == 36
+        assert (x // 5).value == 2
+        assert (x % 5).value == 2
+        assert (100 // x).value == 8
+        assert (100 % x).value == 4
+
+    def test_shifts(self, ctx):
+        x = tainted(ctx, 0b1010, width=8)
+        assert (x << 2).value == 0b101000
+        assert (x >> 1).value == 0b101
+
+    def test_bitwise(self, ctx):
+        x = tainted(ctx, 0b1100)
+        assert (x & 0b1010).value == 0b1000
+        assert (x | 0b0011).value == 0b1111
+        assert (x ^ 0b1111).value == 0b0011
+        assert (~TaintedInt(0, width=8)).value == 0xFF
+
+    def test_comparisons_return_plain_bool(self, ctx):
+        x = tainted(ctx, 5)
+        assert (x < 6) is True
+        assert (x >= 6) is False
+        assert (x == 5) is True
+        assert (x != 5) is False
+        assert bool(x) is True
+
+    def test_int_and_index(self, ctx):
+        x = tainted(ctx, 42)
+        assert int(x) == 42
+        assert [0, 1, 2][tainted(ctx, 1)] == 1
+
+
+class TestTaintPropagation:
+    def test_xor_merges(self, ctx):
+        a = tainted(ctx, 1, tag=0)
+        b = tainted(ctx, 2, tag=1)
+        assert (a ^ b).taint.tags() == {0, 1}
+
+    def test_and_with_constant_masks(self, ctx):
+        a = tainted(ctx, 0xFF, tag=0)
+        assert (a & 0x0F).taint.tainted_bits() == [0, 1, 2, 3]
+
+    def test_and_constant_on_left(self, ctx):
+        a = tainted(ctx, 0xFF, tag=0)
+        assert (0xF0 & a).taint.tainted_bits() == [4, 5, 6, 7]
+
+    def test_shift_moves_taint(self, ctx):
+        a = tainted(ctx, 1, tag=0)
+        assert (a << 9).taint.tainted_bits() == list(range(9, 17))
+        assert (a >> 4).taint.tainted_bits() == [0, 1, 2, 3]
+
+    def test_mul_by_pow2_is_shift(self, ctx):
+        a = tainted(ctx, 3, tag=0)
+        assert (a * 8).taint.tainted_bits() == list(range(3, 11))
+        assert (8 * a).taint.tainted_bits() == list(range(3, 11))
+
+    def test_mul_by_non_pow2_smears(self, ctx):
+        a = tainted(ctx, 3, tag=0, width=16)
+        assert (a * 3).taint.tainted_bits() == list(range(0, 16))
+
+    def test_div_mod_by_pow2(self, ctx):
+        a = tainted(ctx, 0xFF, tag=0)
+        assert (a // 4).taint.tainted_bits() == list(range(0, 6))
+        assert (a % 8).taint.tainted_bits() == [0, 1, 2]
+
+    def test_add_positional_by_default(self, ctx):
+        # Pointer arithmetic base + (tainted index << 1) keeps taint at
+        # its shifted positions, matching Fig. 2.
+        idx = tainted(ctx, 0x1234, tag=0, width=16)
+        addr = 0x7F0000000000 + (idx.extend(64) << 1)
+        assert addr.taint.tainted_bits() == list(range(1, 9))
+
+    def test_add_carry_aware_mode(self):
+        ctx = TracingContext(carry_aware_add=True)
+        a = TaintedInt(1, 8, BitTaint.of_bits(0, [2]), None, ctx)
+        r = a + 1
+        assert r.taint.tainted_bits() == list(range(2, 8))
+
+    def test_truncate_and_extend(self, ctx):
+        a = tainted(ctx, 0xABCD, tag=0, width=16)
+        low = a.truncate(8)
+        assert low.value == 0xCD
+        assert low.taint.tainted_bits() == list(range(0, 8))
+        wide = low.extend(32)
+        assert wide.width == 32
+
+    def test_sar_replicates_sign_taint(self, ctx):
+        a = TaintedInt(0x80, 8, BitTaint.of_bits(0, [7]), None, ctx)
+        r = a.sar(2, width=8)
+        assert 7 in r.taint.tainted_bits()
+        assert 5 in r.taint.tainted_bits()
+
+    def test_comparison_does_not_taint(self, ctx):
+        # "if (x<5) cnt++" must leave cnt untainted.
+        x = tainted(ctx, 3)
+        cnt = 0
+        if x < 5:
+            cnt += 1
+        assert isinstance(cnt, int)
+
+
+class TestTraceRecording:
+    def test_tainted_op_recorded(self, ctx):
+        a = tainted(ctx, 1)
+        _ = a ^ 2
+        ops = [e for e in ctx.events if isinstance(e, OpRecord)]
+        assert len(ops) == 1
+        assert ops[0].op == "xor"
+        assert ops[0].operands[0].tainted
+        assert not ops[0].operands[1].tainted
+
+    def test_untainted_op_not_recorded(self, ctx):
+        a = ctx.constant(1)
+        _ = a + 2
+        assert not any(isinstance(e, OpRecord) for e in ctx.events)
+
+    def test_compare_recorded_with_outcome(self, ctx):
+        a = tainted(ctx, 3)
+        _ = a < 5
+        cmps = [e for e in ctx.events if isinstance(e, CompareRecord)]
+        assert len(cmps) == 1
+        assert cmps[0].op == "lt" and cmps[0].outcome is True
+
+    def test_origin_chain_reaches_input(self, ctx):
+        (b,) = ctx.input_bytes(b"\x20")
+        r = (b << 9) ^ 0x1F0
+        node = r.origin
+        seen = set()
+        while node is not None and isinstance(node, OpRecord):
+            seen.add(node.op)
+            parents = [o.origin for o in node.operands if o.origin is not None]
+            node = parents[0] if parents else None
+        assert "xor" in seen and "shl" in seen
+        assert node is not None and node.describe().startswith("#")
+
+    def test_input_bytes_tagged_sequentially(self, ctx):
+        vals = ctx.input_bytes(b"abc")
+        tags = [v.taint.tags() for v in vals]
+        assert tags == [{0}, {1}, {2}]
+        assert ctx.tags.label(0) == "0"
+
+    def test_distinct_sources_get_distinct_tags(self, ctx):
+        ctx.input_bytes(b"a", source="key")
+        ctx.input_bytes(b"b", source="pt")
+        assert ctx.tags.label(0) == "key[0]"
+        assert ctx.tags.label(1) == "pt[0]"
