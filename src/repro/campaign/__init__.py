@@ -1,0 +1,58 @@
+"""Experiment-campaign engine: declarative sweeps, parallel execution,
+persistent results.
+
+Every figure in the reproduction is backed by a one-shot script; scaling
+any of them — accuracy-vs-noise sweeps, many-trial confidence intervals
+on the SGX attack, large fingerprint corpora — needs the same four
+ingredients, which this package provides once:
+
+1. :mod:`repro.campaign.spec` — a campaign is a parameter grid over a
+   registered experiment, expanded into jobs with deterministic per-job
+   seeds (same spec ⇒ same seeds, forever).
+2. :mod:`repro.campaign.runner` — a fault-tolerant parallel runner on
+   ``concurrent.futures``: per-job timeouts, bounded retries with
+   backoff, and worker-crash recovery that records the failure and keeps
+   the campaign going.
+3. :mod:`repro.campaign.store` — one JSONL record per job plus a
+   campaign manifest; append-only, so an interrupted campaign resumes by
+   skipping jobs whose records already exist.
+4. :mod:`repro.campaign.report` — per-cell means and confidence
+   intervals rendered as EXPERIMENTS.md-style markdown tables.
+
+The registered experiments live in :mod:`repro.campaign.experiments`;
+the CLI front end is ``python -m repro campaign run|resume|report``.
+"""
+
+from repro.campaign.experiments import (
+    available_experiments,
+    get_experiment,
+    register_experiment,
+)
+from repro.campaign.report import aggregate_records, render_report
+from repro.campaign.runner import (
+    CampaignResult,
+    CampaignRunner,
+    InProcessExecutor,
+    JobTimeout,
+    WorkerCrash,
+)
+from repro.campaign.spec import CampaignSpec, JobSpec, derive_seed
+from repro.campaign.store import JobRecord, ResultStore
+
+__all__ = [
+    "CampaignSpec",
+    "JobSpec",
+    "derive_seed",
+    "CampaignRunner",
+    "CampaignResult",
+    "InProcessExecutor",
+    "JobTimeout",
+    "WorkerCrash",
+    "ResultStore",
+    "JobRecord",
+    "aggregate_records",
+    "render_report",
+    "register_experiment",
+    "get_experiment",
+    "available_experiments",
+]

@@ -1,0 +1,246 @@
+"""The experiment registry: every campaign-runnable entry point.
+
+An *experiment* is a plain function ``fn(params: dict, seed: int) ->
+dict`` — picklable, importable, all inputs in ``params``/``seed`` and
+all outputs JSON-serialisable — which is exactly what lets the runner
+ship it across a process boundary and the store persist its result.
+
+The built-in registrations adapt the reproduction's existing entry
+points (TaintChannel gadget scan, the Section V SGX extraction, the
+Section VI fingerprinting, the Section IV recovery survey, and the
+Section VIII mitigation costing) plus a noisy-channel variant of the
+LZW recovery used by the demo campaign.  Downstream code registers its
+own with :func:`register_experiment`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict
+
+ExperimentFn = Callable[[dict, int], dict]
+
+_REGISTRY: Dict[str, ExperimentFn] = {}
+
+
+def register_experiment(name: str) -> Callable[[ExperimentFn], ExperimentFn]:
+    """Decorator: register ``fn(params, seed) -> metrics`` under a name.
+
+    Re-registering a name overwrites it (tests replace built-ins with
+    fast stand-ins)."""
+
+    def wrap(fn: ExperimentFn) -> ExperimentFn:
+        _REGISTRY[name] = fn
+        return fn
+
+    return wrap
+
+
+def get_experiment(name: str) -> ExperimentFn:
+    """Look up a registered experiment; KeyError lists what exists."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {name!r}; registered: "
+            f"{sorted(_REGISTRY)}"
+        ) from None
+
+
+def available_experiments() -> list[str]:
+    """Names of all registered experiments."""
+    return sorted(_REGISTRY)
+
+
+def make_input(kind: str, size: int, seed: int) -> bytes:
+    """The shared input factory for campaign experiments (mirrors the
+    CLI's ``--random/--lowercase/--text`` input kinds)."""
+    from repro.workloads import english_like, lowercase_ascii, random_bytes
+
+    if kind == "random":
+        return random_bytes(size, seed=seed)
+    if kind == "lowercase":
+        return lowercase_ascii(size, seed=seed)
+    if kind == "text":
+        return english_like(size, seed=seed)
+    raise ValueError(f"unknown input kind {kind!r}")
+
+
+# -- built-in experiments ------------------------------------------------
+
+
+@register_experiment("lzw_recovery")
+def lzw_recovery(params: dict, seed: int) -> dict:
+    """Section IV-C recovery over a noisy cache-line trace.
+
+    Params: ``size`` (input bytes, default 200), ``input_kind``
+    (default ``random``), ``noise`` (per-observation corruption
+    probability, default 0 — the survey's idealised channel).  A
+    corrupted observation is displaced by one cache line, the classic
+    Prime+Probe neighbour error.
+    """
+    from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY, lzw_compress
+    from repro.exec import TracingContext
+    from repro.recovery import recover_lzw_input
+
+    size = int(params.get("size", 200))
+    noise = float(params.get("noise", 0.0))
+    data = make_input(params.get("input_kind", "random"), size, seed)
+
+    ctx = TracingContext()
+    lzw_compress(data, ctx=ctx)
+    lines = [
+        a.address >> 6
+        for a in ctx.tainted_accesses()
+        if a.site in (SITE_PRIMARY, SITE_SECONDARY) and a.kind == "read"
+    ]
+
+    rng = random.Random(seed ^ 0xC0FFEE)
+    corrupted = 0
+    noisy = []
+    for line in lines:
+        if noise > 0.0 and rng.random() < noise:
+            corrupted += 1
+            line += rng.choice((-1, 1))
+        noisy.append(line)
+
+    candidates = recover_lzw_input(noisy, ctx.arrays["htab"].base, size)
+    return {
+        "exact_found": data in candidates,
+        "n_candidates": len(candidates),
+        "n_observations": len(lines),
+        "n_corrupted": corrupted,
+    }
+
+
+@register_experiment("taintchannel_scan")
+def taintchannel_scan(params: dict, seed: int) -> dict:
+    """TaintChannel gadget scan over a named target.
+
+    Params: ``target`` (zlib/lzw/bzip2/aes), ``size``, ``input_kind``,
+    ``carry_aware``, ``max_events``.
+    """
+    from repro.core.taintchannel import run_gadget_scan
+
+    data = make_input(
+        params.get("input_kind", "random"), int(params.get("size", 200)), seed
+    )
+    return run_gadget_scan(
+        params.get("target", "zlib"),
+        data,
+        carry_aware_add=bool(params.get("carry_aware", False)),
+        max_events=int(params.get("max_events", 2_000_000)),
+    )
+
+
+@register_experiment("sgx_attack")
+def sgx_attack(params: dict, seed: int) -> dict:
+    """The Section V SGX extraction attack (CAT/frame-selection/noise
+    knobs as params; ``secret_seed`` pins the buffer across cells)."""
+    from repro.core.zipchannel import run_extraction_experiment
+
+    return run_extraction_experiment(
+        size=int(params.get("size", 200)),
+        seed=seed,
+        noise=int(params.get("noise", 2)),
+        use_cat=bool(params.get("use_cat", True)),
+        use_frame_selection=bool(params.get("use_frame_selection", True)),
+        mitigated=bool(params.get("mitigated", False)),
+        secret_seed=params.get("secret_seed"),
+    )
+
+
+@register_experiment("fingerprint")
+def fingerprint(params: dict, seed: int) -> dict:
+    """The Section VI Flush+Reload fingerprinting attack."""
+    from repro.core.zipchannel import run_fingerprint_experiment
+
+    return run_fingerprint_experiment(
+        corpus=params.get("corpus", "lipsum"),
+        traces=int(params.get("traces", 10)),
+        epochs=int(params.get("epochs", 20)),
+        seed=seed,
+        hidden=int(params.get("hidden", 96)),
+    )
+
+
+@register_experiment("survey_recovery")
+def survey_recovery(params: dict, seed: int) -> dict:
+    """The Section IV survey: recover one input through each of the
+    three compressors' gadgets, noise-free channel."""
+    from repro.compression import deflate_compress, lzw_compress
+    from repro.compression.bzip2 import SITE_FTAB
+    from repro.compression.bzip2.blocksort import histogram
+    from repro.compression.lz77 import SITE_HEAD
+    from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY
+    from repro.exec import TracingContext
+    from repro.recovery import observed_lines, recover_lzw_input
+    from repro.recovery.bzip2_recover import (
+        observations_from_lines,
+        recover_bzip2_block,
+    )
+    from repro.recovery.zlib_recover import accuracy, recover_known_high_bits
+    from repro.workloads import lowercase_ascii, random_bytes
+
+    n = int(params.get("size", 300))
+
+    data = lowercase_ascii(n, seed=seed)
+    ctx = TracingContext()
+    deflate_compress(data, ctx=ctx)
+    rec = recover_known_high_bits(
+        observed_lines(ctx, SITE_HEAD, kind="write"), ctx.arrays["head"].base, n
+    )
+    zlib_accuracy = accuracy(rec, data)
+
+    data = random_bytes(n, seed=seed)
+    ctx = TracingContext()
+    lzw_compress(data, ctx=ctx)
+    lines = [
+        a.address >> 6
+        for a in ctx.tainted_accesses()
+        if a.site in (SITE_PRIMARY, SITE_SECONDARY) and a.kind == "read"
+    ]
+    cands = recover_lzw_input(lines, ctx.arrays["htab"].base, n)
+    lzw_found = data in cands
+
+    data = random_bytes(n, seed=seed + 1)
+    ctx = TracingContext()
+    block = ctx.array("block", n)
+    for i, v in enumerate(ctx.input_bytes(data)):
+        block.set(i, v)
+    histogram(ctx, block, n)
+    obs = observations_from_lines(observed_lines(ctx, SITE_FTAB), n)
+    result = recover_bzip2_block(obs, ctx.arrays["ftab"].base, n)
+
+    return {
+        "zlib_accuracy": zlib_accuracy,
+        "lzw_exact_found": lzw_found,
+        "lzw_candidates": len(cands),
+        "bzip2_bit_accuracy": result.bit_accuracy(data),
+    }
+
+
+@register_experiment("mitigation_overhead")
+def mitigation_overhead(params: dict, seed: int) -> dict:
+    """Section VIII costing: the full attack against the vulnerable and
+    the oblivious histogram, same secret, same knobs."""
+    from repro.core.zipchannel import AttackConfig, SgxBzip2Attack
+    from repro.mitigations import oblivious_histogram
+    from repro.workloads import random_bytes
+
+    secret = random_bytes(int(params.get("size", 200)), seed=seed)
+    noise = int(params.get("noise", 2))
+    vulnerable = SgxBzip2Attack(
+        secret, AttackConfig(background_noise_rate=noise)
+    ).run()
+    hardened = SgxBzip2Attack(
+        secret,
+        AttackConfig(background_noise_rate=noise),
+        victim_histogram=oblivious_histogram,
+    ).run()
+    return {
+        "vulnerable_byte_accuracy": vulnerable.byte_accuracy,
+        "mitigated_byte_accuracy": hardened.byte_accuracy,
+        "mitigated_bit_accuracy": hardened.bit_accuracy,
+        "access_overhead": hardened.victim_accesses / vulnerable.victim_accesses,
+    }

@@ -1,0 +1,178 @@
+"""Aggregation and reporting over a campaign's result store.
+
+Records are grouped into *cells* (one per distinct parameter
+combination, pooling trials) and every numeric metric gets a mean,
+standard deviation and 95 % confidence interval.  The renderer emits
+EXPERIMENTS.md-style markdown: a header block with the campaign's
+identity and outcome counts, then one table row per cell.
+
+Failed jobs are never silently dropped: each cell row carries its
+ok/failed split, and a campaign-level failure table lists every job that
+exhausted its retries, with the recorded error.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional
+
+from repro.campaign.store import STATUS_OK, JobRecord, ResultStore
+
+
+@dataclass
+class CellStats:
+    """Aggregate of all trials at one grid cell."""
+
+    params: dict
+    n_ok: int = 0
+    n_failed: int = 0
+    metrics: dict = field(default_factory=dict)  # name -> list of values
+
+    def add(self, record: JobRecord) -> None:
+        """Fold one record into the cell."""
+        if record.ok and record.metrics is not None:
+            self.n_ok += 1
+            for key, value in record.metrics.items():
+                if isinstance(value, bool):
+                    value = int(value)
+                if isinstance(value, (int, float)):
+                    self.metrics.setdefault(key, []).append(float(value))
+        else:
+            self.n_failed += 1
+
+    def mean(self, metric: str) -> Optional[float]:
+        """Mean of one metric over the cell's successful trials."""
+        values = self.metrics.get(metric)
+        if not values:
+            return None
+        return sum(values) / len(values)
+
+    def ci95(self, metric: str) -> Optional[float]:
+        """Half-width of the normal-approximation 95 % confidence
+        interval (0 for a single trial)."""
+        values = self.metrics.get(metric)
+        if not values:
+            return None
+        n = len(values)
+        if n < 2:
+            return 0.0
+        mean = sum(values) / n
+        var = sum((v - mean) ** 2 for v in values) / (n - 1)
+        return 1.96 * math.sqrt(var / n)
+
+
+def aggregate_records(records: Iterable[JobRecord]) -> list[CellStats]:
+    """Group records into per-cell statistics, in deterministic order.
+
+    Crash-tolerant by construction: failed records count toward the
+    cell's ``n_failed`` and simply contribute no metric samples.
+    """
+    cells: dict[tuple, CellStats] = {}
+    for record in records:
+        key = tuple(sorted(record.params.items()))
+        cell = cells.get(key)
+        if cell is None:
+            cell = CellStats(params=dict(record.params))
+            cells[key] = cell
+        cell.add(record)
+    return [cells[key] for key in sorted(cells, key=repr)]
+
+
+def _metric_names(cells: list[CellStats]) -> list[str]:
+    names: list[str] = []
+    for cell in cells:
+        for name in cell.metrics:
+            if name not in names:
+                names.append(name)
+    return names
+
+
+def _param_names(cells: list[CellStats]) -> list[str]:
+    names: list[str] = []
+    for cell in cells:
+        for name in cell.params:
+            if name not in names:
+                names.append(name)
+    return sorted(names)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_cells(cells: list[CellStats]) -> str:
+    """The per-cell markdown table: parameters, job counts, and
+    ``mean ± ci95`` per numeric metric."""
+    if not cells:
+        return "(no records)"
+    params = _param_names(cells)
+    metrics = _metric_names(cells)
+    header = params + ["jobs ok", "jobs failed"] + metrics
+    lines = [
+        "| " + " | ".join(header) + " |",
+        "|" + "---|" * len(header),
+    ]
+    for cell in cells:
+        row = [str(cell.params.get(p, "")) for p in params]
+        row += [str(cell.n_ok), str(cell.n_failed)]
+        for metric in metrics:
+            mean = cell.mean(metric)
+            if mean is None:
+                row.append("—")
+            else:
+                ci = cell.ci95(metric)
+                row.append(
+                    _fmt(mean) if not ci else f"{_fmt(mean)} ± {_fmt(ci)}"
+                )
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def render_failures(records: Iterable[JobRecord]) -> str:
+    """A table of terminally-failed jobs (empty string when none)."""
+    failed = [r for r in records if not r.ok]
+    if not failed:
+        return ""
+    lines = [
+        "| job | params | trial | status | attempts | error |",
+        "|---|---|---|---|---|---|",
+    ]
+    for r in sorted(failed, key=lambda r: r.job_id):
+        lines.append(
+            f"| {r.job_id} | {r.params} | {r.trial} | {r.status} "
+            f"| {r.attempts} | {(r.error or '').replace('|', '/')} |"
+        )
+    return "\n".join(lines)
+
+
+def render_report(store: ResultStore) -> str:
+    """Full markdown report for one campaign directory."""
+    manifest = store.load_manifest()
+    records = list(store.load_records().values())
+    cells = aggregate_records(records)
+    spec = manifest.get("spec", {})
+    n_ok = sum(1 for r in records if r.ok)
+    n_failed = len(records) - n_ok
+
+    lines = [
+        f"# Campaign — {spec.get('name', store.root.name)}",
+        "",
+        f"- experiment: `{spec.get('experiment', '?')}`",
+        f"- spec hash: `{manifest.get('spec_hash', '?')}`",
+        f"- git revision: `{manifest.get('git_revision', '?')}`",
+        f"- jobs: {manifest.get('n_jobs', '?')} declared, "
+        f"{len(records)} recorded ({n_ok} ok, {n_failed} failed)",
+    ]
+    started = manifest.get("started_at")
+    finished = manifest.get("finished_at")
+    if started and finished:
+        lines.append(f"- wall time: {finished - started:.1f}s")
+    lines += ["", "## Results by cell", "", render_cells(cells)]
+    failures = render_failures(records)
+    if failures:
+        lines += ["", "## Failed jobs", "", failures]
+    lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,419 @@
+"""Parallel, fault-tolerant campaign execution.
+
+The runner turns a :class:`~repro.campaign.spec.CampaignSpec` into
+finished :class:`~repro.campaign.store.JobRecord` rows.  Its contract is
+that **one bad job never kills a campaign**:
+
+- every job gets a wall-clock budget (enforced with ``SIGALRM`` inside
+  the worker, so even a runaway compression loop is interrupted);
+- a failed attempt is retried up to ``spec.max_retries`` times with
+  exponential backoff;
+- a worker-process *crash* (which breaks the whole
+  ``ProcessPoolExecutor``) is survived by rebuilding the pool and
+  requeueing the jobs that were in flight;
+- when retries are exhausted the failure is recorded in the store —
+  with its error message — and the campaign moves on.
+
+Parallelism comes from ``concurrent.futures.ProcessPoolExecutor``; the
+``executor_factory`` argument swaps in :class:`InProcessExecutor` so the
+whole machinery (including retries, timeouts and simulated crashes) runs
+single-process and fast under test.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.campaign.store import (
+    STATUS_CRASHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    JobRecord,
+    ResultStore,
+)
+
+
+class JobTimeout(Exception):
+    """A job exceeded its per-job wall-clock budget."""
+
+
+class WorkerCrash(Exception):
+    """Stand-in for a hard worker death when crash isolation is off
+    (the in-process executor cannot survive a real ``os._exit``)."""
+
+
+class InjectedFailure(Exception):
+    """A failure forced by the spec's fault-injection drill."""
+
+
+def _execute_payload(payload: dict) -> dict:
+    """Run one job attempt.  Executes inside a worker process (or inline
+    under the in-process executor); everything it touches must be
+    picklable and importable.
+    """
+    inject_mode = payload.get("inject_mode")
+    if inject_mode == "crash":
+        if payload.get("allow_hard_crash"):
+            os._exit(23)  # simulate a segfaulting worker
+        raise WorkerCrash("injected worker crash")
+    if inject_mode == "exception":
+        raise InjectedFailure(
+            f"injected failure (attempt {payload['attempt']})"
+        )
+
+    from repro.campaign.experiments import get_experiment
+
+    fn = get_experiment(payload["experiment"])
+    timeout = payload.get("timeout_seconds")
+    use_alarm = (
+        timeout is not None
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"job exceeded {timeout}s budget")
+
+    start = time.perf_counter()
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        metrics = fn(payload["params"], payload["seed"])
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+    if not isinstance(metrics, dict):
+        raise TypeError(
+            f"experiment {payload['experiment']!r} returned "
+            f"{type(metrics).__name__}, expected a metrics dict"
+        )
+    return {"metrics": metrics, "duration": time.perf_counter() - start}
+
+
+class InProcessExecutor:
+    """A drop-in executor that runs submissions synchronously.
+
+    Keeps tests (and debugging sessions) single-process while exercising
+    the runner's full retry/timeout/crash logic.
+    """
+
+    supports_crash_isolation = False
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        """Execute immediately; return an already-resolved future."""
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 — mirrored into the future
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Nothing to tear down."""
+
+
+@dataclass
+class _Attempt:
+    """One scheduled execution of one job."""
+
+    job: JobSpec
+    position: int  # index in expansion order (fault-injection anchor)
+    attempt: int = 0  # 0-based
+    eligible_at: float = 0.0  # monotonic time before which we hold it back
+    submitted_at: float = 0.0
+
+
+@dataclass
+class CampaignResult:
+    """What a runner invocation did, in aggregate."""
+
+    counts: dict = field(default_factory=dict)
+    records: list = field(default_factory=list)
+    skipped: int = 0
+    elapsed_seconds: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        """Jobs that finished (any terminal status) this invocation."""
+        return len(self.records)
+
+    def summary(self) -> str:
+        """One-line human digest."""
+        parts = [f"{v} {k}" for k, v in sorted(self.counts.items())]
+        if self.skipped:
+            parts.append(f"{self.skipped} skipped (already recorded)")
+        return (
+            f"campaign: {', '.join(parts) or 'nothing to do'} "
+            f"in {self.elapsed_seconds:.2f}s"
+        )
+
+
+class CampaignRunner:
+    """Drives one campaign to completion against a result store.
+
+    Args:
+        spec: the campaign to run.
+        store: where records and the manifest live.
+        workers: parallel worker processes (ignored by a custom
+            single-slot executor only in that submissions serialise).
+        executor_factory: zero-arg callable building an executor; the
+            default builds a ``ProcessPoolExecutor(workers)``.  Pass
+            ``InProcessExecutor`` for in-process runs.
+        on_event: optional callback receiving human-readable progress
+            lines (the CLI prints them).
+    """
+
+    def __init__(
+        self,
+        spec: CampaignSpec,
+        store: ResultStore,
+        workers: int = 1,
+        executor_factory: Optional[Callable[[], object]] = None,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.spec = spec
+        self.store = store
+        self.workers = max(1, workers)
+        self._factory = executor_factory or (
+            lambda: ProcessPoolExecutor(max_workers=self.workers)
+        )
+        self._on_event = on_event
+
+    def _emit(self, message: str) -> None:
+        if self._on_event is not None:
+            self._on_event(message)
+
+    # -- scheduling helpers --------------------------------------------
+    def _payload(self, attempt: _Attempt) -> dict:
+        job = attempt.job
+        payload = {
+            "experiment": job.experiment,
+            "params": job.params_dict(),
+            "seed": job.seed,
+            "timeout_seconds": self.spec.timeout_seconds,
+            "attempt": attempt.attempt,
+        }
+        inject = self.spec.inject_failures
+        if inject is not None and inject.applies_to(
+            job, attempt.position, attempt.attempt
+        ):
+            payload["inject_mode"] = inject.mode
+            payload["allow_hard_crash"] = getattr(
+                self._executor, "supports_crash_isolation", True
+            )
+        return payload
+
+    def _record(
+        self,
+        attempt: _Attempt,
+        status: str,
+        duration: float,
+        metrics: Optional[dict] = None,
+        error: Optional[str] = None,
+    ) -> JobRecord:
+        job = attempt.job
+        record = JobRecord(
+            job_id=job.job_id,
+            experiment=job.experiment,
+            params=job.params_dict(),
+            trial=job.trial,
+            seed=job.seed,
+            status=status,
+            attempts=attempt.attempt + 1,
+            duration_seconds=duration,
+            metrics=metrics,
+            error=error,
+        )
+        self.store.append(record)
+        return record
+
+    def _retry_or_fail(
+        self,
+        attempt: _Attempt,
+        status: str,
+        error: str,
+        pending: list,
+        result: CampaignResult,
+    ) -> None:
+        """Requeue with backoff, or persist the terminal failure."""
+        job = attempt.job
+        if attempt.attempt < self.spec.max_retries:
+            delay = self.spec.retry_backoff * (2**attempt.attempt)
+            attempt.attempt += 1
+            attempt.eligible_at = time.monotonic() + delay
+            pending.append(attempt)
+            self._emit(
+                f"retry {job.job_id} (attempt {attempt.attempt + 1}, "
+                f"after {delay:.2f}s): {error}"
+            )
+            return
+        record = self._record(attempt, status, 0.0, error=error)
+        result.records.append(record)
+        result.counts[status] = result.counts.get(status, 0) + 1
+        self._emit(f"gave up on {job.job_id} after {attempt.attempt + 1} "
+                   f"attempts: {error}")
+
+    def _handle_outcome(
+        self,
+        attempt: _Attempt,
+        future: Future,
+        pending: list,
+        result: CampaignResult,
+    ) -> bool:
+        """Consume one finished future.  Returns True when the executor
+        broke (caller must rebuild it)."""
+        job = attempt.job
+        try:
+            out = future.result()
+        except BrokenExecutor:
+            return True
+        except JobTimeout as exc:
+            self._retry_or_fail(attempt, STATUS_TIMEOUT, str(exc), pending, result)
+            return False
+        except WorkerCrash as exc:
+            self._retry_or_fail(attempt, STATUS_CRASHED, str(exc), pending, result)
+            return False
+        except Exception as exc:  # noqa: BLE001 — any job error is a job failure
+            self._retry_or_fail(
+                attempt,
+                STATUS_FAILED,
+                f"{type(exc).__name__}: {exc}",
+                pending,
+                result,
+            )
+            return False
+        record = self._record(
+            attempt, STATUS_OK, out["duration"], metrics=out["metrics"]
+        )
+        result.records.append(record)
+        result.counts[STATUS_OK] = result.counts.get(STATUS_OK, 0) + 1
+        self._emit(
+            f"ok {job.job_id} {job.params_dict()} trial={job.trial} "
+            f"({out['duration']:.2f}s, attempt {attempt.attempt + 1})"
+        )
+        return False
+
+    # -- the main loop --------------------------------------------------
+    def run(self, resume: bool = False) -> CampaignResult:
+        """Execute every job that has no record yet; return aggregate
+        counts.  With ``resume`` an existing campaign directory is
+        continued instead of rejected."""
+        start = time.monotonic()
+        self.store.open_campaign(self.spec, resume=resume)
+
+        all_jobs = self.spec.jobs()
+        done_ids = self.store.completed_ids()
+        pending = [
+            _Attempt(job=job, position=position)
+            for position, job in enumerate(all_jobs)
+            if job.job_id not in done_ids
+        ]
+        result = CampaignResult(skipped=len(all_jobs) - len(pending))
+        if result.skipped:
+            self._emit(f"resume: skipping {result.skipped} recorded jobs")
+
+        self._executor = self._factory()
+        in_flight: dict[Future, _Attempt] = {}
+        try:
+            while pending or in_flight:
+                now = time.monotonic()
+                # Fill free slots with eligible attempts.
+                free = self.workers - len(in_flight)
+                submitted_any = False
+                for _ in range(free):
+                    index = next(
+                        (
+                            i
+                            for i, a in enumerate(pending)
+                            if a.eligible_at <= now
+                        ),
+                        None,
+                    )
+                    if index is None:
+                        break
+                    attempt = pending.pop(index)
+                    attempt.submitted_at = now
+                    try:
+                        future = self._executor.submit(
+                            _execute_payload, self._payload(attempt)
+                        )
+                    except BrokenExecutor:
+                        # The pool was already dead; this attempt never
+                        # ran, so requeue it without charging a retry.
+                        pending.append(attempt)
+                        self._rebuild(in_flight, pending, result)
+                        break
+                    in_flight[future] = attempt
+                    submitted_any = True
+
+                if not in_flight:
+                    if pending and not submitted_any:
+                        soonest = min(a.eligible_at for a in pending)
+                        time.sleep(max(0.0, min(soonest - now, 0.2)))
+                    continue
+
+                finished, _ = wait(
+                    set(in_flight), timeout=0.2, return_when=FIRST_COMPLETED
+                )
+                broke = False
+                for future in finished:
+                    attempt = in_flight.pop(future)
+                    if self._handle_outcome(attempt, future, pending, result):
+                        self._retry_or_fail(
+                            attempt,
+                            STATUS_CRASHED,
+                            "worker process died (pool broken)",
+                            pending,
+                            result,
+                        )
+                        broke = True
+                if broke:
+                    self._rebuild(in_flight, pending, result)
+        finally:
+            self._executor.shutdown(wait=True)
+
+        result.elapsed_seconds = time.monotonic() - start
+        counts = dict(result.counts)
+        counts["skipped"] = result.skipped
+        self.store.finalize(counts)
+        self._emit(result.summary())
+        return result
+
+    def _rebuild(
+        self, in_flight: dict, pending: list, result: CampaignResult
+    ) -> None:
+        """A worker died and took the pool with it: charge every
+        in-flight job one attempt (retry or record the crash), then
+        start a fresh pool and keep going."""
+        for attempt in list(in_flight.values()):
+            attempt.submitted_at = 0.0
+            self._retry_or_fail(
+                attempt,
+                STATUS_CRASHED,
+                "worker process died (pool broken)",
+                pending,
+                result,
+            )
+        in_flight.clear()
+        self._emit("worker pool broke (crashed worker); rebuilding pool")
+        try:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # noqa: BLE001 — a broken pool may refuse shutdown
+            pass
+        self._executor = self._factory()

@@ -1,0 +1,216 @@
+"""Persistent campaign results: a manifest plus append-only JSONL.
+
+Layout of one campaign directory::
+
+    <root>/
+      manifest.json    spec (verbatim), spec hash, git revision,
+                       started/finished timestamps, outcome counts
+      results.jsonl    one JSON record per finished job attempt chain
+
+``results.jsonl`` is append-only and flushed per record, so a campaign
+killed mid-run loses at most the job in flight; :meth:`ResultStore.load_records`
+tolerates a torn final line.  Resume is then trivial: skip every job
+whose id already has a record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional
+
+from repro.campaign.spec import CampaignSpec, JobSpec
+
+MANIFEST_NAME = "manifest.json"
+RESULTS_NAME = "results.jsonl"
+
+STATUS_OK = "ok"
+STATUS_FAILED = "failed"
+STATUS_TIMEOUT = "timeout"
+STATUS_CRASHED = "crashed"
+
+
+def git_revision(cwd: Optional[str] = None) -> str:
+    """Current git commit hash, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return "unknown"
+    return out.stdout.strip() if out.returncode == 0 else "unknown"
+
+
+@dataclass
+class JobRecord:
+    """The persisted outcome of one job (after all its attempts)."""
+
+    job_id: str
+    experiment: str
+    params: dict
+    trial: int
+    seed: int
+    status: str  # one of the STATUS_* constants
+    attempts: int
+    duration_seconds: float
+    metrics: Optional[dict] = None  # experiment output when status == ok
+    error: Optional[str] = None  # last failure message otherwise
+    finished_at: float = field(default_factory=time.time)
+
+    @property
+    def ok(self) -> bool:
+        """Whether the job produced usable metrics."""
+        return self.status == STATUS_OK
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (one JSONL line)."""
+        return {
+            "job_id": self.job_id,
+            "experiment": self.experiment,
+            "params": self.params,
+            "trial": self.trial,
+            "seed": self.seed,
+            "status": self.status,
+            "attempts": self.attempts,
+            "duration_seconds": self.duration_seconds,
+            "metrics": self.metrics,
+            "error": self.error,
+            "finished_at": self.finished_at,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "JobRecord":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            job_id=data["job_id"],
+            experiment=data["experiment"],
+            params=dict(data["params"]),
+            trial=int(data["trial"]),
+            seed=int(data["seed"]),
+            status=data["status"],
+            attempts=int(data["attempts"]),
+            duration_seconds=float(data["duration_seconds"]),
+            metrics=data.get("metrics"),
+            error=data.get("error"),
+            finished_at=float(data.get("finished_at", 0.0)),
+        )
+
+
+class ResultStore:
+    """One campaign directory: manifest + append-only result log."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        self.manifest_path = self.root / MANIFEST_NAME
+        self.results_path = self.root / RESULTS_NAME
+
+    # -- manifest -------------------------------------------------------
+    def exists(self) -> bool:
+        """Whether this directory already holds a campaign."""
+        return self.manifest_path.exists()
+
+    def open_campaign(self, spec: CampaignSpec, resume: bool = False) -> dict:
+        """Create (or, with ``resume``, re-open) the campaign directory.
+
+        Refuses to reuse a directory written by a *different* spec — a
+        resumed campaign must be the same campaign, or its aggregates
+        would silently mix incompatible jobs.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        if self.exists():
+            manifest = self.load_manifest()
+            if manifest.get("spec_hash") != spec.spec_hash():
+                raise ValueError(
+                    f"{self.root} holds campaign "
+                    f"{manifest.get('spec_hash')!r} but the spec hashes to "
+                    f"{spec.spec_hash()!r}; use a fresh directory"
+                )
+            if not resume:
+                raise FileExistsError(
+                    f"{self.root} already holds this campaign; "
+                    f"pass resume=True (CLI: `campaign resume`) to continue it"
+                )
+            manifest["resumed_at"] = time.time()
+            manifest.pop("finished_at", None)
+            self._write_manifest(manifest)
+            return manifest
+        manifest = {
+            "spec": spec.to_dict(),
+            "spec_hash": spec.spec_hash(),
+            "n_jobs": spec.n_jobs(),
+            "git_revision": git_revision(),
+            "started_at": time.time(),
+        }
+        self._write_manifest(manifest)
+        return manifest
+
+    def load_manifest(self) -> dict:
+        """Read the manifest (raises ``FileNotFoundError`` when absent)."""
+        with open(self.manifest_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+
+    def load_spec(self) -> CampaignSpec:
+        """Rehydrate the campaign's spec from the manifest — what lets
+        ``campaign resume <dir>`` run without the original spec file."""
+        return CampaignSpec.from_dict(self.load_manifest()["spec"])
+
+    def finalize(self, counts: dict) -> None:
+        """Stamp completion time and outcome counts into the manifest."""
+        manifest = self.load_manifest()
+        manifest["finished_at"] = time.time()
+        manifest["outcomes"] = dict(counts)
+        self._write_manifest(manifest)
+
+    def _write_manifest(self, manifest: dict) -> None:
+        tmp = self.manifest_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.manifest_path)
+
+    # -- results --------------------------------------------------------
+    def append(self, record: JobRecord) -> None:
+        """Append one finished job, durably (flush per line)."""
+        with open(self.results_path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True))
+            handle.write("\n")
+            handle.flush()
+            os.fsync(handle.fileno())
+
+    def load_records(self) -> dict[str, JobRecord]:
+        """All persisted records, last write per job id winning.
+
+        A torn final line (the process died mid-append) is skipped
+        rather than poisoning the whole campaign.
+        """
+        records: dict[str, JobRecord] = {}
+        if not self.results_path.exists():
+            return records
+        with open(self.results_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = JobRecord.from_dict(json.loads(line))
+                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                    continue  # torn or foreign line
+                records[record.job_id] = record
+        return records
+
+    def completed_ids(self) -> set[str]:
+        """Job ids that already have a record — what resume skips."""
+        return set(self.load_records())
+
+    def pending_jobs(self, spec: CampaignSpec) -> list[JobSpec]:
+        """The spec's jobs that have no record yet, in expansion order."""
+        done = self.completed_ids()
+        return [job for job in spec.jobs() if job.job_id not in done]

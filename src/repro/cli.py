@@ -1,22 +1,30 @@
 """Command-line interface to the reproduction.
 
 Mirrors the paper's tooling workflow: point TaintChannel at a target,
-run the end-to-end attacks, or regenerate the survey — all from a shell.
+run the end-to-end attacks, regenerate the survey, or drive a whole
+experiment campaign — all from a shell.
 
     python -m repro taintchannel zlib --lowercase 600
     python -m repro sgx-attack --size 2000
     python -m repro fingerprint --corpus lipsum --traces 40
     python -m repro survey --size 800
+    python -m repro campaign run examples/specs/lzw_noise_sweep.json \
+        --out runs/lzw --workers 4
+    python -m repro campaign resume runs/lzw
+    python -m repro campaign report runs/lzw
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Optional, Sequence
+from typing import Optional, Sequence
 
-from repro.compression import bzip2_compress, deflate_compress, lzw_compress
+from repro.compression import deflate_compress, lzw_compress
 from repro.workloads import english_like, lowercase_ascii, random_bytes
+
+# The shared notion of "analyse target X on input Y" lives with the tool.
+from repro.core.taintchannel.tool import target_for as _target_for
 
 
 def _load_input(args: argparse.Namespace) -> bytes:
@@ -30,29 +38,18 @@ def _load_input(args: argparse.Namespace) -> bytes:
     return random_bytes(args.random, seed=args.seed)
 
 
-def _target_for(name: str, data: bytes) -> Callable:
-    if name == "zlib":
-        return lambda ctx: deflate_compress(data, ctx)
-    if name == "lzw":
-        return lambda ctx: lzw_compress(data, ctx)
-    if name == "bzip2":
-        return lambda ctx: bzip2_compress(data, ctx, block_size=len(data))
-    if name == "aes":
-        from repro.crypto.aes import aes128_encrypt_block
-
-        key = (data * 16)[:16] if data else b"\x00" * 16
-        block = (data[16:] + b"\x00" * 16)[:16]
-        return lambda ctx: aes128_encrypt_block(key, block, ctx)
-    raise ValueError(f"unknown target {name!r}")
-
-
 def cmd_taintchannel(args: argparse.Namespace) -> int:
     """Run TaintChannel on a named target and render its gadgets."""
     from repro.core.taintchannel import TaintChannel
 
     data = _load_input(args)
     tc = TaintChannel(carry_aware_add=args.carry_aware, max_events=args.max_events)
-    result = tc.analyze(args.target, _target_for(args.target, data))
+    try:
+        target = _target_for(args.target, data)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    result = tc.analyze(args.target, target)
     print(result.summary())
     gadgets = result.gadgets
     if args.gadget:
@@ -170,6 +167,83 @@ def cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_pieces(args: argparse.Namespace, spec=None):
+    """Build (spec, store, runner) from parsed campaign arguments."""
+    from repro.campaign import CampaignRunner, ResultStore
+    from repro.campaign.spec import CampaignSpec
+
+    if spec is None:
+        spec = CampaignSpec.from_json_file(args.spec)
+    out = getattr(args, "out", None) or f"runs/{spec.name}"
+    store = ResultStore(out)
+    runner = CampaignRunner(
+        spec,
+        store,
+        workers=args.workers,
+        on_event=None if args.quiet else print,
+    )
+    return spec, store, runner
+
+
+def _campaign_exit_code(result) -> int:
+    """0 if every job succeeded, 1 if every job terminally failed,
+    3 on partial failure — so scripts/CI can tell the cases apart."""
+    failed = sum(v for k, v in result.counts.items() if k != "ok")
+    if not failed:
+        return 0
+    return 1 if result.counts.get("ok", 0) == 0 else 3
+
+
+def cmd_campaign_run(args: argparse.Namespace) -> int:
+    """Expand a spec file into jobs and run them in parallel."""
+    spec, store, runner = _campaign_pieces(args)
+    print(
+        f"campaign {spec.name!r}: {spec.n_jobs()} jobs of "
+        f"{spec.experiment!r} -> {store.root} "
+        f"({args.workers} worker{'s' if args.workers != 1 else ''})"
+    )
+    result = runner.run(resume=args.resume)
+    print(result.summary())
+    return _campaign_exit_code(result)
+
+
+def cmd_campaign_resume(args: argparse.Namespace) -> int:
+    """Continue an interrupted campaign from its result directory: the
+    spec is rehydrated from the manifest and recorded jobs are skipped."""
+    from repro.campaign import ResultStore
+
+    store = ResultStore(args.dir)
+    if not store.exists():
+        print(f"error: no campaign manifest in {args.dir}", file=sys.stderr)
+        return 2
+    args.out = args.dir
+    spec, store, runner = _campaign_pieces(args, spec=store.load_spec())
+    result = runner.run(resume=True)
+    print(result.summary())
+    return _campaign_exit_code(result)
+
+
+def cmd_campaign_report(args: argparse.Namespace) -> int:
+    """Render the per-cell aggregate report for a campaign directory."""
+    from repro.campaign import ResultStore, render_report
+
+    store = ResultStore(args.dir)
+    if not store.exists():
+        print(f"error: no campaign manifest in {args.dir}", file=sys.stderr)
+        return 2
+    print(render_report(store))
+    return 0
+
+
+def cmd_campaign_list(args: argparse.Namespace) -> int:
+    """List the experiments campaigns can run."""
+    from repro.campaign import available_experiments
+
+    for name in available_experiments():
+        print(name)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -220,13 +294,53 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_survey)
 
+    p = sub.add_parser(
+        "campaign",
+        help="parallel experiment campaigns with a persistent result store",
+    )
+    csub = p.add_subparsers(dest="campaign_command", required=True)
+
+    c = csub.add_parser("run", help="run a campaign from a JSON spec file")
+    c.add_argument("spec", help="path to the campaign spec (JSON)")
+    c.add_argument("--out", help="result directory (default runs/<name>)")
+    c.add_argument("--workers", type=int, default=1,
+                   help="parallel worker processes")
+    c.add_argument("--resume", action="store_true",
+                   help="continue if the directory already holds this campaign")
+    c.add_argument("--quiet", action="store_true",
+                   help="suppress per-job progress lines")
+    c.set_defaults(func=cmd_campaign_run)
+
+    c = csub.add_parser(
+        "resume", help="continue an interrupted campaign directory"
+    )
+    c.add_argument("dir", help="campaign result directory")
+    c.add_argument("--workers", type=int, default=1)
+    c.add_argument("--quiet", action="store_true")
+    c.set_defaults(func=cmd_campaign_resume)
+
+    c = csub.add_parser("report", help="aggregate a campaign into markdown")
+    c.add_argument("dir", help="campaign result directory")
+    c.set_defaults(func=cmd_campaign_report)
+
+    c = csub.add_parser("list", help="list registered experiments")
+    c.set_defaults(func=cmd_campaign_list)
+
     return parser
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # Downstream pipe (e.g. `| head`) closed early; not an error.
+        # Detach stdout so interpreter shutdown doesn't re-raise on flush.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -108,8 +108,12 @@ def lzw_compress(
                 # Secondary probing, as in compress.c.  ``hp -= disp; if
                 # (hp < 0) hp += HSIZE`` is expressed modularly because
                 # our tainted ints are unsigned; HSIZE is a power of two
-                # so the reduction is a taint-preserving mask.
-                disp = HSIZE - value_of(hp) if value_of(hp) != 0 else 1
+                # so the reduction is a taint-preserving mask.  The step
+                # is forced odd: compress.c's prime table size makes any
+                # displacement walk every slot, but with a power-of-two
+                # table an even step cycles through a fraction of the
+                # slots and can loop forever once the table freezes.
+                disp = HSIZE - (value_of(hp) | 1)
                 while True:
                     ctx.tick(2)
                     hp = (hp + (HSIZE - disp)) % HSIZE

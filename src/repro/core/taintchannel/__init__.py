@@ -13,7 +13,7 @@ mainSort/fallbackSort divergence and memcpy's AVX-tail split.
 """
 
 from repro.core.taintchannel.gadgets import Gadget, AnalysisResult
-from repro.core.taintchannel.tool import TaintChannel
+from repro.core.taintchannel.tool import TaintChannel, run_gadget_scan, target_for
 from repro.core.taintchannel.controlflow import (
     ControlFlowDivergence,
     diff_function_traces,
@@ -23,6 +23,8 @@ from repro.core.taintchannel.report import render_access, render_gadget
 
 __all__ = [
     "TaintChannel",
+    "run_gadget_scan",
+    "target_for",
     "Gadget",
     "AnalysisResult",
     "ControlFlowDivergence",

@@ -25,6 +25,74 @@ from repro.exec.context import TracingContext
 
 Target = Callable[[TracingContext], object]
 
+KNOWN_TARGETS = ("zlib", "lzw", "bzip2", "aes")
+
+
+def target_for(name: str, data: bytes) -> Target:
+    """Build the standard analysis target for a named algorithm.
+
+    This is the CLI's and the campaign engine's shared notion of "point
+    the tool at zlib/lzw/bzip2/aes with this input".  The ``aes`` target
+    derives its key and plaintext block from ``data`` and therefore
+    refuses an empty input instead of silently analysing an all-zero
+    key/block pair (which would make the key-recovery validation
+    meaningless).
+    """
+    from repro.compression import bzip2_compress, deflate_compress, lzw_compress
+
+    if not data and name in KNOWN_TARGETS:
+        raise ValueError(
+            f"target {name!r} needs a non-empty input "
+            f"(got 0 bytes; pass --random N with N > 0, --file, "
+            f"--lowercase or --text)"
+        )
+    if name == "zlib":
+        return lambda ctx: deflate_compress(data, ctx)
+    if name == "lzw":
+        return lambda ctx: lzw_compress(data, ctx)
+    if name == "bzip2":
+        return lambda ctx: bzip2_compress(data, ctx, block_size=len(data))
+    if name == "aes":
+        from repro.crypto.aes import aes128_encrypt_block
+
+        key = (data * 16)[:16]
+        block = (data[16:] + b"\x00" * 16)[:16]
+        return lambda ctx: aes128_encrypt_block(key, block, ctx)
+    raise ValueError(f"unknown target {name!r}")
+
+
+def run_gadget_scan(
+    target: str,
+    data: bytes,
+    carry_aware_add: bool = False,
+    max_events: int = 2_000_000,
+) -> dict:
+    """Analyse a named target and return a picklable metrics dict.
+
+    The campaign-runnable face of :class:`TaintChannel`: everything in
+    the return value is JSON-serialisable, so results survive a process
+    boundary and a JSONL store.
+    """
+    tc = TaintChannel(carry_aware_add=carry_aware_add, max_events=max_events)
+    result = tc.analyze(target, target_for(target, data))
+    return {
+        "target": result.target,
+        "input_len": result.input_len,
+        "n_gadgets": len(result.gadgets),
+        "n_events": result.n_events,
+        "n_compares": result.n_compares,
+        "input_coverage": result.input_coverage(),
+        "gadgets": [
+            {
+                "site": g.site,
+                "array": g.array,
+                "accesses": g.count,
+                "leaked_input_bytes": len(g.leaked_tags()),
+            }
+            for g in sorted(result.gadgets, key=lambda g: -g.count)
+        ],
+    }
+
 
 class TaintChannel:
     """Automatic cache side-channel gadget detector (Section III).

@@ -13,10 +13,12 @@ from repro.core.zipchannel.sgx_attack import (
     AttackConfig,
     AttackOutcome,
     SgxBzip2Attack,
+    run_extraction_experiment,
 )
 from repro.core.zipchannel.fingerprint import (
     FingerprintChannel,
     capture_trace,
+    run_fingerprint_experiment,
     victim_timeline,
 )
 
@@ -24,7 +26,9 @@ __all__ = [
     "SgxBzip2Attack",
     "AttackConfig",
     "AttackOutcome",
+    "run_extraction_experiment",
     "FingerprintChannel",
     "capture_trace",
+    "run_fingerprint_experiment",
     "victim_timeline",
 ]

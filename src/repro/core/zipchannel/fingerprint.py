@@ -136,6 +136,38 @@ def duration_only_feature(
     return np.array([timeline.duration * speed], dtype=np.float32)
 
 
+def run_fingerprint_experiment(
+    corpus: str = "lipsum",
+    traces: int = 10,
+    epochs: int = 20,
+    seed: int = 0,
+    hidden: int = 96,
+) -> dict:
+    """One campaign-runnable Section VI attack: capture traces of each
+    corpus file, train the classifier, return picklable metrics."""
+    from repro.classify import MLPClassifier, split_dataset
+    from repro.workloads import brotli_like_corpus, repetitiveness_series
+
+    if corpus == "brotli":
+        files = list(brotli_like_corpus().values())
+    elif corpus == "lipsum":
+        files = repetitiveness_series()
+    else:
+        raise ValueError(f"unknown corpus {corpus!r}")
+
+    x, y, _ = build_dataset(files, traces_per_file=traces, seed=seed)
+    train, val, test = split_dataset(x, y, seed=seed + 1)
+    clf = MLPClassifier(x.shape[1], len(files), hidden=hidden, seed=seed + 2)
+    clf.fit(*train, epochs=epochs, x_val=val[0], y_val=val[1])
+    return {
+        "test_accuracy": float(clf.accuracy(*test)),
+        "train_accuracy": float(clf.accuracy(*train)),
+        "n_files": len(files),
+        "chance": 1.0 / len(files),
+        "n_traces": int(x.shape[0]),
+    }
+
+
 def build_dataset(
     files: Sequence[bytes],
     traces_per_file: int,

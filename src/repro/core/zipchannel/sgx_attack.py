@@ -79,6 +79,20 @@ class AttackOutcome:
             f"{self.frame_remaps} frame remaps"
         )
 
+    def to_dict(self) -> dict:
+        """Picklable/JSON-ready metrics (drops the recovered buffer
+        itself — campaigns aggregate accuracies, not plaintexts)."""
+        return {
+            "bit_accuracy": self.bit_accuracy,
+            "byte_accuracy": self.byte_accuracy,
+            "elapsed_seconds": self.elapsed_seconds,
+            "faults": self.faults,
+            "victim_accesses": self.victim_accesses,
+            "frame_remaps": self.frame_remaps,
+            "observations_empty": self.observations_empty,
+            "observations_ambiguous": self.observations_ambiguous,
+        }
+
 
 class SgxBzip2Attack:
     """One attack instance over one secret buffer."""
@@ -224,3 +238,38 @@ class SgxBzip2Attack:
                 1 for o in per_index if o and len(o) > 1
             ),
         )
+
+
+def run_extraction_experiment(
+    size: int,
+    seed: int,
+    noise: int = 2,
+    use_cat: bool = True,
+    use_frame_selection: bool = True,
+    mitigated: bool = False,
+    secret_seed: int | None = None,
+) -> dict:
+    """One campaign-runnable Section V attack: build a random secret,
+    run the extraction, return picklable metrics.
+
+    ``seed`` seeds the secret unless ``secret_seed`` pins it (ablation
+    grids attack the *same* buffer across cells so the only variable is
+    the technique under test).
+    """
+    from repro.workloads import random_bytes
+
+    secret = random_bytes(size, seed=secret_seed if secret_seed is not None else seed)
+    config = AttackConfig(
+        use_cat=use_cat,
+        use_frame_selection=use_frame_selection,
+        background_noise_rate=noise,
+    )
+    if mitigated:
+        from repro.mitigations import oblivious_histogram
+
+        outcome = SgxBzip2Attack(
+            secret, config, victim_histogram=oblivious_histogram
+        ).run()
+    else:
+        outcome = SgxBzip2Attack(secret, config).run()
+    return outcome.to_dict()

@@ -53,7 +53,8 @@ def _replay_step(state: _ReplayState, c: int, observations: list[int],
     slot = state.htab.get(hp, -1)
     found = slot == fc
     if not found and slot >= 0:
-        disp = HSIZE - hp if hp != 0 else 1
+        # Odd-forced displacement, mirroring lzw_compress exactly.
+        disp = HSIZE - (hp | 1)
         while True:
             hp = (hp + (HSIZE - disp)) % HSIZE
             if not check(hp, pos):

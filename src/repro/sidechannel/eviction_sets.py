@@ -97,13 +97,16 @@ class EvictionSetBuilder:
             )
 
         while len(candidates) > ways:
-            n_groups = ways + 1
-            group_size = -(-len(candidates) // n_groups)
+            # Strided partition: every group is non-empty for any
+            # candidate count, so each accepted trial strictly shrinks
+            # the set and the loop terminates.
+            n_groups = min(ways + 1, len(candidates))
             for g in range(n_groups):
-                trial = (
-                    candidates[: g * group_size]
-                    + candidates[(g + 1) * group_size :]
-                )
+                trial = [
+                    addr
+                    for i, addr in enumerate(candidates)
+                    if i % n_groups != g
+                ]
                 if self.evicts(target, trial):
                     candidates = trial
                     break

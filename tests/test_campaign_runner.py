@@ -1,0 +1,251 @@
+"""Runner semantics: retries, timeouts, crash tolerance, resume.
+
+Everything here uses the in-process executor, so the full scheduling,
+retry and persistence machinery runs single-process and fast; one
+smoke test at the bottom goes through a real ``ProcessPoolExecutor``.
+"""
+
+import time
+
+import pytest
+
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    InProcessExecutor,
+    ResultStore,
+    register_experiment,
+)
+from repro.campaign.spec import FaultInjection
+
+CALLS: list = []
+
+
+@register_experiment("test_echo")
+def _echo(params: dict, seed: int) -> dict:
+    """Fast deterministic experiment for runner tests."""
+    CALLS.append((tuple(sorted(params.items())), seed))
+    return {"value": params.get("x", 0) * 10, "seed_mod": seed % 97}
+
+
+@register_experiment("test_flaky")
+def _flaky(params: dict, seed: int) -> dict:
+    """Fails every attempt for x >= threshold."""
+    if params.get("x", 0) >= params.get("threshold", 99):
+        raise RuntimeError(f"boom x={params['x']}")
+    return {"value": params.get("x", 0)}
+
+
+@register_experiment("test_sleepy")
+def _sleepy(params: dict, seed: int) -> dict:
+    """Sleeps; used for timeout and wall-clock parallelism tests."""
+    time.sleep(params.get("sleep", 0.01))
+    return {"slept": params.get("sleep", 0.01)}
+
+
+def run_spec(spec, tmp_path, resume=False, workers=1, factory=InProcessExecutor):
+    store = ResultStore(tmp_path / spec.name)
+    runner = CampaignRunner(
+        spec, store, workers=workers, executor_factory=factory
+    )
+    return runner.run(resume=resume), store
+
+
+class TestHappyPath:
+    def test_all_jobs_recorded_ok(self, tmp_path):
+        spec = CampaignSpec(
+            name="ok", experiment="test_echo", grid={"x": [1, 2, 3]}, trials=2
+        )
+        result, store = run_spec(spec, tmp_path)
+        assert result.counts == {"ok": 6}
+        records = store.load_records()
+        assert len(records) == 6
+        assert all(r.ok and r.attempts == 1 for r in records.values())
+        assert {r.metrics["value"] for r in records.values()} == {10, 20, 30}
+
+    def test_experiment_receives_derived_seed(self, tmp_path):
+        CALLS.clear()
+        spec = CampaignSpec(
+            name="seeds", experiment="test_echo", grid={"x": [1]}, trials=3
+        )
+        run_spec(spec, tmp_path)
+        seeds = [seed for _, seed in CALLS]
+        assert len(set(seeds)) == 3
+        assert seeds == [job.seed for job in spec.jobs()]
+
+
+class TestRetries:
+    def test_injected_failure_then_retry_succeeds(self, tmp_path):
+        spec = CampaignSpec(
+            name="retry",
+            experiment="test_echo",
+            grid={"x": [1, 2, 3, 4]},
+            max_retries=2,
+            retry_backoff=0.0,
+            inject_failures=FaultInjection(count=2, attempts=1),
+        )
+        result, store = run_spec(spec, tmp_path)
+        assert result.counts == {"ok": 4}
+        attempts = sorted(r.attempts for r in store.load_records().values())
+        assert attempts == [1, 1, 2, 2]
+
+    def test_permanent_failure_recorded_not_raised(self, tmp_path):
+        spec = CampaignSpec(
+            name="fail",
+            experiment="test_flaky",
+            grid={"x": [1, 100]},
+            fixed={"threshold": 50},
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        result, store = run_spec(spec, tmp_path)
+        assert result.counts == {"ok": 1, "failed": 1}
+        failed = [r for r in store.load_records().values() if not r.ok]
+        assert len(failed) == 1
+        assert failed[0].attempts == 2  # first try + one retry
+        assert "boom x=100" in failed[0].error
+
+    def test_retry_backoff_delays_reattempt(self, tmp_path):
+        spec = CampaignSpec(
+            name="backoff",
+            experiment="test_echo",
+            grid={"x": [1]},
+            max_retries=1,
+            retry_backoff=0.15,
+            inject_failures=FaultInjection(count=1, attempts=1),
+        )
+        start = time.monotonic()
+        result, _ = run_spec(spec, tmp_path)
+        assert result.counts == {"ok": 1}
+        assert time.monotonic() - start >= 0.15
+
+
+class TestTimeout:
+    def test_overrunning_job_is_killed_and_recorded(self, tmp_path):
+        spec = CampaignSpec(
+            name="timeout",
+            experiment="test_sleepy",
+            grid={"sleep": [0.01, 5.0]},
+            timeout_seconds=0.25,
+            max_retries=0,
+        )
+        start = time.monotonic()
+        result, store = run_spec(spec, tmp_path)
+        assert time.monotonic() - start < 3.0  # the 5 s job did not run out
+        assert result.counts == {"ok": 1, "timeout": 1}
+        timed_out = [r for r in store.load_records().values() if not r.ok]
+        assert timed_out[0].status == "timeout"
+        assert "0.25" in timed_out[0].error
+
+
+class TestCrashTolerance:
+    def test_crashed_worker_recorded_campaign_continues(self, tmp_path):
+        spec = CampaignSpec(
+            name="crash",
+            experiment="test_echo",
+            grid={"x": [1, 2, 3]},
+            max_retries=0,
+            inject_failures=FaultInjection(count=1, attempts=1, mode="crash"),
+        )
+        result, store = run_spec(spec, tmp_path)
+        assert result.counts == {"ok": 2, "crashed": 1}
+        records = store.load_records()
+        assert len(records) == 3  # the crash is a record, not an abort
+
+    def test_crash_then_retry_succeeds(self, tmp_path):
+        spec = CampaignSpec(
+            name="crash-retry",
+            experiment="test_echo",
+            grid={"x": [1, 2]},
+            max_retries=1,
+            retry_backoff=0.0,
+            inject_failures=FaultInjection(count=1, attempts=1, mode="crash"),
+        )
+        result, _ = run_spec(spec, tmp_path)
+        assert result.counts == {"ok": 2}
+
+
+class TestResume:
+    def spec(self):
+        return CampaignSpec(
+            name="resume", experiment="test_echo", grid={"x": [1, 2, 3]}, trials=2
+        )
+
+    def test_fresh_directory_rejects_resumeless_rerun(self, tmp_path):
+        run_spec(self.spec(), tmp_path)
+        with pytest.raises(FileExistsError, match="resume"):
+            run_spec(self.spec(), tmp_path)
+
+    def test_resume_skips_completed_jobs(self, tmp_path):
+        run_spec(self.spec(), tmp_path)
+        CALLS.clear()
+        result, _ = run_spec(self.spec(), tmp_path, resume=True)
+        assert result.skipped == 6
+        assert result.counts == {}
+        assert CALLS == []  # nothing re-executed
+
+    def test_resume_runs_only_missing_jobs(self, tmp_path):
+        spec = self.spec()
+        result, store = run_spec(spec, tmp_path)
+        # Simulate an interruption: drop the records of two jobs.
+        records = store.load_records()
+        keep = list(records)[:-2]
+        store.results_path.write_text(
+            "".join(
+                __import__("json").dumps(records[k].to_dict()) + "\n" for k in keep
+            )
+        )
+        result, store = run_spec(spec, tmp_path, resume=True)
+        assert result.skipped == 4
+        assert result.counts == {"ok": 2}
+        assert len(store.load_records()) == 6
+
+    def test_resume_different_spec_rejected(self, tmp_path):
+        run_spec(self.spec(), tmp_path)
+        other = CampaignSpec(
+            name="resume", experiment="test_echo", grid={"x": [9]}, trials=2
+        )
+        with pytest.raises(ValueError, match="fresh directory"):
+            run_spec(other, tmp_path, resume=True)
+
+
+class TestProcessPool:
+    def test_real_pool_end_to_end_with_injected_crash(self, tmp_path):
+        """Smoke the default ProcessPoolExecutor path: real workers, a
+        real ``os._exit`` crash, pool rebuild, retry, full recovery."""
+        spec = CampaignSpec(
+            name="pool",
+            experiment="lzw_recovery",  # importable by worker processes
+            grid={"size": [30, 40]},
+            trials=1,
+            max_retries=2,
+            retry_backoff=0.0,
+            timeout_seconds=60,
+            inject_failures=FaultInjection(count=1, attempts=1, mode="crash"),
+        )
+        store = ResultStore(tmp_path / "pool")
+        result = CampaignRunner(spec, store, workers=2).run()
+        assert result.counts == {"ok": 2}
+        records = store.load_records()
+        assert all(r.ok for r in records.values())
+        assert max(r.attempts for r in records.values()) >= 2
+
+    def test_parallel_workers_cut_wall_time(self, tmp_path):
+        """Scheduler-level parallelism: sleep-bound jobs finish faster
+        with 4 workers than with 1 regardless of core count."""
+        def spec(name):
+            return CampaignSpec(
+                name=name,
+                experiment="test_sleepy",
+                grid={"i": list(range(8))},
+                fixed={"sleep": 0.15},
+            )
+
+        start = time.monotonic()
+        result1, _ = run_spec(spec("w1"), tmp_path, workers=1, factory=None)
+        serial = time.monotonic() - start
+        start = time.monotonic()
+        result4, _ = run_spec(spec("w4"), tmp_path, workers=4, factory=None)
+        parallel = time.monotonic() - start
+        assert result1.counts == result4.counts == {"ok": 8}
+        assert parallel < serial
