@@ -1,0 +1,82 @@
+"""REPLAY: the capture-once/analyze-many payoff of `repro.traces`.
+
+An analysis sweep over the FIG7 corpus (hyperparameters, classifier
+seeds, ablations) re-runs the *analysis* N times but needs the victim
+simulated only once.  This bench measures exactly that trade on the
+brotli-style corpus: N live experiments (each re-capturing every
+Flush+Reload trace) vs one capture into a trace store followed by N
+replayed experiments — and asserts the replayed metrics are *identical*
+to the live ones, so the speedup is free.
+"""
+
+import time
+
+from repro.core.zipchannel.fingerprint import run_fingerprint_experiment
+from repro.traces import (
+    TraceStore,
+    capture_fingerprint_traces,
+    fingerprint_experiment_from_store,
+)
+
+CORPUS = "brotli"
+TRACES_PER_FILE = 4
+EPOCHS = 6
+SEED = 77
+N_ANALYSES = 10
+
+
+def test_bench_trace_replay(benchmark, experiment_report, tmp_path):
+    store = TraceStore(tmp_path / "fig7.trstore")
+
+    t0 = time.perf_counter()
+    live = [
+        run_fingerprint_experiment(
+            corpus=CORPUS, traces=TRACES_PER_FILE, epochs=EPOCHS, seed=SEED
+        )
+        for _ in range(N_ANALYSES)
+    ]
+    resimulate_time = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    capture_fingerprint_traces(
+        store, "fig7", corpus=CORPUS, traces_per_file=TRACES_PER_FILE,
+        seed=SEED,
+    )
+    capture_time = time.perf_counter() - t0
+
+    def analyze_n_from_store():
+        return [
+            fingerprint_experiment_from_store(
+                store, "fig7", epochs=EPOCHS, seed=SEED
+            )
+            for _ in range(N_ANALYSES)
+        ]
+
+    t0 = time.perf_counter()
+    replayed = benchmark.pedantic(analyze_n_from_store, rounds=1, iterations=1)
+    replay_time = time.perf_counter() - t0
+
+    assert replayed == live  # replay fidelity: same metrics, exactly
+
+    speedup = resimulate_time / replay_time
+    benchmark.extra_info["resimulate_n_seconds"] = round(resimulate_time, 3)
+    benchmark.extra_info["capture_once_seconds"] = round(capture_time, 3)
+    benchmark.extra_info["replay_n_seconds"] = round(replay_time, 3)
+    benchmark.extra_info["n_analyses"] = N_ANALYSES
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    experiment_report(
+        f"Trace replay — analyze x{N_ANALYSES} on the Fig. 7 corpus",
+        [
+            ("re-simulate xN", "-", f"{resimulate_time:.2f}s"),
+            ("capture once", "-", f"{capture_time:.2f}s"),
+            ("replay xN", "-", f"{replay_time:.2f}s"),
+            ("analysis speedup", ">=3x", f"{speedup:.1f}x"),
+            ("metrics drift", "0", "0 (bit-exact)"),
+        ],
+    )
+
+    # The store pays for itself even within a single sweep: one capture
+    # plus N replays beats N live runs, and the analyses alone are >=3x
+    # faster once traces are on disk.
+    assert speedup >= 3.0
+    assert capture_time + replay_time < resimulate_time

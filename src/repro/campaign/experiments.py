@@ -220,6 +220,105 @@ def survey_recovery(params: dict, seed: int) -> dict:
     }
 
 
+@register_experiment("trace_capture")
+def trace_capture(params: dict, seed: int) -> dict:
+    """Capture victim traces into a :class:`repro.traces.TraceStore`.
+
+    The capture half of a capture-once/analyze-many campaign: one sweep
+    runs this into a shared store, a second sweep runs
+    ``survey_from_store`` / ``fingerprint_from_store`` against it.
+
+    Params: ``store`` (directory, required), ``kind`` (``survey`` |
+    ``fingerprint``), ``sweep_seed`` (pins the trace ids so analysis
+    cells can find them; defaults to the job seed), plus ``size`` for
+    survey captures and ``corpus``/``traces``/``work_factor`` for
+    fingerprint captures.
+    """
+    from repro.traces import TraceStore
+    from repro.traces.capture import (
+        capture_fingerprint_traces,
+        capture_survey_traces,
+    )
+
+    store = TraceStore(params["store"])
+    kind = params.get("kind", "survey")
+    sweep_seed = int(params.get("sweep_seed", seed))
+    if kind == "survey":
+        entries = capture_survey_traces(
+            store,
+            size=int(params.get("size", 300)),
+            seed=sweep_seed,
+            overwrite=True,
+        )
+    elif kind == "fingerprint":
+        corpus = params.get("corpus", "lipsum")
+        traces = int(params.get("traces", 10))
+        entries = [
+            capture_fingerprint_traces(
+                store,
+                f"fingerprint-{corpus}-t{traces}-s{sweep_seed}",
+                corpus=corpus,
+                traces_per_file=traces,
+                seed=sweep_seed,
+                work_factor=params.get("work_factor"),
+                overwrite=True,
+                extra_meta={"experiment": "fingerprint"},
+            )
+        ]
+    else:
+        raise ValueError(f"unknown capture kind {kind!r}")
+    return {
+        "trace_ids": [e.trace_id for e in entries],
+        "n_records": sum(e.n_records for e in entries),
+        "size_bytes": sum(e.size_bytes for e in entries),
+    }
+
+
+@register_experiment("survey_from_store")
+def survey_from_store(params: dict, seed: int) -> dict:
+    """The Section IV survey, replayed from stored traces.
+
+    Same metrics dict as ``survey_recovery`` — but the victim is never
+    re-simulated.  Params: ``store``, ``size``, ``sweep_seed`` (must
+    match the capture cell; defaults to the job seed).
+    """
+    from repro.traces import TraceStore
+    from repro.traces.replay import survey_from_store as replay_survey
+
+    return replay_survey(
+        TraceStore(params["store"]),
+        size=int(params.get("size", 300)),
+        sweep_seed=int(params.get("sweep_seed", seed)),
+    )
+
+
+@register_experiment("fingerprint_from_store")
+def fingerprint_from_store(params: dict, seed: int) -> dict:
+    """The Section VI classifier, trained from stored traces.
+
+    Params: ``store``, ``trace_id`` (or ``corpus``/``traces``/
+    ``sweep_seed`` to derive the id the capture cell used), ``epochs``,
+    ``hidden``; the job seed drives the split/initialisation exactly as
+    in the live ``fingerprint`` experiment.
+    """
+    from repro.traces import TraceStore
+    from repro.traces.replay import fingerprint_experiment_from_store
+
+    trace_id = params.get("trace_id")
+    if trace_id is None:
+        corpus = params.get("corpus", "lipsum")
+        traces = int(params.get("traces", 10))
+        sweep_seed = int(params.get("sweep_seed", seed))
+        trace_id = f"fingerprint-{corpus}-t{traces}-s{sweep_seed}"
+    return fingerprint_experiment_from_store(
+        TraceStore(params["store"]),
+        trace_id,
+        epochs=int(params.get("epochs", 20)),
+        seed=seed,
+        hidden=int(params.get("hidden", 96)),
+    )
+
+
 @register_experiment("mitigation_overhead")
 def mitigation_overhead(params: dict, seed: int) -> dict:
     """Section VIII costing: the full attack against the vulnerable and

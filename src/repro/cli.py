@@ -8,6 +8,8 @@ experiment campaign — all from a shell.
     python -m repro sgx-attack --size 2000
     python -m repro fingerprint --corpus lipsum --traces 40
     python -m repro survey --size 800
+    python -m repro trace capture --store corpus.trstore --size 600
+    python -m repro trace verify --store corpus.trstore
     python -m repro campaign run examples/specs/lzw_noise_sweep.json \
         --out runs/lzw --workers 4
     python -m repro campaign resume runs/lzw
@@ -167,6 +169,135 @@ def cmd_survey(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_trace_capture(args: argparse.Namespace) -> int:
+    """Capture victim traces into a trace store."""
+    from repro.traces import TraceStore
+    from repro.traces.capture import (
+        capture_fingerprint_traces,
+        capture_survey_traces,
+    )
+
+    store = TraceStore(args.store)
+    if args.species == "memory":
+        entries = capture_survey_traces(
+            store,
+            size=args.size,
+            seed=args.seed,
+            targets=args.targets or ("zlib", "lzw", "bzip2"),
+            overwrite=args.overwrite,
+        )
+    else:
+        trace_id = args.id or (
+            f"fingerprint-{args.corpus}-t{args.traces}-s{args.seed}"
+        )
+        entries = [
+            capture_fingerprint_traces(
+                store,
+                trace_id,
+                corpus=args.corpus,
+                traces_per_file=args.traces,
+                seed=args.seed,
+                overwrite=args.overwrite,
+            )
+        ]
+    for entry in entries:
+        print(
+            f"captured {entry.trace_id}: {entry.n_records} records, "
+            f"{entry.size_bytes} bytes, sha256 {entry.sha256[:12]}"
+        )
+    return 0
+
+
+def cmd_trace_list(args: argparse.Namespace) -> int:
+    """List the traces in a store."""
+    from repro.traces import TraceStore
+
+    store = TraceStore(args.store)
+    if not store.exists():
+        print(f"error: no trace store at {args.store}", file=sys.stderr)
+        return 2
+    entries = store.list(species=args.species)
+    for entry in entries:
+        meta = entry.meta
+        label = meta.get("target") or meta.get("corpus") or "-"
+        print(
+            f"{entry.trace_id:<40} {entry.species:<12} {label:<10} "
+            f"{entry.n_records:>9} rec {entry.size_bytes:>10} B"
+        )
+    if not entries:
+        print("(store is empty)")
+    return 0
+
+
+def cmd_trace_verify(args: argparse.Namespace) -> int:
+    """Verify stored traces against their hashes; exit 1 on corruption."""
+    from repro.traces import TraceStore
+
+    store = TraceStore(args.store)
+    if not store.exists():
+        print(f"error: no trace store at {args.store}", file=sys.stderr)
+        return 2
+    reports = store.verify(args.id)
+    bad = 0
+    for report in reports:
+        if report.ok:
+            print(f"ok      {report.trace_id}")
+        else:
+            bad += 1
+            print(f"CORRUPT {report.trace_id}: {report.problem}")
+    if not reports:
+        print("(store is empty)")
+    return 1 if bad else 0
+
+
+def cmd_trace_export(args: argparse.Namespace) -> int:
+    """Export one trace to JSON for external tooling."""
+    import json
+
+    from repro.traces import FingerprintCapture, TraceStore
+
+    store = TraceStore(args.store)
+    try:
+        entry = store.get(args.id)
+    except (KeyError, FileNotFoundError):
+        print(f"error: no trace {args.id!r} in {args.store}", file=sys.stderr)
+        return 2
+    records = []
+    for record in store.iter_records(args.id):
+        if isinstance(record, FingerprintCapture):
+            records.append(
+                {
+                    "label": record.label,
+                    "capture_seed": record.capture_seed,
+                    "trace": record.trace.tolist(),
+                }
+            )
+        else:
+            records.append(
+                {
+                    "seq": record.seq,
+                    "kind": record.kind,
+                    "array": record.array,
+                    "index": record.index,
+                    "elem_size": record.elem_size,
+                    "address": record.address,
+                    "cache_line": record.cache_line,
+                    "site": record.site,
+                    "tainted": bool(record.addr_taint),
+                }
+            )
+    payload = {"entry": entry.to_dict(), "records": records}
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {len(records)} records to {args.out}")
+    else:
+        json.dump(payload, sys.stdout, indent=2)
+        print()
+    return 0
+
+
 def _campaign_pieces(args: argparse.Namespace, spec=None):
     """Build (spec, store, runner) from parsed campaign arguments."""
     from repro.campaign import CampaignRunner, ResultStore
@@ -293,6 +424,51 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--size", type=int, default=600)
     p.add_argument("--seed", type=int, default=0)
     p.set_defaults(func=cmd_survey)
+
+    p = sub.add_parser(
+        "trace",
+        help="capture, inspect, and verify stored victim traces",
+    )
+    tsub = p.add_subparsers(dest="trace_command", required=True)
+
+    t = tsub.add_parser(
+        "capture", help="run a victim and store what the attacker saw"
+    )
+    t.add_argument("--store", required=True,
+                   help="trace store directory (conventionally *.trstore)")
+    t.add_argument("--species", choices=["memory", "fingerprint"],
+                   default="memory")
+    t.add_argument("--size", type=int, default=600,
+                   help="input bytes per memory-trace target")
+    t.add_argument("--targets", nargs="*",
+                   choices=["zlib", "lzw", "bzip2"],
+                   help="memory-trace targets (default: all three)")
+    t.add_argument("--corpus", choices=["brotli", "lipsum"],
+                   default="lipsum", help="fingerprint corpus")
+    t.add_argument("--traces", type=int, default=10,
+                   help="fingerprint captures per corpus file")
+    t.add_argument("--seed", type=int, default=0)
+    t.add_argument("--id", help="explicit trace id (fingerprint captures)")
+    t.add_argument("--overwrite", action="store_true")
+    t.set_defaults(func=cmd_trace_capture)
+
+    t = tsub.add_parser("list", help="list the traces in a store")
+    t.add_argument("--store", required=True)
+    t.add_argument("--species", choices=["memory", "fingerprint"])
+    t.set_defaults(func=cmd_trace_list)
+
+    t = tsub.add_parser(
+        "verify", help="check stored traces against their content hashes"
+    )
+    t.add_argument("--store", required=True)
+    t.add_argument("--id", help="verify a single trace")
+    t.set_defaults(func=cmd_trace_verify)
+
+    t = tsub.add_parser("export", help="export one trace as JSON")
+    t.add_argument("--store", required=True)
+    t.add_argument("--id", required=True)
+    t.add_argument("--out", help="output file (default: stdout)")
+    t.set_defaults(func=cmd_trace_export)
 
     p = sub.add_parser(
         "campaign",

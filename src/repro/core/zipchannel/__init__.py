@@ -17,7 +17,10 @@ from repro.core.zipchannel.sgx_attack import (
 )
 from repro.core.zipchannel.fingerprint import (
     FingerprintChannel,
+    capture_raw_trace,
     capture_trace,
+    derive_capture_seed,
+    pool_trace,
     run_fingerprint_experiment,
     victim_timeline,
 )
@@ -28,7 +31,10 @@ __all__ = [
     "AttackOutcome",
     "run_extraction_experiment",
     "FingerprintChannel",
+    "capture_raw_trace",
     "capture_trace",
+    "derive_capture_seed",
+    "pool_trace",
     "run_fingerprint_experiment",
     "victim_timeline",
 ]

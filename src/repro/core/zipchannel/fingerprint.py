@@ -20,9 +20,10 @@ The pipeline here matches the paper's:
 
 from __future__ import annotations
 
+import hashlib
 import random
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Optional, Sequence, Union
 
 import numpy as np
 
@@ -108,19 +109,50 @@ def pool_trace(trace: np.ndarray, width: int = TENSOR_WIDTH) -> np.ndarray:
     return trace[:, : stride * width].reshape(rows, width, stride).max(axis=2)
 
 
+def derive_capture_seed(base_seed: int, label: int, trace_index: int) -> int:
+    """Deterministic 63-bit seed for one capture of one file.
+
+    Each capture owns its randomness: reordering files, changing
+    ``traces_per_file``, or capturing a single trace in isolation (e.g.
+    replaying one stored-trace record from its metadata) all reproduce
+    the exact same sample stream.  This is the fingerprint analogue of
+    :func:`repro.campaign.spec.derive_seed`.
+    """
+    payload = f"fingerprint-capture:{base_seed}:{label}:{trace_index}"
+    digest = hashlib.sha256(payload.encode()).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFF_FFFF_FFFF_FFFF
+
+
+def _as_rng(rng: Union[int, random.Random]) -> random.Random:
+    """Accept either a seed or a ready RNG (seed preferred: it is
+    recordable in stored-trace metadata)."""
+    return random.Random(rng) if isinstance(rng, int) else rng
+
+
+def capture_raw_trace(
+    timeline: VictimTimeline,
+    rng: Union[int, random.Random],
+    channel: Optional[FingerprintChannel] = None,
+) -> np.ndarray:
+    """One unpooled 2 x N_SAMPLES hit/miss trace — the unit
+    :mod:`repro.traces` stores; :func:`pool_trace` turns it into the
+    classifier tensor."""
+    channel = channel or FingerprintChannel()
+    return channel.capture(timeline, _as_rng(rng))
+
+
 def capture_trace(
     timeline: VictimTimeline,
-    rng: random.Random,
+    rng: Union[int, random.Random],
     channel: Optional[FingerprintChannel] = None,
 ) -> np.ndarray:
     """One pooled, flattened feature vector for the classifier."""
-    channel = channel or FingerprintChannel()
-    return pool_trace(channel.capture(timeline, rng)).reshape(-1)
+    return pool_trace(capture_raw_trace(timeline, rng, channel)).reshape(-1)
 
 
 def duration_only_feature(
     timeline: VictimTimeline,
-    rng: random.Random,
+    rng: Union[int, random.Random],
     channel: Optional[FingerprintChannel] = None,
 ) -> np.ndarray:
     """The prior-work baseline feature: total execution time only.
@@ -132,7 +164,7 @@ def duration_only_feature(
     (speed jitter) as the trace channel, for head-to-head comparison.
     """
     channel = channel or FingerprintChannel()
-    speed = 1.0 + rng.uniform(-channel.speed_jitter, channel.speed_jitter)
+    speed = 1.0 + _as_rng(rng).uniform(-channel.speed_jitter, channel.speed_jitter)
     return np.array([timeline.duration * speed], dtype=np.float32)
 
 
@@ -179,12 +211,18 @@ def build_dataset(
 
     Returns ``(X, y, timelines)`` with X of shape
     ``(len(files) * traces_per_file, 2 * TENSOR_WIDTH)``.
+
+    Every capture gets its own :func:`derive_capture_seed` seed rather
+    than sharing one threaded RNG, so capture ``(label, i)`` is
+    reproducible in isolation — which is what lets
+    :mod:`repro.traces` record the seed per stored trace and replay any
+    single capture bit-exactly.
     """
-    rng = random.Random(seed)
     timelines = [victim_timeline(f, work_factor) for f in files]
     xs, ys = [], []
     for label, timeline in enumerate(timelines):
-        for _ in range(traces_per_file):
-            xs.append(capture_trace(timeline, rng, channel))
+        for i in range(traces_per_file):
+            capture_seed = derive_capture_seed(seed, label, i)
+            xs.append(capture_trace(timeline, capture_seed, channel))
             ys.append(label)
     return np.array(xs, dtype=np.float32), np.array(ys), timelines

@@ -1,0 +1,82 @@
+"""Trace capture, storage, and replay: capture-once / analyze-many.
+
+Every attack in this reproduction separates into an expensive victim
+simulation (a traced compression run, a 10,000-round Flush+Reload
+sweep) and a cheap analysis (recovery decoding, classifier training).
+This package decouples them:
+
+* :mod:`repro.traces.format` — compact, versioned, chunked binary
+  serialization for the two trace species the repo produces
+  (``memory`` access streams and ``fingerprint`` hit/miss tensors),
+  with per-record delta+varint coding and per-chunk CRCs;
+* :mod:`repro.traces.store` — an indexed on-disk :class:`TraceStore`
+  (``*.trstore`` directories) with list/get/put/verify and corruption
+  detection on read;
+* :mod:`repro.traces.capture` — run a victim once, persist the
+  attacker's observations plus the metadata analysis needs;
+* :mod:`repro.traces.replay` — adapters that feed stored traces to the
+  Section IV recovery decoders and the Section VI classifier,
+  bit-identically to live captures.
+
+CLI: ``python -m repro trace capture|list|verify|export``.  Campaign
+integration: the ``trace_capture_*`` / ``*_from_store`` experiments in
+:mod:`repro.campaign.experiments` capture a corpus in one sweep and fan
+analysis jobs out over it in another.
+"""
+
+from repro.traces.format import (
+    FORMAT_VERSION,
+    FingerprintCapture,
+    SPECIES_FINGERPRINT,
+    SPECIES_MEMORY,
+    TraceFormatError,
+    TraceReader,
+    TraceSummary,
+    TraceWriter,
+    deserialize_records,
+    iter_trace,
+    read_trace,
+    serialize_records,
+    write_trace,
+)
+from repro.traces.store import TraceEntry, TraceStore, VerifyReport, file_sha256
+from repro.traces.capture import (
+    capture_fingerprint_traces,
+    capture_memory_trace,
+    capture_survey_traces,
+)
+from repro.traces.replay import (
+    dataset_from_store,
+    fingerprint_experiment_from_store,
+    recover_from_trace,
+    replay_lines,
+    survey_from_store,
+)
+
+__all__ = [
+    "FORMAT_VERSION",
+    "FingerprintCapture",
+    "SPECIES_FINGERPRINT",
+    "SPECIES_MEMORY",
+    "TraceEntry",
+    "TraceFormatError",
+    "TraceReader",
+    "TraceStore",
+    "TraceSummary",
+    "TraceWriter",
+    "VerifyReport",
+    "capture_fingerprint_traces",
+    "capture_memory_trace",
+    "capture_survey_traces",
+    "dataset_from_store",
+    "deserialize_records",
+    "file_sha256",
+    "fingerprint_experiment_from_store",
+    "iter_trace",
+    "read_trace",
+    "recover_from_trace",
+    "replay_lines",
+    "serialize_records",
+    "survey_from_store",
+    "write_trace",
+]

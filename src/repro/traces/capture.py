@@ -1,0 +1,219 @@
+"""Victim-side capture: run a kernel once, persist what the attacker saw.
+
+Capture is the expensive half of every experiment — a traced bzip2 run
+or a 10,000-round Flush+Reload sweep re-executes the victim — so these
+helpers run it exactly once and stream the result into a
+:class:`~repro.traces.store.TraceStore`, together with everything an
+analysis pass later needs:
+
+* **memory traces** record the tainted :class:`MemoryAccess` stream of a
+  named survey target (``zlib``/``lzw``/``bzip2``), plus the array base
+  addresses and input provenance (kind, size, seed) in metadata — the
+  recovery decoders need the bases, and the input regenerates from its
+  seed for accuracy scoring without storing the secret itself;
+* **fingerprint traces** record one raw 2 x N_SAMPLES capture per
+  classifier example with its per-capture seed
+  (:func:`~repro.core.zipchannel.fingerprint.derive_capture_seed`), so a
+  stored dataset is bit-identical to the live
+  :func:`~repro.core.zipchannel.fingerprint.build_dataset` output under
+  the same base seed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Optional, Sequence
+
+from repro.traces.format import (
+    FingerprintCapture,
+    SPECIES_FINGERPRINT,
+    SPECIES_MEMORY,
+)
+from repro.traces.store import TraceEntry, TraceStore
+
+MEMORY_TARGETS = ("zlib", "lzw", "bzip2")
+FINGERPRINT_CORPORA = ("brotli", "lipsum")
+
+
+def _input_for(input_kind: str, size: int, seed: int) -> bytes:
+    from repro.campaign.experiments import make_input
+
+    return make_input(input_kind, size, seed)
+
+
+def default_input_kind(target: str) -> str:
+    """The survey's input regime per target: zlib's full recovery needs
+    lowercase ASCII (known high bits); the others use random bytes."""
+    return "lowercase" if target == "zlib" else "random"
+
+
+def run_memory_target(target: str, data: bytes):
+    """Run one survey target under tracing; returns the populated
+    :class:`~repro.exec.context.TracingContext`."""
+    from repro.exec import TracingContext
+
+    ctx = TracingContext()
+    if target == "zlib":
+        from repro.compression import deflate_compress
+
+        deflate_compress(data, ctx=ctx)
+    elif target == "lzw":
+        from repro.compression import lzw_compress
+
+        lzw_compress(data, ctx=ctx)
+    elif target == "bzip2":
+        from repro.compression.bzip2.blocksort import histogram
+
+        block = ctx.array("block", len(data))
+        for i, v in enumerate(ctx.input_bytes(data)):
+            block.set(i, v)
+        histogram(ctx, block, len(data))
+    else:
+        raise ValueError(
+            f"unknown memory-trace target {target!r}; "
+            f"choose from {MEMORY_TARGETS}"
+        )
+    return ctx
+
+
+def capture_memory_trace(
+    store: TraceStore,
+    trace_id: str,
+    target: str,
+    size: int,
+    seed: int,
+    input_kind: Optional[str] = None,
+    overwrite: bool = False,
+    extra_meta: Optional[dict] = None,
+) -> TraceEntry:
+    """Capture one survey target's tainted access trace into the store.
+
+    The stored metadata carries the recovery parameters (array bases,
+    input provenance); :mod:`repro.traces.replay` turns the pair back
+    into the exact inputs the Section IV decoders take.
+    """
+    input_kind = input_kind or default_input_kind(target)
+    data = _input_for(input_kind, size, seed)
+    ctx = run_memory_target(target, data)
+    meta = {
+        "species": SPECIES_MEMORY,
+        "target": target,
+        "input_kind": input_kind,
+        "size": size,
+        "input_seed": seed,
+        "input_sha256": hashlib.sha256(data).hexdigest(),
+        "bases": {name: arr.base for name, arr in ctx.arrays.items()},
+        **(extra_meta or {}),
+    }
+    with store.create(
+        trace_id, SPECIES_MEMORY, meta, overwrite=overwrite
+    ) as writer:
+        writer.extend(ctx.tainted_accesses())
+    assert writer.entry is not None
+    return writer.entry
+
+
+def fingerprint_corpus(corpus: str) -> list[bytes]:
+    """The named fingerprint corpus as an ordered file list (order is
+    the label assignment, so it must match live dataset assembly)."""
+    from repro.workloads import brotli_like_corpus, repetitiveness_series
+
+    if corpus == "brotli":
+        return list(brotli_like_corpus().values())
+    if corpus == "lipsum":
+        return repetitiveness_series()
+    raise ValueError(
+        f"unknown corpus {corpus!r}; choose from {FINGERPRINT_CORPORA}"
+    )
+
+
+def capture_fingerprint_traces(
+    store: TraceStore,
+    trace_id: str,
+    corpus: str,
+    traces_per_file: int,
+    seed: int,
+    channel_params: Optional[dict] = None,
+    work_factor: Optional[int] = None,
+    overwrite: bool = False,
+    extra_meta: Optional[dict] = None,
+) -> TraceEntry:
+    """Capture a whole fingerprint dataset into one stored trace.
+
+    One :class:`FingerprintCapture` record per (file, repetition), each
+    carrying its derived capture seed; the victim timeline is computed
+    once per file (the compression run) and sampled ``traces_per_file``
+    times (the cheap, noisy part) — same structure as live
+    :func:`~repro.core.zipchannel.fingerprint.build_dataset`.
+    """
+    from repro.core.zipchannel.fingerprint import (
+        FingerprintChannel,
+        capture_raw_trace,
+        derive_capture_seed,
+        victim_timeline,
+    )
+
+    files = fingerprint_corpus(corpus)
+    channel = FingerprintChannel(**(channel_params or {}))
+    meta = {
+        "species": SPECIES_FINGERPRINT,
+        "corpus": corpus,
+        "n_files": len(files),
+        "traces_per_file": traces_per_file,
+        "base_seed": seed,
+        "channel": {
+            "period": channel.period,
+            "p_false_negative": channel.p_false_negative,
+            "p_false_positive": channel.p_false_positive,
+            "speed_jitter": channel.speed_jitter,
+        },
+        "work_factor": work_factor,
+        **(extra_meta or {}),
+    }
+    with store.create(
+        trace_id, SPECIES_FINGERPRINT, meta, overwrite=overwrite
+    ) as writer:
+        for label, data in enumerate(files):
+            timeline = victim_timeline(data, work_factor)
+            for i in range(traces_per_file):
+                capture_seed = derive_capture_seed(seed, label, i)
+                writer.append(
+                    FingerprintCapture(
+                        label=label,
+                        capture_seed=capture_seed,
+                        trace=capture_raw_trace(timeline, capture_seed, channel),
+                    )
+                )
+    assert writer.entry is not None
+    return writer.entry
+
+
+def capture_survey_traces(
+    store: TraceStore,
+    size: int,
+    seed: int,
+    targets: Sequence[str] = MEMORY_TARGETS,
+    prefix: str = "survey",
+    overwrite: bool = False,
+) -> list[TraceEntry]:
+    """Capture every survey target in one sweep (the SURVEY corpus).
+
+    Seeds mirror :func:`repro.campaign.experiments.survey_recovery`:
+    zlib and lzw use ``seed``, bzip2 uses ``seed + 1`` — so replayed
+    recovery numbers are comparable 1:1 with the live experiment.
+    """
+    entries = []
+    for target in targets:
+        input_seed = seed + 1 if target == "bzip2" else seed
+        entries.append(
+            capture_memory_trace(
+                store,
+                f"{prefix}-{target}-n{size}-s{seed}",
+                target,
+                size,
+                input_seed,
+                overwrite=overwrite,
+                extra_meta={"experiment": "survey", "sweep_seed": seed},
+            )
+        )
+    return entries
