@@ -12,13 +12,26 @@ may *fill on a miss*; hits are served from any way.  This is exactly the
 property the paper exploits — "Intel CAT can effectively reduce the
 cache to a single way" for the victim/attacker partition, making
 evictions deterministic while other traffic is confined elsewhere.
+
+The access path is the hottest loop in the whole simulator (every
+victim instruction, every prime, every probe, every noise line lands
+here), so the line state lives in flat preallocated ``array('q')``
+buffers rather than per-set dicts, the slice hash is a 16-bit parity
+table plus a per-line memo, and latency noise draws its standard-normal
+variates from a prefetched buffer.  All of it is bit-compatible with
+the straightforward model it replaced: same hit/miss/eviction stream,
+same RNG consumption, same latencies to the last float bit.
 """
 
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from array import array
+from dataclasses import dataclass
+from math import cos as _cos, log as _log, pi as _pi, sin as _sin, sqrt as _sqrt
 from typing import Optional
+
+_TWOPI = 2.0 * _pi
 
 LINE_BITS = 6
 LINE_SIZE = 1 << LINE_BITS
@@ -59,24 +72,32 @@ class CacheConfig:
 
 # Slice-hash bit masks (per output bit, XOR-parity of the selected
 # physical address bits), shaped after the reverse-engineered Intel
-# functions.  Only bits >= LINE_BITS participate.
+# functions.  Only bits >= LINE_BITS participate, so the slice (and the
+# set, whose index bits sit directly above the offset) depend only on
+# the line address — which is what lets Cache memoise per line.
 _SLICE_MASKS = (
     0x1B5F575440,
     0x2EB5FAA880,
 )
 
+# Parity of every 16-bit value; _parity folds wider words onto it.
+_PARITY16 = bytes(bin(i).count("1") & 1 for i in range(1 << 16))
 
-@dataclass
+
+def _parity(x: int) -> int:
+    """XOR-parity of an address-sized (< 2**64) integer."""
+    x ^= x >> 32
+    x ^= x >> 16
+    return _PARITY16[x & 0xFFFF]
+
+
+@dataclass(slots=True)
 class AccessResult:
     """Outcome of one cache access."""
 
     hit: bool
     latency: float
     evicted: Optional[int] = None  # line address pushed out, if any
-
-
-def _parity(x: int) -> int:
-    return bin(x).count("1") & 1
 
 
 class PlruTree:
@@ -107,15 +128,23 @@ class PlruTree:
                 self.bits[node] = 0
                 node, lo = 2 * node + 2, mid
 
-    def victim(self, allowed: frozenset[int] | set[int] | tuple[int, ...]) -> int:
-        allowed_set = set(allowed)
+    def victim(self, allowed) -> int:
+        mask = 0
+        for w in allowed:
+            mask |= 1 << w
+        return self.victim_mask(mask)
+
+    def victim_mask(self, allowed_mask: int) -> int:
+        """Victim way given the allowed ways as a bitmask (bit w set =
+        way w allowed); subtree occupancy tests are single AND ops."""
+        bits = self.bits
         node = 0
         lo, hi = 0, self.ways
         while hi - lo > 1:
             mid = (lo + hi) // 2
-            left_ok = any(lo <= w < mid for w in allowed_set)
-            right_ok = any(mid <= w < hi for w in allowed_set)
-            go_right = self.bits[node] == 1
+            left_ok = allowed_mask & ((1 << mid) - (1 << lo))
+            right_ok = allowed_mask & ((1 << hi) - (1 << mid))
+            go_right = bits[node] == 1
             if go_right and not right_ok:
                 go_right = False
             elif not go_right and not left_ok:
@@ -127,12 +156,37 @@ class PlruTree:
         return lo
 
 
+# How many standard-normal variates to prefetch per refill of the
+# latency-noise buffer.
+_Z_BATCH = 512
+
+
 class Cache:
     """The shared last-level cache.
 
-    State per (slice, set) is a dict ``way -> (tag, stamp)``; LRU is by
-    global access stamp.  ``cos_masks`` maps a class of service to the
-    tuple of way indices its misses may fill; COS 0 defaults to all ways.
+    Line state is two flat arrays indexed ``(slice * sets + set) * ways
+    + way``: ``_tags`` (line tag, -1 = empty) and ``_stamps`` (global
+    access stamp for LRU).  ``cos_masks`` maps a class of service to the
+    tuple of way indices its misses may fill; COS 0 defaults to all
+    ways.
+
+    Latency noise is ``rng.gauss(base, sigma)``; CPython's gauss
+    computes ``mu + z * sigma`` from a mu/sigma-independent variate
+    stream, so the variates are prefetched in batches (the exact
+    Box-Muller pair recurrence CPython uses, same uniform draws, same
+    float ops) and the affine map applied here — identical latencies,
+    a fraction of the work.
+
+    Noise is only drawn for accesses whose latency is *observed*
+    (:meth:`access` / :meth:`access_timed`).  Fill traffic that nobody
+    times — priming, background noise, OS pollution, the victim's own
+    touches — goes through :meth:`access_silent`, which updates line
+    state identically but skips the draw.  This cannot change any
+    timing decision: a Box-Muller variate from 53-bit uniforms is
+    bounded by ``sqrt(-2*log(2**-53))`` < 8.6 sigma, while the default
+    hit/miss thresholds sit more than 13 sigma from either latency
+    mode, so *which* variate a timed access happens to get can never
+    flip a hit/miss classification.
     """
 
     def __init__(self, config: CacheConfig | None = None) -> None:
@@ -140,15 +194,35 @@ class Cache:
         self._rng = random.Random(self.config.seed)
         self._stamp = 0
         cfg = self.config
-        self._sets: list[list[dict[int, tuple[int, int]]]] = [
-            [dict() for _ in range(cfg.sets_per_slice)]
-            for _ in range(cfg.n_slices)
-        ]
-        self._plru: dict[tuple[int, int], PlruTree] = {}
+        n = cfg.n_slices * cfg.sets_per_slice * cfg.ways
+        self._tags = array("q", [-1]) * n
+        self._stamps = array("q", [0]) * n
+        self._ways = cfg.ways
+        self._nsets = cfg.sets_per_slice
+        self._set_mask = cfg.sets_per_slice - 1
+        self._plru_on = cfg.replacement == "plru"
+        self._plru: dict[int, PlruTree] = {}  # set base -> tree
+        self._loc: dict[int, tuple[int, int, int]] = {}  # line tag -> (sl, st, base)
+        self._cos_memo: dict[tuple[int, ...], int] = {}  # allowed tuple -> bitmask
         self.cos_masks: dict[int, tuple[int, ...]] = {
             0: tuple(range(cfg.ways))
         }
-        self.stats = {"hits": 0, "misses": 0, "flushes": 0}
+        self._hits = 0
+        self._misses = 0
+        self._flushes = 0
+        self._zbuf: list[float] = []
+        self._zi = 0
+        self._hit_lat = cfg.hit_latency
+        self._miss_lat = cfg.miss_latency
+        self._sigma = cfg.noise_sigma
+
+    @property
+    def stats(self) -> dict[str, int]:
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "flushes": self._flushes,
+        }
 
     # -- address mapping -------------------------------------------------
     def slice_of(self, paddr: int) -> int:
@@ -161,75 +235,241 @@ class Cache:
         return out % self.config.n_slices
 
     def set_of(self, paddr: int) -> int:
-        return (paddr >> LINE_BITS) & (self.config.sets_per_slice - 1)
+        return (paddr >> LINE_BITS) & self._set_mask
 
     def location(self, paddr: int) -> tuple[int, int]:
         """(slice, set) a physical address maps to."""
-        return self.slice_of(paddr), self.set_of(paddr)
+        sl, st, _ = self._locate(paddr >> LINE_BITS)
+        return sl, st
+
+    def locations_for_range(
+        self, base: int, n_lines: int
+    ) -> list[tuple[int, int]]:
+        """(slice, set) for ``n_lines`` consecutive lines from ``base``
+        — :meth:`location` of each, computed vectorised.  This is how
+        attacker pools precompute the slicing function over their whole
+        memory without paying the per-address hash a hundred thousand
+        times."""
+        try:
+            import numpy as np
+        except ImportError:  # pragma: no cover - numpy is a core dep
+            return [
+                self.location(base + k * LINE_SIZE) for k in range(n_lines)
+            ]
+        tags = (base >> LINE_BITS) + np.arange(n_lines, dtype=np.int64)
+        sets = tags & self._set_mask
+        if self.config.n_slices == 1:
+            slices = np.zeros(n_lines, dtype=np.int64)
+        else:
+            paddrs = tags << LINE_BITS
+            bits = (self.config.n_slices - 1).bit_length()
+            lut = np.frombuffer(_PARITY16, dtype=np.uint8)
+            slices = np.zeros(n_lines, dtype=np.int64)
+            for k in range(bits):
+                v = paddrs & _SLICE_MASKS[k]
+                v = v ^ (v >> 32)
+                v = v ^ (v >> 16)
+                slices |= lut[v & 0xFFFF].astype(np.int64) << k
+            slices %= self.config.n_slices
+        return list(zip(slices.tolist(), sets.tolist()))
+
+    def _locate(self, tag: int) -> tuple[int, int, int]:
+        """(slice, set, flat way-array base) for a line tag, memoised —
+        the slice hash and set index depend only on the line address."""
+        loc = self._loc.get(tag)
+        if loc is None:
+            paddr = tag << LINE_BITS
+            sl = self.slice_of(paddr)
+            st = tag & self._set_mask
+            loc = self._loc[tag] = (sl, st, (sl * self._nsets + st) * self._ways)
+        return loc
 
     # -- the access path -------------------------------------------------
+    def _refill_z(self) -> list[float]:
+        """Refill the standard-normal buffer: CPython's exact Box-Muller
+        pair recurrence (same uniforms, same float ops as
+        ``Random.gauss``), without the per-call bookkeeping."""
+        rnd = self._rng.random
+        buf: list[float] = []
+        append = buf.append
+        for _ in range(_Z_BATCH // 2):
+            x2pi = rnd() * _TWOPI
+            g2rad = _sqrt(-2.0 * _log(1.0 - rnd()))
+            append(_cos(x2pi) * g2rad)
+            append(_sin(x2pi) * g2rad)
+        self._zbuf = buf
+        return buf
+
+    def _next_z(self) -> float:
+        """Next standard-normal variate, from the prefetched batch."""
+        i = self._zi
+        buf = self._zbuf
+        if i >= len(buf):
+            buf = self._refill_z()
+            i = 0
+        self._zi = i + 1
+        return buf[i]
+
     def _latency(self, base: float) -> float:
-        return max(1.0, self._rng.gauss(base, self.config.noise_sigma))
+        lat = base + self._next_z() * self._sigma
+        return lat if lat > 1.0 else 1.0
+
+    def _fill(self, tag: int, base: int, cos: int, plru) -> Optional[int]:
+        """Miss path: pick a victim way under ``cos``'s mask, install
+        ``tag``; returns the evicted line address (or None)."""
+        tags = self._tags
+        allowed = self.cos_masks.get(cos)
+        if allowed is None:
+            allowed = self.cos_masks[0]
+        evicted: Optional[int] = None
+        victim_way = -1
+        for w in allowed:
+            if tags[base + w] == -1:
+                victim_way = w
+                break
+        if victim_way < 0:
+            if plru is not None:
+                mask = self._cos_memo.get(allowed)
+                if mask is None:
+                    mask = 0
+                    for w in allowed:
+                        mask |= 1 << w
+                    self._cos_memo[allowed] = mask
+                victim_way = plru.victim_mask(mask)
+            else:
+                stamps = self._stamps
+                best = 1 << 62
+                for w in allowed:
+                    s = stamps[base + w]
+                    if s < best:
+                        best = s
+                        victim_way = w
+            evicted = tags[base + victim_way] << LINE_BITS
+        tags[base + victim_way] = tag
+        self._stamps[base + victim_way] = self._stamp
+        if plru is not None:
+            plru.touch(victim_way)
+        return evicted
+
+    def _plru_for(self, base: int) -> Optional[PlruTree]:
+        if not self._plru_on:
+            return None
+        plru = self._plru.get(base)
+        if plru is None:
+            plru = self._plru[base] = PlruTree(self._ways)
+        return plru
 
     def access(self, paddr: int, cos: int = 0) -> AccessResult:
         """Load/store the line containing ``paddr`` under class ``cos``."""
         tag = paddr >> LINE_BITS
-        sl, st = self.location(paddr)
-        ways = self._sets[sl][st]
+        loc = self._loc.get(tag)
+        if loc is None:
+            loc = self._locate(tag)
+        base = loc[2]
         self._stamp += 1
-
-        plru = None
-        if self.config.replacement == "plru":
-            plru = self._plru.get((sl, st))
-            if plru is None:
-                plru = self._plru[(sl, st)] = PlruTree(self.config.ways)
-
-        for way, (wtag, _) in ways.items():
-            if wtag == tag:
-                ways[way] = (tag, self._stamp)
-                if plru is not None:
-                    plru.touch(way)
-                self.stats["hits"] += 1
-                return AccessResult(True, self._latency(self.config.hit_latency))
-
-        self.stats["misses"] += 1
-        allowed = self.cos_masks.get(cos, self.cos_masks[0])
-        evicted: Optional[int] = None
-        free = [w for w in allowed if w not in ways]
-        if free:
-            victim_way = free[0]
-        elif plru is not None:
-            victim_way = plru.victim(allowed)
-            evicted = ways[victim_way][0] << LINE_BITS
+        plru = self._plru_for(base)
+        try:
+            idx = self._tags.index(tag, base, base + self._ways)
+        except ValueError:
+            pass
         else:
-            victim_way = min(allowed, key=lambda w: ways[w][1])
-            evicted = ways[victim_way][0] << LINE_BITS
-        ways[victim_way] = (tag, self._stamp)
+            self._stamps[idx] = self._stamp
+            if plru is not None:
+                plru.touch(idx - base)
+            self._hits += 1
+            return AccessResult(True, self._latency(self._hit_lat))
+        self._misses += 1
+        evicted = self._fill(tag, base, cos, plru)
+        return AccessResult(False, self._latency(self._miss_lat), evicted)
+
+    def access_timed(self, paddr: int, cos: int = 0) -> float:
+        """:meth:`access`, returning just the latency — the probe-loop
+        entry point.  Inlined hit path, no result object."""
+        tag = paddr >> LINE_BITS
+        loc = self._loc.get(tag)
+        if loc is None:
+            loc = self._locate(tag)
+        base = loc[2]
+        self._stamp = stamp = self._stamp + 1
+        i = self._zi
+        buf = self._zbuf
+        if i >= len(buf):
+            buf = self._refill_z()
+            i = 0
+        self._zi = i + 1
+        z = buf[i]
+        plru = self._plru_for(base) if self._plru_on else None
+        try:
+            idx = self._tags.index(tag, base, base + self._ways)
+        except ValueError:
+            self._misses += 1
+            self._fill(tag, base, cos, plru)
+            lat = self._miss_lat + z * self._sigma
+            return lat if lat > 1.0 else 1.0
+        self._stamps[idx] = stamp
         if plru is not None:
-            plru.touch(victim_way)
-        return AccessResult(
-            False, self._latency(self.config.miss_latency), evicted
-        )
+            plru.touch(idx - base)
+        self._hits += 1
+        lat = self._hit_lat + z * self._sigma
+        return lat if lat > 1.0 else 1.0
+
+    def access_silent(self, paddr: int, cos: int = 0) -> None:
+        """Line-state update for an access nobody times (prime fills,
+        noise traffic, the victim's own touches).  Identical hit/miss/
+        eviction behaviour to :meth:`access`; skips the latency draw —
+        see the class docstring for why that is unobservable."""
+        tag = paddr >> LINE_BITS
+        loc = self._loc.get(tag)
+        if loc is None:
+            loc = self._locate(tag)
+        base = loc[2]
+        self._stamp = stamp = self._stamp + 1
+        if self._plru_on:
+            plru = self._plru_for(base)
+            try:
+                idx = self._tags.index(tag, base, base + self._ways)
+            except ValueError:
+                self._misses += 1
+                self._fill(tag, base, cos, plru)
+                return
+            self._stamps[idx] = stamp
+            plru.touch(idx - base)
+            self._hits += 1
+            return
+        try:
+            idx = self._tags.index(tag, base, base + self._ways)
+        except ValueError:
+            self._misses += 1
+            self._fill(tag, base, cos, None)
+            return
+        self._stamps[idx] = stamp
+        self._hits += 1
 
     def flush(self, paddr: int) -> None:
         """clflush: remove the line from the cache entirely."""
         tag = paddr >> LINE_BITS
-        sl, st = self.location(paddr)
-        ways = self._sets[sl][st]
-        for way, (wtag, _) in list(ways.items()):
-            if wtag == tag:
-                del ways[way]
-        self.stats["flushes"] += 1
+        base = self._locate(tag)[2]
+        try:
+            idx = self._tags.index(tag, base, base + self._ways)
+        except ValueError:
+            pass
+        else:
+            self._tags[idx] = -1
+        self._flushes += 1
 
     def contains(self, paddr: int) -> bool:
         tag = paddr >> LINE_BITS
-        sl, st = self.location(paddr)
-        return any(wtag == tag for wtag, _ in self._sets[sl][st].values())
+        base = self._locate(tag)[2]
+        try:
+            self._tags.index(tag, base, base + self._ways)
+        except ValueError:
+            return False
+        return True
 
     def occupancy(self, sl: int, st: int) -> int:
-        return len(self._sets[sl][st])
+        base = (sl * self._nsets + st) * self._ways
+        segment = self._tags[base : base + self._ways]
+        return self._ways - segment.count(-1)
 
     def clear(self) -> None:
-        for per_slice in self._sets:
-            for ways in per_slice:
-                ways.clear()
+        self._tags = array("q", [-1]) * len(self._tags)

@@ -43,9 +43,11 @@ class BackgroundNoise:
 
     def step(self) -> None:
         """Touch ``rate`` random lines (call once per victim step)."""
+        randrange = self._rng.randrange
+        access = self._cache.access_silent
+        base, lines, cos = self._base, self._lines, self.cos
         for _ in range(self.rate):
-            line = self._rng.randrange(self._lines)
-            self._cache.access(self._base + line * LINE_SIZE, cos=self.cos)
+            access(base + randrange(lines) * LINE_SIZE, cos)
 
 
 class OsPollution:
@@ -70,8 +72,10 @@ class OsPollution:
 
     def fault_entry(self) -> None:
         """The cache cost of delivering one page fault."""
+        access = self._cache.access_silent
+        cos = self.cos
         for addr in self._addrs:
-            self._cache.access(addr, cos=self.cos)
+            access(addr, cos)
 
     def polluted_locations(self) -> set[tuple[int, int]]:
         """(slice, set) pairs this pollution lands on — what frame

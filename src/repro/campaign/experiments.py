@@ -80,14 +80,15 @@ def lzw_recovery(params: dict, seed: int) -> dict:
     Prime+Probe neighbour error.
     """
     from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY, lzw_compress
-    from repro.exec import TracingContext
+    from repro.exec import InstrumentationTier, TracingContext
     from repro.recovery import recover_lzw_input
 
     size = int(params.get("size", 200))
     noise = float(params.get("noise", 0.0))
     data = make_input(params.get("input_kind", "random"), size, seed)
 
-    ctx = TracingContext()
+    # Recovery only reads the access stream: skip the data-flow records.
+    ctx = TracingContext(tier=InstrumentationTier.ADDRESS_ONLY)
     lzw_compress(data, ctx=ctx)
     lines = [
         a.address >> 6
@@ -164,6 +165,53 @@ def fingerprint(params: dict, seed: int) -> dict:
     )
 
 
+@register_experiment("fingerprint_dataset")
+def fingerprint_dataset(params: dict, seed: int) -> dict:
+    """The Section VI dataset *build* alone — victim timelines plus
+    noisy captures, no classifier training.
+
+    This is the substrate-bound half of the fingerprint pipeline (the
+    MLP is numpy-bound), so it is what ``repro perf`` times as the FIG7
+    bench.  Metrics fingerprint the dataset content so a faster build
+    that changes a single sample is caught.
+
+    Params: ``corpus`` (``brotli`` | ``lipsum``), ``traces``,
+    ``work_factor``, ``max_file_bytes`` (truncate every corpus file;
+    how the quick perf pin keeps CI runs short).
+    """
+    import hashlib
+
+    from repro.core.zipchannel.fingerprint import build_dataset
+    from repro.workloads import brotli_like_corpus, repetitiveness_series
+
+    corpus = params.get("corpus", "lipsum")
+    if corpus == "brotli":
+        files = list(brotli_like_corpus().values())
+    elif corpus == "lipsum":
+        files = repetitiveness_series()
+    else:
+        raise ValueError(f"unknown corpus {corpus!r}")
+    max_bytes = params.get("max_file_bytes")
+    if max_bytes is not None:
+        files = [f[: int(max_bytes)] for f in files]
+    x, y, timelines = build_dataset(
+        files,
+        traces_per_file=int(params.get("traces", 10)),
+        seed=seed,
+        work_factor=params.get("work_factor"),
+    )
+    digest = hashlib.sha256()
+    digest.update(x.tobytes())
+    digest.update(y.tobytes())
+    return {
+        "n_samples": int(x.shape[0]),
+        "n_features": int(x.shape[1]),
+        "dataset_sha256": digest.hexdigest(),
+        "paths": [";".join(tl.paths) for tl in timelines],
+        "total_duration": sum(tl.duration for tl in timelines),
+    }
+
+
 @register_experiment("survey_recovery")
 def survey_recovery(params: dict, seed: int) -> dict:
     """The Section IV survey: recover one input through each of the
@@ -173,7 +221,7 @@ def survey_recovery(params: dict, seed: int) -> dict:
     from repro.compression.bzip2.blocksort import histogram
     from repro.compression.lz77 import SITE_HEAD
     from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY
-    from repro.exec import TracingContext
+    from repro.exec import InstrumentationTier, TracingContext
     from repro.recovery import observed_lines, recover_lzw_input
     from repro.recovery.bzip2_recover import (
         observations_from_lines,
@@ -184,8 +232,11 @@ def survey_recovery(params: dict, seed: int) -> dict:
 
     n = int(params.get("size", 300))
 
+    # All three recoveries consume only the memory-access stream.
+    tier = InstrumentationTier.ADDRESS_ONLY
+
     data = lowercase_ascii(n, seed=seed)
-    ctx = TracingContext()
+    ctx = TracingContext(tier=tier)
     deflate_compress(data, ctx=ctx)
     rec = recover_known_high_bits(
         observed_lines(ctx, SITE_HEAD, kind="write"), ctx.arrays["head"].base, n
@@ -193,7 +244,7 @@ def survey_recovery(params: dict, seed: int) -> dict:
     zlib_accuracy = accuracy(rec, data)
 
     data = random_bytes(n, seed=seed)
-    ctx = TracingContext()
+    ctx = TracingContext(tier=tier)
     lzw_compress(data, ctx=ctx)
     lines = [
         a.address >> 6
@@ -204,7 +255,7 @@ def survey_recovery(params: dict, seed: int) -> dict:
     lzw_found = data in cands
 
     data = random_bytes(n, seed=seed + 1)
-    ctx = TracingContext()
+    ctx = TracingContext(tier=tier)
     block = ctx.array("block", n)
     for i, v in enumerate(ctx.input_bytes(data)):
         block.set(i, v)

@@ -28,11 +28,13 @@ class CellStats:
     n_ok: int = 0
     n_failed: int = 0
     metrics: dict = field(default_factory=dict)  # name -> list of values
+    durations: list = field(default_factory=list)  # wall time per ok job
 
     def add(self, record: JobRecord) -> None:
         """Fold one record into the cell."""
         if record.ok and record.metrics is not None:
             self.n_ok += 1
+            self.durations.append(record.duration_seconds)
             for key, value in record.metrics.items():
                 if isinstance(value, bool):
                     value = int(value)
@@ -47,6 +49,12 @@ class CellStats:
         if not values:
             return None
         return sum(values) / len(values)
+
+    def mean_duration(self) -> Optional[float]:
+        """Mean wall time per successful job (None when all failed)."""
+        if not self.durations:
+            return None
+        return sum(self.durations) / len(self.durations)
 
     def ci95(self, metric: str) -> Optional[float]:
         """Half-width of the normal-approximation 95 % confidence
@@ -104,13 +112,13 @@ def _fmt(value: float) -> str:
 
 
 def render_cells(cells: list[CellStats]) -> str:
-    """The per-cell markdown table: parameters, job counts, and
-    ``mean ± ci95`` per numeric metric."""
+    """The per-cell markdown table: parameters, job counts, mean wall
+    time per job, and ``mean ± ci95`` per numeric metric."""
     if not cells:
         return "(no records)"
     params = _param_names(cells)
     metrics = _metric_names(cells)
-    header = params + ["jobs ok", "jobs failed"] + metrics
+    header = params + ["jobs ok", "jobs failed", "s/job"] + metrics
     lines = [
         "| " + " | ".join(header) + " |",
         "|" + "---|" * len(header),
@@ -118,6 +126,8 @@ def render_cells(cells: list[CellStats]) -> str:
     for cell in cells:
         row = [str(cell.params.get(p, "")) for p in params]
         row += [str(cell.n_ok), str(cell.n_failed)]
+        duration = cell.mean_duration()
+        row.append("—" if duration is None else f"{duration:.2f}")
         for metric in metrics:
             mean = cell.mean(metric)
             if mean is None:

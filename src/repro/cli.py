@@ -125,7 +125,7 @@ def cmd_survey(args: argparse.Namespace) -> int:
     from repro.compression.bzip2.blocksort import histogram
     from repro.compression.lz77 import SITE_HEAD
     from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY
-    from repro.exec import TracingContext
+    from repro.exec import InstrumentationTier, TracingContext
     from repro.recovery import observed_lines, recover_lzw_input
     from repro.recovery.bzip2_recover import (
         observations_from_lines,
@@ -135,8 +135,11 @@ def cmd_survey(args: argparse.Namespace) -> int:
 
     n = args.size
 
+    # The survey only consumes the memory-access stream.
+    tier = InstrumentationTier.ADDRESS_ONLY
+
     data = lowercase_ascii(n, seed=args.seed)
-    ctx = TracingContext()
+    ctx = TracingContext(tier=tier)
     deflate_compress(data, ctx=ctx)
     rec = recover_known_high_bits(
         observed_lines(ctx, SITE_HEAD, kind="write"), ctx.arrays["head"].base, n
@@ -144,7 +147,7 @@ def cmd_survey(args: argparse.Namespace) -> int:
     print(f"zlib (lowercase): {accuracy(rec, data) * 100:.2f}% of bytes recovered")
 
     data = random_bytes(n, seed=args.seed)
-    ctx = TracingContext()
+    ctx = TracingContext(tier=tier)
     lzw_compress(data, ctx=ctx)
     lines = [
         a.address >> 6
@@ -156,7 +159,7 @@ def cmd_survey(args: argparse.Namespace) -> int:
           f"among {len(cands)} candidates")
 
     data = random_bytes(n, seed=args.seed + 1)
-    ctx = TracingContext()
+    ctx = TracingContext(tier=tier)
     block = ctx.array("block", n)
     for i, v in enumerate(ctx.input_bytes(data)):
         block.set(i, v)
@@ -375,6 +378,123 @@ def cmd_campaign_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_perf_run(args: argparse.Namespace) -> int:
+    """Time the bench catalogue; optionally annotate speedups vs a
+    recorded baseline and write the JSON report."""
+    from repro.perf import load_report, run_benches
+    from repro.perf.harness import apply_baseline, merge_reports
+
+    report = run_benches(
+        names=args.bench or None,
+        quick=args.quick,
+        repeats=args.repeats,
+        on_event=None if args.quiet else print,
+    )
+    if args.baseline:
+        try:
+            baseline = load_report(args.baseline)
+        except FileNotFoundError:
+            print(f"error: no baseline at {args.baseline}", file=sys.stderr)
+            return 2
+        try:
+            apply_baseline(report, baseline)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+    print(report.summary())
+    out_path, to_write = args.out, report
+    if args.update:
+        out_path = args.update
+        try:
+            to_write = merge_reports(load_report(args.update), report)
+        except FileNotFoundError:
+            to_write = report
+    if out_path:
+        with open(out_path, "w", encoding="utf-8") as handle:
+            handle.write(to_write.to_json())
+        print(f"wrote {out_path}")
+    changed = [
+        name
+        for name, r in report.benches.items()
+        if r.metrics_match is False
+    ]
+    if changed:
+        print(
+            f"error: metrics changed vs baseline for {sorted(changed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def cmd_perf_compare(args: argparse.Namespace) -> int:
+    """The regression gate: compare a current report (or a fresh quick
+    run) against a baseline file; exit 1 on regression."""
+    from repro.perf import compare_reports, load_report, run_benches
+
+    try:
+        baseline = load_report(args.baseline)
+    except FileNotFoundError:
+        print(f"error: no baseline at {args.baseline}", file=sys.stderr)
+        return 2
+    if args.current:
+        try:
+            current = load_report(args.current)
+        except FileNotFoundError:
+            print(f"error: no report at {args.current}", file=sys.stderr)
+            return 2
+    else:
+        # No report given: run the benches now, in the baseline's mode.
+        current = run_benches(
+            quick=baseline.mode == "quick",
+            on_event=None if args.quiet else print,
+        )
+    result = compare_reports(
+        current,
+        baseline,
+        tolerance=args.tolerance,
+        normalize=not args.absolute,
+    )
+    print(result.summary())
+    return 0 if result.ok else 1
+
+
+def cmd_perf_profile(args: argparse.Namespace) -> int:
+    """cProfile one bench (or any experiment id) and print the stats."""
+    import json as _json
+
+    from repro.perf import profile_bench
+
+    try:
+        text = profile_bench(
+            args.name if not args.experiment else "",
+            quick=args.quick,
+            sort=args.sort,
+            top=args.top,
+            experiment=args.experiment,
+            params=_json.loads(args.params) if args.params else None,
+            seed=args.seed,
+        )
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    print(text)
+    return 0
+
+
+def cmd_perf_list(args: argparse.Namespace) -> int:
+    """List the bench catalogue with its pinned workloads."""
+    from repro.perf import get_bench, available_benches
+
+    for name in available_benches():
+        bench = get_bench(name)
+        print(
+            f"{name:<20} {bench.experiment:<22} "
+            f"full={bench.params} quick={bench.resolved_params(True)}"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the argparse tree for all subcommands."""
     parser = argparse.ArgumentParser(
@@ -501,6 +621,58 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = csub.add_parser("list", help="list registered experiments")
     c.set_defaults(func=cmd_campaign_list)
+
+    p = sub.add_parser(
+        "perf",
+        help="time the bench catalogue and gate regressions",
+    )
+    psub = p.add_subparsers(dest="perf_command", required=True)
+
+    q = psub.add_parser("run", help="time benches and write a JSON report")
+    q.add_argument("--bench", action="append",
+                   help="bench name (repeatable; default: all)")
+    q.add_argument("--quick", action="store_true",
+                   help="CI-sized workloads instead of the full pins")
+    q.add_argument("--repeats", type=int,
+                   help="override per-bench timing repetitions")
+    q.add_argument("--baseline",
+                   help="recorded report to compute speedups against")
+    q.add_argument("--out", help="write the JSON report here")
+    q.add_argument("--update",
+                   help="merge this run into an existing report file "
+                        "(quick runs land in its quick_benches section)")
+    q.add_argument("--quiet", action="store_true")
+    q.set_defaults(func=cmd_perf_run)
+
+    q = psub.add_parser(
+        "compare", help="regression gate: current report vs baseline"
+    )
+    q.add_argument("current", nargs="?",
+                   help="report to check (default: run benches now)")
+    q.add_argument("--baseline", required=True,
+                   help="recorded baseline report")
+    q.add_argument("--tolerance", type=float, default=0.2,
+                   help="allowed slowdown fraction (default 0.2 = 20%%)")
+    q.add_argument("--absolute", action="store_true",
+                   help="raw time ratios (same-machine comparisons only)")
+    q.add_argument("--quiet", action="store_true")
+    q.set_defaults(func=cmd_perf_compare)
+
+    q = psub.add_parser("profile", help="cProfile one bench")
+    q.add_argument("name", nargs="?", default="",
+                   help="bench name from `perf list`")
+    q.add_argument("--experiment",
+                   help="profile a raw experiment id instead")
+    q.add_argument("--params", help="JSON params for --experiment")
+    q.add_argument("--seed", type=int, default=0)
+    q.add_argument("--quick", action="store_true")
+    q.add_argument("--sort", default="cumulative",
+                   help="pstats sort key (default cumulative)")
+    q.add_argument("--top", type=int, default=30)
+    q.set_defaults(func=cmd_perf_profile)
+
+    q = psub.add_parser("list", help="list the bench catalogue")
+    q.set_defaults(func=cmd_perf_list)
 
     return parser
 

@@ -18,6 +18,7 @@ fingerprinting attack uses — time spent in it grows with repetitiveness.
 from __future__ import annotations
 
 from functools import cmp_to_key
+from itertools import accumulate
 from typing import Optional
 
 from repro.exec.arrays import TArray
@@ -63,17 +64,17 @@ def histogram(
         quadrant = ctx.array("quadrant", max(nblock, 1), elem_size=2)
     ftab.fill(0)
 
-    j = block.get(0, site=SITE_BLOCK) << 8
+    tick = ctx.tick
+    quadrant_set = quadrant.set
+    block_get = block.get
+    ftab_add = ftab.add
+    j = block_get(0, site=SITE_BLOCK) << 8
     for i in range(nblock - 1, -1, -1):
-        ctx.tick(3)
-        quadrant.set(i, 0, site=SITE_QUADRANT)  # line 8
-        j = (j >> 8) | ((block.get(i, site=SITE_BLOCK) & 0xFF) << 8)  # line 9
-        ftab.add(j, 1, site=SITE_FTAB)  # line 10 -- THE GADGET
+        tick(3)
+        quadrant_set(i, 0, site=SITE_QUADRANT)  # line 8
+        j = (j >> 8) | ((block_get(i, site=SITE_BLOCK) & 0xFF) << 8)  # line 9
+        ftab_add(j, 1, site=SITE_FTAB)  # line 10 -- THE GADGET
     return ftab
-
-
-def _pair(values: list[int], i: int, n: int) -> int:
-    return (values[i] << 8) | values[(i + 1) % n]
 
 
 def main_sort(
@@ -99,42 +100,66 @@ def main_sort(
 
         # Cumulative counts: ftab[j] = first ptr slot after bucket j.
         values = block.snapshot()
-        counts = ftab.snapshot()
-        for j in range(1, FTAB_LEN):
-            counts[j] += counts[j - 1]
+        counts = list(accumulate(ftab.snapshot()))
         ctx.tick(FTAB_LEN // 16)
+
+        # Rotation offsets reach index (nblock-1) + 2 + nblock, so a
+        # tripled (quadrupled for degenerate tiny blocks) flat byte
+        # buffer replaces every ``% nblock`` with plain indexing.
+        buf = bytes(values) * (3 if nblock >= 2 else 4)
 
         # Bucket rotations by their 2-byte prefix (stable fill).
         ptr = [0] * nblock
-        next_slot = [counts[j - 1] if j > 0 else 0 for j in range(FTAB_LEN - 1)]
+        next_slot = [0] + counts[: FTAB_LEN - 2]
         for i in range(nblock):
-            j = _pair(values, i, nblock)
+            j = (buf[i] << 8) | buf[i + 1]
             ptr[next_slot[j]] = i
             next_slot[j] += 1
         ctx.tick(nblock)
 
         # Sort within each bucket, comparing rotations from offset 2 on.
+        # The match length ``m`` is exact (identical to the byte-at-a-
+        # time walk it replaces) because the budget drain and the tick
+        # stream — the side channel itself — are derived from it.
         state = {"budget": budget}
+        tick = ctx.tick
 
         def compare(a: int, b: int) -> int:
-            k = 2
-            steps = 0
-            while steps < nblock:
-                av = values[(a + k) % nblock]
-                bv = values[(b + k) % nblock]
-                if av != bv:
+            pa, pb = a + 2, b + 2
+            n = nblock
+            m = 0
+            # Short common prefixes dominate typical text: scan a few
+            # bytes directly before paying for slice comparisons.
+            while m < n and m < 12:
+                if buf[pa + m] != buf[pb + m]:
                     break
-                k += 1
-                steps += 1
-            state["budget"] -= steps + 1
-            ctx.tick((steps >> 2) + 1)
+                m += 1
+            else:
+                # Long match: leap by chunk equality, then pin down the
+                # mismatch inside the failing chunk.
+                while m < n:
+                    step = n - m
+                    if step > 256:
+                        step = 256
+                    ca = buf[pa + m : pa + m + step]
+                    if ca == buf[pb + m : pb + m + step]:
+                        m += step
+                        continue
+                    cb = buf[pb + m : pb + m + step]
+                    lo = 0
+                    while ca[lo] == cb[lo]:
+                        lo += 1
+                    m += lo
+                    break
+            state["budget"] -= m + 1
+            tick((m >> 2) + 1)
             if state["budget"] < 0:
                 raise BudgetExhausted(
                     f"too repetitive; used more than {budget} work units"
                 )
-            if steps >= nblock:
+            if m >= n:
                 return 0
-            return -1 if av < bv else 1
+            return -1 if buf[pa + m] < buf[pb + m] else 1
 
         start = 0
         for j in range(FTAB_LEN - 1):
@@ -155,13 +180,13 @@ def fallback_sort(ctx: ExecutionContext, block: TArray, nblock: int) -> list[int
         values = block.snapshot()
         n = nblock
         rank = list(values)
-        order = sorted(range(n), key=lambda i: rank[i])
+        order = sorted(range(n), key=rank.__getitem__)
         ctx.tick(n)
 
         h = 1
         while h < n:
-            key = [(rank[i], rank[(i + h) % n]) for i in range(n)]
-            order.sort(key=lambda i: key[i])
+            key = list(zip(rank, rank[h:] + rank[:h]))
+            order.sort(key=key.__getitem__)
             new_rank = [0] * n
             r = 0
             for pos in range(1, n):

@@ -68,7 +68,7 @@ def _initial_lengths(
 
 
 def _group_cost(lengths: list[int], group: list[int]) -> int:
-    return sum(lengths[s] for s in group)
+    return sum(map(lengths.__getitem__, group))
 
 
 def fit_tables(

@@ -21,10 +21,17 @@ from repro.exec.events import (
     TraceLimitExceeded,
 )
 from repro.exec.arrays import TArray
-from repro.exec.context import ExecutionContext, NativeContext, Profiler, TracingContext
+from repro.exec.context import (
+    ExecutionContext,
+    InstrumentationTier,
+    NativeContext,
+    Profiler,
+    TracingContext,
+)
 
 __all__ = [
     "ExecutionContext",
+    "InstrumentationTier",
     "NativeContext",
     "TracingContext",
     "Profiler",

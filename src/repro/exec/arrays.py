@@ -59,22 +59,30 @@ class TArray:
         )
 
     # -- access API ----------------------------------------------------
+    # The native paths below are the innermost loop of every untraced
+    # kernel run; the index unwrap and bounds check are inlined rather
+    # than delegated to value_of/_check.
     def get(self, index: Index, site: str = ""):
-        i = value_of(index)
+        i = index if type(index) is int else value_of(index)
+        if 0 <= i < self.length:
+            return self.values[i]
         self._check(i)
-        return self.values[i]
 
     def set(self, index: Index, value, site: str = "") -> None:
-        i = value_of(index)
+        i = index if type(index) is int else value_of(index)
+        if 0 <= i < self.length:
+            self.values[i] = value
+            return
         self._check(i)
-        self.values[i] = value
 
     def add(self, index: Index, delta, site: str = "") -> None:
         """Read-modify-write (``a[i] += delta``): one instruction, one
         cache-line touch, requires write permission."""
-        i = value_of(index)
+        i = index if type(index) is int else value_of(index)
+        if 0 <= i < self.length:
+            self.values[i] = self.values[i] + delta
+            return
         self._check(i)
-        self.values[i] = self.values[i] + delta
 
     def fill(self, value) -> None:
         """Bulk initialisation; never recorded as individual accesses."""
@@ -91,7 +99,7 @@ class TArray:
 
     def snapshot(self) -> list:
         """Plain-int copy of the contents (drops taint wrappers)."""
-        return [value_of(v) for v in self.values]
+        return [v.value if type(v) is TaintedInt else v for v in self.values]
 
     def __getitem__(self, index: Index):
         return self.get(index)

@@ -10,6 +10,7 @@ for round-trip correctness tests.
 from __future__ import annotations
 
 import contextlib
+import enum
 from abc import ABC, abstractmethod
 from typing import Iterator, Optional, Sequence
 
@@ -123,6 +124,11 @@ class NativeContext(ExecutionContext):
         self.profiler = profiler
         self._next_base = _HEAP_BASE
         self.arrays: dict[str, TArray] = {}
+        if profiler is not None:
+            # Shadow the method with the profiler's bound tick: kernels
+            # call ctx.tick once per simulated instruction burst, so the
+            # extra delegation frame is worth skipping.
+            self.tick = profiler.tick
 
     def input_bytes(self, data: bytes, source: str = "input") -> list[int]:
         return list(data)
@@ -155,6 +161,31 @@ class NativeContext(ExecutionContext):
             self.profiler.mark(name, kind)
 
 
+class InstrumentationTier(enum.Enum):
+    """How much a :class:`TracingContext` records.
+
+    Consumers that only look at the memory-access stream (the recovery
+    survey, ZTRC capture, the SGX attack's gadget observations) pay for
+    the full data-flow DAG under ``FULL`` without ever reading it; the
+    lower tiers skip that work.
+
+    * ``FULL`` — everything: op records, compare records, memory
+      accesses, input records, function markers.  TaintChannel's tier.
+    * ``ADDRESS_ONLY`` — memory accesses (with their taint), input
+      records and function markers, but no :class:`OpRecord` /
+      :class:`CompareRecord` construction.  Sequence numbers are still
+      consumed for the skipped records, so the access stream — and a
+      ZTRC file captured from it — is *byte-identical* to a FULL run's.
+    * ``PROFILE_ONLY`` — function markers only; input bytes stay plain
+      ints (no tags), so no taint propagates and no accesses record.
+      The cheapest tier; no sequence parity with FULL.
+    """
+
+    FULL = "full"
+    ADDRESS_ONLY = "address_only"
+    PROFILE_ONLY = "profile_only"
+
+
 class TracingContext(ExecutionContext):
     """TaintChannel's execution substrate.
 
@@ -170,6 +201,7 @@ class TracingContext(ExecutionContext):
         max_events: hard cap on recorded events; exceeded -> raise
             :class:`TraceLimitExceeded` (runaway-loop protection, needed
             because compression has input-dependent unbounded loops).
+        tier: how much to record (see :class:`InstrumentationTier`).
     """
 
     def __init__(
@@ -177,6 +209,7 @@ class TracingContext(ExecutionContext):
         carry_aware_add: bool = False,
         max_events: int = 2_000_000,
         record_untainted_accesses: bool = False,
+        tier: InstrumentationTier = InstrumentationTier.FULL,
     ) -> None:
         self.tags = TagRegistry()
         self.events: list[Origin] = []
@@ -185,6 +218,11 @@ class TracingContext(ExecutionContext):
         # Trace-correlation comparators need the *full* address trace,
         # not just the tainted slice TaintChannel keeps.
         self.record_untainted_accesses = record_untainted_accesses
+        self.tier = tier
+        # Flags the hot paths (TaintedInt._emit, record_access) read
+        # instead of comparing enum members.
+        self.record_ops = tier is InstrumentationTier.FULL
+        self.record_addresses = tier is not InstrumentationTier.PROFILE_ONLY
         self.plain_accesses = 0
         self._seq = 0
         self._next_base = _HEAP_BASE
@@ -217,6 +255,9 @@ class TracingContext(ExecutionContext):
         value_taint: BitTaint,
         site: str,
     ) -> None:
+        if not self.record_addresses:
+            self.plain_accesses += 1
+            return
         i = value_of(index)
         self._append(
             MemoryAccess(
@@ -234,7 +275,9 @@ class TracingContext(ExecutionContext):
         )
 
     # -- ExecutionContext API ------------------------------------------
-    def input_bytes(self, data: bytes, source: str = "input") -> list[TaintedInt]:
+    def input_bytes(self, data: bytes, source: str = "input") -> list:
+        if not self.record_addresses:
+            return list(data)
         out: list[TaintedInt] = []
         for i, b in enumerate(data):
             tag = self.tags.new_tag(source, i)

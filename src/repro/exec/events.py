@@ -13,7 +13,7 @@ class TraceLimitExceeded(RuntimeError):
     """Raised when a traced run exceeds its configured event budget."""
 
 
-@dataclass
+@dataclass(slots=True)
 class MemoryAccess(Origin):
     """One array access, the unit TaintChannel inspects for gadgets.
 
@@ -53,7 +53,7 @@ class MemoryAccess(Origin):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class FunctionEvent(Origin):
     """Function enter/exit marker with the virtual time it happened at."""
 

@@ -1,0 +1,54 @@
+"""Performance regression harness over the experiment registry.
+
+The ROADMAP's north star is "as fast as the hardware allows", but a
+speed claim without a recorded number is folklore.  This package makes
+wall time a tracked artifact, the way :mod:`repro.campaign` made
+experiment metrics one:
+
+* :mod:`repro.perf.benches` — the bench catalogue: a named, pinned
+  (experiment, params, seed) triple per bench, each with a ``--quick``
+  variant small enough for CI.
+* :mod:`repro.perf.harness` — runs benches under ``time.perf_counter``,
+  hashes their metrics (so a speedup that changes results is caught as
+  loudly as a slowdown), computes speedups against a recorded baseline
+  file, and compares two reports as a CI regression gate.
+
+CLI::
+
+    python -m repro perf run --out BENCH_PR3.json \
+        --baseline benchmarks/perf_baseline.json
+    python -m repro perf run --quick --out bench_ci.json
+    python -m repro perf compare bench_ci.json \
+        --baseline BENCH_PR3.json --tolerance 0.2
+    python -m repro perf profile sec5e_attack --quick
+"""
+
+from repro.perf.benches import PerfBench, available_benches, get_bench
+from repro.perf.harness import (
+    BenchResult,
+    ComparisonResult,
+    PerfReport,
+    apply_baseline,
+    compare_reports,
+    load_report,
+    merge_reports,
+    metrics_digest,
+    profile_bench,
+    run_benches,
+)
+
+__all__ = [
+    "PerfBench",
+    "available_benches",
+    "get_bench",
+    "BenchResult",
+    "ComparisonResult",
+    "PerfReport",
+    "apply_baseline",
+    "compare_reports",
+    "load_report",
+    "merge_reports",
+    "metrics_digest",
+    "profile_bench",
+    "run_benches",
+]

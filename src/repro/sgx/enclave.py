@@ -95,7 +95,7 @@ class Enclave(ExecutionContext):
                     raise EnclaveKilled(str(fault)) from fault
                 self.fault_handler(fault)
                 continue
-            self.cache.access(paddr, cos=self.cos)
+            self.cache.access_silent(paddr, self.cos)
             self.access_count += 1
             if self.env_hook is not None:
                 self.env_hook(paddr, kind)

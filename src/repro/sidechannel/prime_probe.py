@@ -31,18 +31,32 @@ class AttackerMemory:
         n_lines: int = 1 << 17,
     ) -> None:
         self._by_location: dict[Location, list[int]] = {}
-        for k in range(n_lines):
-            paddr = base + k * LINE_SIZE
-            self._by_location.setdefault(cache.location(paddr), []).append(paddr)
+        by_location = self._by_location
+        paddr = base
+        for loc in cache.locations_for_range(base, n_lines):
+            lines = by_location.get(loc)
+            if lines is None:
+                by_location[loc] = [paddr]
+            else:
+                lines.append(paddr)
+            paddr += LINE_SIZE
+        # lines_for is called once per location per prime AND per probe;
+        # the (location, count) -> prefix answer never changes.
+        self._prefix_cache: dict[tuple[Location, int], list[int]] = {}
 
     def lines_for(self, location: Location, count: int) -> list[int]:
         """``count`` attacker line addresses mapping to ``location``."""
+        key = (location, count)
+        cached = self._prefix_cache.get(key)
+        if cached is not None:
+            return cached
         lines = self._by_location.get(location, [])
         if len(lines) < count:
             raise ValueError(
                 f"attacker pool has only {len(lines)} lines for {location}"
             )
-        return lines[:count]
+        result = self._prefix_cache[key] = lines[:count]
+        return result
 
     def coverage(self) -> int:
         return len(self._by_location)
@@ -69,12 +83,32 @@ class PrimeProbe:
             if threshold is not None
             else (cfg.hit_latency + cfg.miss_latency) / 2
         )
+        # The monitored location set is stable across many consecutive
+        # sweeps, so the flattened (location, line) visit order is
+        # cached per distinct set.
+        self._sweep_cache: dict[tuple[Location, ...], list[tuple[Location, int]]] = {}
+
+    def _sweep_pairs(
+        self, locations: list[Location]
+    ) -> list[tuple[Location, int]]:
+        key = tuple(locations)
+        pairs = self._sweep_cache.get(key)
+        if pairs is None:
+            lines_for = self.memory.lines_for
+            ways = self.ways
+            pairs = self._sweep_cache[key] = [
+                (loc, paddr)
+                for loc in locations
+                for paddr in lines_for(loc, ways)
+            ]
+        return pairs
 
     def prime(self, locations: list[Location]) -> None:
         """Fill each location's attack-partition ways with own lines."""
-        for loc in locations:
-            for paddr in self.memory.lines_for(loc, self.ways):
-                self.cache.access(paddr, cos=self.cos)
+        access = self.cache.access_silent
+        cos = self.cos
+        for _, paddr in self._sweep_pairs(locations):
+            access(paddr, cos)
 
     def probe(self, locations: list[Location]) -> set[Location]:
         """Re-time the primed lines; return locations showing a miss.
@@ -83,9 +117,10 @@ class PrimeProbe:
         the victim's secret-dependent access, or noise.
         """
         active: set[Location] = set()
-        for loc in locations:
-            for paddr in self.memory.lines_for(loc, self.ways):
-                result = self.cache.access(paddr, cos=self.cos)
-                if result.latency > self.threshold:
-                    active.add(loc)
+        access = self.cache.access_timed
+        cos, threshold = self.cos, self.threshold
+        add = active.add
+        for loc, paddr in self._sweep_pairs(locations):
+            if access(paddr, cos) > threshold:
+                add(loc)
         return active

@@ -21,27 +21,73 @@ The propagation rules follow Section III-B of the paper:
   under-approximation.
 
 Instances are immutable by convention: every operation returns a new
-``BitTaint`` and never mutates ``self._bits``.
+``BitTaint`` and never mutates observable state.
+
+Two representation tricks keep the algebra cheap without changing any
+observable behaviour:
+
+* **Tag-set interning** — identical tag ``frozenset``s are pooled via
+  :func:`intern_tags`, so the overwhelmingly common sets (one tag per
+  input byte, and the handful of unions a kernel actually produces) are
+  shared objects, which makes equality checks identity hits and keeps a
+  trace's memory footprint flat.
+* **Run compression** — a freshly-read input byte taints 8 contiguous
+  bits with one tag, and shifts/truncations/unions of such values keep
+  that shape.  A ``BitTaint`` whose map is "contiguous bits [lo, hi),
+  same tags" stores just ``(lo, hi, tags)`` and applies propagation
+  rules as interval arithmetic; the per-bit dict is materialised lazily
+  only when an operation (or a consumer iterating bits) needs it.
 """
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator
+from typing import Iterable, Iterator, Optional
 
 _EMPTY_SET: frozenset[int] = frozenset()
 
+# The global tag-set pool.  Never trimmed: distinct tag combinations are
+# bounded by what the traced kernel actually computes, which is tiny
+# compared to the number of BitTaint instances sharing them.
+_TAG_POOL: dict[frozenset[int], frozenset[int]] = {}
+
+
+def intern_tags(tags: frozenset[int]) -> frozenset[int]:
+    """The pooled instance of a tag frozenset (adds it if new)."""
+    pooled = _TAG_POOL.get(tags)
+    if pooled is None:
+        pooled = _TAG_POOL[tags] = tags
+    return pooled
+
 
 class BitTaint:
-    """Sparse map from bit position to the ``frozenset`` of tags on it."""
+    """Sparse map from bit position to the ``frozenset`` of tags on it.
 
-    __slots__ = ("_bits",)
+    Internally either a dict ``_bits`` or a run ``_run = (lo, hi, tags)``
+    meaning every bit in ``[lo, hi)`` carries exactly ``tags``; the dict
+    is materialised from the run on demand.  Runs are canonical: always
+    non-empty (``lo < hi``, ``tags`` non-empty), so two run-backed
+    instances are equal iff their run triples are.
+    """
+
+    __slots__ = ("_bits", "_run")
 
     def __init__(self, bits: dict[int, frozenset[int]] | None = None) -> None:
         self._bits = bits or {}
+        self._run: Optional[tuple[int, int, frozenset[int]]] = None
 
     # ------------------------------------------------------------------
     # Constructors
     # ------------------------------------------------------------------
+    @classmethod
+    def _make_run(cls, lo: int, hi: int, tags: frozenset[int]) -> "BitTaint":
+        """Run-backed instance; degenerate ranges collapse to empty."""
+        if lo >= hi or not tags:
+            return _EMPTY
+        obj = cls.__new__(cls)
+        obj._bits = None
+        obj._run = (lo, hi, tags)
+        return obj
+
     @classmethod
     def empty(cls) -> "BitTaint":
         """Taint of an untainted value."""
@@ -51,53 +97,89 @@ class BitTaint:
     def byte(cls, tag: int, lo_bit: int = 0) -> "BitTaint":
         """Taint of a freshly-read input byte: ``tag`` on 8 consecutive
         bits starting at ``lo_bit``."""
-        tags = frozenset((tag,))
-        return cls({bit: tags for bit in range(lo_bit, lo_bit + 8)})
+        return cls._make_run(lo_bit, lo_bit + 8, intern_tags(frozenset((tag,))))
 
     @classmethod
     def of_bits(cls, tag: int, bits: Iterable[int]) -> "BitTaint":
         """Taint ``tag`` on an explicit collection of bit positions."""
-        tags = frozenset((tag,))
-        return cls({bit: tags for bit in bits})
+        positions = sorted(set(bits))
+        if not positions:
+            return _EMPTY
+        tags = intern_tags(frozenset((tag,)))
+        lo, hi = positions[0], positions[-1] + 1
+        if len(positions) == hi - lo:
+            return cls._make_run(lo, hi, tags)
+        return cls({bit: tags for bit in positions})
+
+    # ------------------------------------------------------------------
+    # Representation plumbing
+    # ------------------------------------------------------------------
+    def _dict(self) -> dict[int, frozenset[int]]:
+        """The per-bit map, materialising a run lazily (cached)."""
+        bits = self._bits
+        if bits is None:
+            lo, hi, tags = self._run
+            bits = self._bits = {bit: tags for bit in range(lo, hi)}
+        return bits
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
     def is_empty(self) -> bool:
-        return not self._bits
+        return self._run is None and not self._bits
 
     def __bool__(self) -> bool:
-        return bool(self._bits)
+        return self._run is not None or bool(self._bits)
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, BitTaint):
             return NotImplemented
-        return self._bits == other._bits
+        run_a, run_b = self._run, other._run
+        if run_a is not None and run_b is not None:
+            return run_a == run_b
+        return self._dict() == other._dict()
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._bits.items()))
+        return hash(frozenset(self._dict().items()))
 
     def __iter__(self) -> Iterator[tuple[int, frozenset[int]]]:
+        run = self._run
+        if run is not None:
+            lo, hi, tags = run
+            return iter([(bit, tags) for bit in range(lo, hi)])
         return iter(sorted(self._bits.items()))
 
     def at(self, bit: int) -> frozenset[int]:
         """Tags on a single bit position."""
+        run = self._run
+        if run is not None:
+            lo, hi, tags = run
+            return tags if lo <= bit < hi else _EMPTY_SET
         return self._bits.get(bit, _EMPTY_SET)
 
     def tainted_bits(self) -> list[int]:
         """Sorted list of bit positions that carry any taint."""
+        run = self._run
+        if run is not None:
+            return list(range(run[0], run[1]))
         return sorted(self._bits)
 
     def tags(self) -> frozenset[int]:
         """Union of the tags over all bits."""
+        run = self._run
+        if run is not None:
+            return run[2]
         out: set[int] = set()
         for tags in self._bits.values():
             out |= tags
-        return frozenset(out)
+        return intern_tags(frozenset(out))
 
     def bits_of_tag(self, tag: int) -> list[int]:
         """Bit positions carrying a specific tag (one row of the ASCII
         art in Fig. 2)."""
+        run = self._run
+        if run is not None:
+            return list(range(run[0], run[1])) if tag in run[2] else []
         return sorted(bit for bit, tags in self._bits.items() if tag in tags)
 
     # ------------------------------------------------------------------
@@ -106,21 +188,42 @@ class BitTaint:
     def union(self, other: "BitTaint") -> "BitTaint":
         """Per-bit union: the rule for ``xor``, ``or`` and positional
         ``add``/``sub``."""
-        if not other._bits:
+        if other._run is None and not other._bits:
             return self
-        if not self._bits:
+        if self._run is None and not self._bits:
             return other
-        bits = dict(self._bits)
-        for bit, tags in other._bits.items():
+        run_a, run_b = self._run, other._run
+        if run_a is not None and run_b is not None:
+            lo_a, hi_a, tags_a = run_a
+            lo_b, hi_b, tags_b = run_b
+            if tags_a is tags_b or tags_a == tags_b:
+                # Same tags and overlapping/adjacent ranges: one run.
+                if lo_a <= hi_b and lo_b <= hi_a:
+                    return BitTaint._make_run(
+                        min(lo_a, lo_b), max(hi_a, hi_b), tags_a
+                    )
+            elif lo_a == lo_b and hi_a == hi_b:
+                return BitTaint._make_run(
+                    lo_a, hi_a, intern_tags(tags_a | tags_b)
+                )
+        bits = dict(self._dict())
+        for bit, tags in other._dict().items():
             mine = bits.get(bit)
-            bits[bit] = tags if mine is None else mine | tags
+            if mine is None or mine is tags:
+                bits[bit] = tags
+            else:
+                bits[bit] = intern_tags(mine | tags)
         return BitTaint(bits)
 
     def shifted(self, amount: int) -> "BitTaint":
         """Translate every tainted bit by ``amount`` (negative = right
         shift); bits shifted below position 0 disappear."""
-        if amount == 0 or not self._bits:
+        if amount == 0 or (self._run is None and not self._bits):
             return self
+        run = self._run
+        if run is not None:
+            lo, hi, tags = run
+            return BitTaint._make_run(max(lo + amount, 0), hi + amount, tags)
         bits = {
             bit + amount: tags
             for bit, tags in self._bits.items()
@@ -131,16 +234,38 @@ class BitTaint:
     def masked(self, mask: int) -> "BitTaint":
         """``and`` with an untainted constant: keep taint only where the
         constant has a 1 bit."""
-        if not self._bits:
+        if self._run is None and not self._bits:
             return self
+        run = self._run
+        if run is not None:
+            lo, hi, tags = run
+            segment = (1 << hi) - (1 << lo)
+            overlap = mask & segment
+            if overlap == segment:
+                return self
+            if overlap == 0:
+                return _EMPTY
+            new_lo = (overlap & -overlap).bit_length() - 1
+            new_hi = overlap.bit_length()
+            if overlap == (1 << new_hi) - (1 << new_lo):
+                return BitTaint._make_run(new_lo, new_hi, tags)
+            return BitTaint(
+                {bit: tags for bit in range(lo, hi) if (mask >> bit) & 1}
+            )
         bits = {bit: tags for bit, tags in self._bits.items() if (mask >> bit) & 1}
         return BitTaint(bits)
 
     def truncated(self, width: int) -> "BitTaint":
         """Drop taint on bits at or above ``width`` (register narrowing,
         e.g. using ``al`` out of ``rax``)."""
-        if not self._bits:
+        if self._run is None and not self._bits:
             return self
+        run = self._run
+        if run is not None:
+            lo, hi, tags = run
+            if hi <= width:
+                return self
+            return BitTaint._make_run(lo, width, tags)
         bits = {bit: tags for bit, tags in self._bits.items() if bit < width}
         return BitTaint(bits)
 
@@ -148,28 +273,42 @@ class BitTaint:
         """Conservative rule for multiplication/division by a tainted or
         non-power-of-two value: every bit from the lowest tainted bit up to
         ``width - 1`` receives the union of all tags."""
-        if not self._bits:
+        if self._run is None and not self._bits:
             return self
+        run = self._run
+        if run is not None:
+            return BitTaint._make_run(run[0], width, run[2])
         lo = min(self._bits)
-        tags = self.tags()
-        return BitTaint({bit: tags for bit in range(lo, width)})
+        return BitTaint._make_run(lo, width, self.tags())
 
     def carry_extended(self, width: int) -> "BitTaint":
         """Conservative carry-aware add: each bit additionally receives
         the tags of every lower tainted bit."""
-        if not self._bits:
+        if self._run is None and not self._bits:
             return self
+        run = self._run
+        if run is not None:
+            # From the lowest tainted bit up, the running union is just
+            # the run's tags.
+            return BitTaint._make_run(run[0], width, run[2])
         bits: dict[int, frozenset[int]] = {}
         running: set[int] = set()
-        for bit in range(min(self._bits), width):
-            running |= self._bits.get(bit, _EMPTY_SET)
+        mine = self._bits
+        for bit in range(min(mine), width):
+            running |= mine.get(bit, _EMPTY_SET)
             if running:
-                bits[bit] = frozenset(running)
+                bits[bit] = intern_tags(frozenset(running))
         return BitTaint(bits)
 
     def sign_extended(self, from_width: int, to_width: int) -> "BitTaint":
         """Replicate the sign bit's taint into the widened bits
         (arithmetic right shift / ``movsx``)."""
+        run = self._run
+        if run is not None:
+            lo, hi, tags = run
+            if not (lo <= from_width - 1 < hi) or to_width <= from_width:
+                return self.truncated(to_width)
+            return BitTaint._make_run(lo, to_width, tags)
         sign = self._bits.get(from_width - 1)
         if sign is None or to_width <= from_width:
             return self.truncated(to_width)
@@ -183,6 +322,10 @@ class BitTaint:
     # ------------------------------------------------------------------
     def rows(self) -> dict[int, list[int]]:
         """``{tag: [bit, ...]}`` — the data behind one ASCII-art block."""
+        run = self._run
+        if run is not None:
+            lo, hi, tags = run
+            return {tag: list(range(lo, hi)) for tag in tags}
         out: dict[int, list[int]] = {}
         for bit, tags in self._bits.items():
             for tag in tags:
@@ -192,7 +335,7 @@ class BitTaint:
         return out
 
     def __repr__(self) -> str:
-        if not self._bits:
+        if self._run is None and not self._bits:
             return "BitTaint()"
         parts = []
         for tag, bits in sorted(self.rows().items()):

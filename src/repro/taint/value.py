@@ -27,14 +27,14 @@ from repro.taint.bittaint import BitTaint
 IntLike = Union[int, "TaintedInt"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Origin:
     """Base class for provenance records (a node in the data-flow DAG)."""
 
     seq: int
 
 
-@dataclass
+@dataclass(slots=True)
 class InputRecord(Origin):
     """A byte read from a taint source (the root of a provenance chain)."""
 
@@ -50,7 +50,7 @@ class InputRecord(Origin):
         )
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Operand:
     """Snapshot of one operand at the time an operation executed."""
 
@@ -63,7 +63,7 @@ class Operand:
         return bool(self.taint)
 
 
-@dataclass
+@dataclass(slots=True)
 class OpRecord(Origin):
     """One executed data-flow operation involving taint."""
 
@@ -83,7 +83,7 @@ class OpRecord(Origin):
         )
 
 
-@dataclass
+@dataclass(slots=True)
 class CompareRecord(Origin):
     """A comparison (or truth test) with at least one tainted operand."""
 
@@ -102,6 +102,10 @@ class TaintRecorder(Protocol):
     """What :class:`TaintedInt` needs from an execution context."""
 
     carry_aware_add: bool
+    # False = instrumentation tier skips OpRecord/CompareRecord
+    # construction; sequence numbers are still consumed so the memory
+    # access stream stays identical to a fully-recorded run.
+    record_ops: bool
 
     def next_seq(self) -> int: ...
 
@@ -115,9 +119,12 @@ def value_of(x: IntLike) -> int:
     return x.value if isinstance(x, TaintedInt) else x
 
 
+_EMPTY_TAINT = BitTaint.empty()
+
+
 def taint_of(x: IntLike) -> BitTaint:
     """The taint of a possibly-tainted value (empty for plain ints)."""
-    return x.taint if isinstance(x, TaintedInt) else BitTaint.empty()
+    return x.taint if isinstance(x, TaintedInt) else _EMPTY_TAINT
 
 
 def origin_of(x: IntLike) -> Optional[Origin]:
@@ -168,22 +175,52 @@ class TaintedInt:
         origin: Optional[Origin] = None
         rec = self._rec
         if rec is not None and (taint or any(taint_of(o) for o in operands)):
-            record = OpRecord(
-                seq=rec.next_seq(),
-                op=op,
-                operands=tuple(_operand(o) for o in operands),
-                result_value=value & ((1 << width) - 1),
-                result_taint=taint,
-                width=width,
-            )
-            rec.record_op(record)
-            origin = record
+            if rec.record_ops:
+                record = OpRecord(
+                    seq=rec.next_seq(),
+                    op=op,
+                    operands=tuple(_operand(o) for o in operands),
+                    result_value=value & ((1 << width) - 1),
+                    result_taint=taint,
+                    width=width,
+                )
+                rec.record_op(record)
+                origin = record
+            else:
+                # Lower tier: drop the record but burn its sequence
+                # number so access streams match FULL runs exactly.
+                rec.next_seq()
         return TaintedInt(value, width, taint, origin, rec)
 
     def _coerce_width(self, other: IntLike) -> int:
         if isinstance(other, TaintedInt):
             return max(self.width, other.width)
         return self.width
+
+    def _fast(self, other: IntLike) -> Optional[tuple[int, int]]:
+        """``(other_value, width)`` when neither operand carries taint.
+
+        Untainted arithmetic is the bulk of an instrumented run (loop
+        counters, pointer bookkeeping); when nothing is tainted no
+        record is emitted and no taint rule fires, so the operators
+        skip straight to :meth:`_untainted`.
+        """
+        if self.taint:
+            return None
+        if type(other) is int:
+            return other, self.width
+        if isinstance(other, TaintedInt) and not other.taint:
+            return other.value, max(self.width, other.width)
+        return None
+
+    def _untainted(self, value: int, width: int) -> "TaintedInt":
+        out = TaintedInt.__new__(TaintedInt)
+        out.width = width
+        out.value = value & ((1 << width) - 1)
+        out.taint = _EMPTY_TAINT
+        out.origin = None
+        out._rec = self._rec
+        return out
 
     # ------------------------------------------------------------------
     # Conversions
@@ -211,6 +248,9 @@ class TaintedInt:
     # Bitwise ops
     # ------------------------------------------------------------------
     def __xor__(self, other: IntLike) -> "TaintedInt":
+        fast = self._fast(other)
+        if fast is not None:
+            return self._untainted(self.value ^ fast[0], fast[1])
         width = self._coerce_width(other)
         taint = self.taint.union(taint_of(other))
         return self._emit("xor", (self, other), self.value ^ value_of(other), taint, width)
@@ -218,6 +258,9 @@ class TaintedInt:
     __rxor__ = __xor__
 
     def __or__(self, other: IntLike) -> "TaintedInt":
+        fast = self._fast(other)
+        if fast is not None:
+            return self._untainted(self.value | fast[0], fast[1])
         width = self._coerce_width(other)
         taint = self.taint.union(taint_of(other))
         return self._emit("or", (self, other), self.value | value_of(other), taint, width)
@@ -225,6 +268,9 @@ class TaintedInt:
     __ror__ = __or__
 
     def __and__(self, other: IntLike) -> "TaintedInt":
+        fast = self._fast(other)
+        if fast is not None:
+            return self._untainted(self.value & fast[0], fast[1])
         width = self._coerce_width(other)
         other_taint = taint_of(other)
         if not other_taint:
@@ -238,9 +284,14 @@ class TaintedInt:
     __rand__ = __and__
 
     def __invert__(self) -> "TaintedInt":
+        if not self.taint:
+            return self._untainted(~self.value, self.width)
         return self._emit("not", (self,), ~self.value, self.taint, self.width)
 
     def __lshift__(self, amount: IntLike) -> "TaintedInt":
+        fast = self._fast(amount)
+        if fast is not None:
+            return self._untainted(self.value << fast[0], self.width)
         n = value_of(amount)
         taint = self.taint.shifted(n).truncated(self.width)
         if taint_of(amount):
@@ -248,6 +299,9 @@ class TaintedInt:
         return self._emit("shl", (self, amount), self.value << n, taint, self.width)
 
     def __rshift__(self, amount: IntLike) -> "TaintedInt":
+        fast = self._fast(amount)
+        if fast is not None:
+            return self._untainted(self.value >> fast[0], self.width)
         n = value_of(amount)
         taint = self.taint.shifted(-n)
         if taint_of(amount):
@@ -273,6 +327,9 @@ class TaintedInt:
         return taint
 
     def __add__(self, other: IntLike) -> "TaintedInt":
+        fast = self._fast(other)
+        if fast is not None:
+            return self._untainted(self.value + fast[0], fast[1])
         width = self._coerce_width(other)
         taint = self._additive_taint(other, width)
         return self._emit("add", (self, other), self.value + value_of(other), taint, width)
@@ -280,16 +337,25 @@ class TaintedInt:
     __radd__ = __add__
 
     def __sub__(self, other: IntLike) -> "TaintedInt":
+        fast = self._fast(other)
+        if fast is not None:
+            return self._untainted(self.value - fast[0], fast[1])
         width = self._coerce_width(other)
         taint = self._additive_taint(other, width)
         return self._emit("sub", (self, other), self.value - value_of(other), taint, width)
 
     def __rsub__(self, other: IntLike) -> "TaintedInt":
+        fast = self._fast(other)
+        if fast is not None:
+            return self._untainted(fast[0] - self.value, fast[1])
         width = self._coerce_width(other)
         taint = self._additive_taint(other, width)
         return self._emit("sub", (other, self), value_of(other) - self.value, taint, width)
 
     def __mul__(self, other: IntLike) -> "TaintedInt":
+        fast = self._fast(other)
+        if fast is not None:
+            return self._untainted(self.value * fast[0], fast[1])
         width = self._coerce_width(other)
         ov, ot = value_of(other), taint_of(other)
         if not ot and _is_pow2(ov):
@@ -303,6 +369,9 @@ class TaintedInt:
     __rmul__ = __mul__
 
     def __floordiv__(self, other: IntLike) -> "TaintedInt":
+        fast = self._fast(other)
+        if fast is not None:
+            return self._untainted(self.value // fast[0], fast[1])
         width = self._coerce_width(other)
         ov, ot = value_of(other), taint_of(other)
         if not ot and _is_pow2(ov):
@@ -317,6 +386,9 @@ class TaintedInt:
         return self._emit("div", (other, self), value_of(other) // self.value, taint, width)
 
     def __mod__(self, other: IntLike) -> "TaintedInt":
+        fast = self._fast(other)
+        if fast is not None:
+            return self._untainted(self.value % fast[0], fast[1])
         width = self._coerce_width(other)
         ov, ot = value_of(other), taint_of(other)
         if not ot and _is_pow2(ov):
@@ -331,6 +403,8 @@ class TaintedInt:
         return self._emit("mod", (other, self), value_of(other) % self.value, taint, width)
 
     def __neg__(self) -> "TaintedInt":
+        if not self.taint:
+            return self._untainted(-self.value, self.width)
         taint = self._additive_taint(0, self.width)
         return self._emit("neg", (self,), -self.value, taint, self.width)
 
@@ -339,15 +413,20 @@ class TaintedInt:
     # ------------------------------------------------------------------
     def _compare(self, op: str, other: IntLike, outcome: bool) -> bool:
         rec = self._rec
-        if rec is not None and (self.taint or taint_of(other)):
-            rec.record_compare(
-                CompareRecord(
-                    seq=rec.next_seq(),
-                    op=op,
-                    operands=(_operand(self), _operand(other)),
-                    outcome=outcome,
+        if rec is not None and (
+            self.taint or (isinstance(other, TaintedInt) and other.taint)
+        ):
+            if rec.record_ops:
+                rec.record_compare(
+                    CompareRecord(
+                        seq=rec.next_seq(),
+                        op=op,
+                        operands=(_operand(self), _operand(other)),
+                        outcome=outcome,
+                    )
                 )
-            )
+            else:
+                rec.next_seq()
         return outcome
 
     def __eq__(self, other: object) -> bool:  # type: ignore[override]

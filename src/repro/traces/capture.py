@@ -50,9 +50,11 @@ def default_input_kind(target: str) -> str:
 def run_memory_target(target: str, data: bytes):
     """Run one survey target under tracing; returns the populated
     :class:`~repro.exec.context.TracingContext`."""
-    from repro.exec import TracingContext
+    from repro.exec import InstrumentationTier, TracingContext
 
-    ctx = TracingContext()
+    # Captured ZTRC files hold only the access stream, which the
+    # ADDRESS_ONLY tier produces byte-identically to a FULL run.
+    ctx = TracingContext(tier=InstrumentationTier.ADDRESS_ONLY)
     if target == "zlib":
         from repro.compression import deflate_compress
 

@@ -1,0 +1,413 @@
+"""Differential equivalence tests for the performance work.
+
+Every optimisation in the hot layers (taint algebra, cache model,
+instrumentation tiers) claims to be *observably identical* to the
+straightforward code it replaced.  These tests check that claim against
+independent in-test reference implementations, driven by Hypothesis:
+
+* ``BitTaint`` (interned tag sets + run compression) vs a plain
+  dict-of-frozensets reference with the original propagation rules.
+* ``Cache`` (flat arrays, batched noise variates, silent accesses) vs a
+  per-set-list reference that draws ``rng.gauss`` per timed access.
+* ``TracingContext`` FULL vs ADDRESS_ONLY tiers: identical memory-access
+  streams, byte-identical ZTRC serialisation, identical recovery
+  metrics.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.model import LINE_SIZE, Cache, CacheConfig
+from repro.exec import InstrumentationTier, TracingContext
+from repro.taint.bittaint import BitTaint
+
+
+# ----------------------------------------------------------------------
+# BitTaint vs dict reference
+# ----------------------------------------------------------------------
+class RefTaint:
+    """The original dict-per-bit taint algebra, kept as an oracle."""
+
+    def __init__(self, bits=None):
+        self.bits = bits or {}
+
+    @classmethod
+    def byte(cls, tag, lo_bit=0):
+        tags = frozenset((tag,))
+        return cls({bit: tags for bit in range(lo_bit, lo_bit + 8)})
+
+    def union(self, other):
+        bits = dict(self.bits)
+        for bit, tags in other.bits.items():
+            mine = bits.get(bit)
+            bits[bit] = tags if mine is None else mine | tags
+        return RefTaint(bits)
+
+    def shifted(self, amount):
+        return RefTaint(
+            {
+                bit + amount: tags
+                for bit, tags in self.bits.items()
+                if bit + amount >= 0
+            }
+        )
+
+    def masked(self, mask):
+        return RefTaint(
+            {bit: tags for bit, tags in self.bits.items() if (mask >> bit) & 1}
+        )
+
+    def truncated(self, width):
+        return RefTaint(
+            {bit: tags for bit, tags in self.bits.items() if bit < width}
+        )
+
+    def smeared(self, width):
+        if not self.bits:
+            return self
+        all_tags = frozenset().union(*self.bits.values())
+        return RefTaint(
+            {bit: all_tags for bit in range(min(self.bits), width)}
+        )
+
+    def carry_extended(self, width):
+        if not self.bits:
+            return self
+        bits = {}
+        running = set()
+        for bit in range(min(self.bits), width):
+            running |= self.bits.get(bit, frozenset())
+            if running:
+                bits[bit] = frozenset(running)
+        return RefTaint(bits)
+
+    def sign_extended(self, from_width, to_width):
+        sign = self.bits.get(from_width - 1)
+        if sign is None or to_width <= from_width:
+            return self.truncated(to_width)
+        bits = {b: t for b, t in self.bits.items() if b < from_width}
+        for bit in range(from_width, to_width):
+            bits[bit] = sign
+        return RefTaint(bits)
+
+
+def observable(t):
+    """Representation-independent view of a taint: sorted (bit, tags)."""
+    if isinstance(t, RefTaint):
+        return sorted(t.bits.items())
+    return list(t)
+
+
+# One step of the differential walk: (method, args) applied to both.
+_taint_ops = st.one_of(
+    st.tuples(st.just("shifted"), st.integers(-20, 20)),
+    st.tuples(st.just("masked"), st.integers(0, (1 << 24) - 1)),
+    st.tuples(st.just("truncated"), st.integers(0, 32)),
+    st.tuples(st.just("smeared"), st.integers(1, 32)),
+    st.tuples(st.just("carry_extended"), st.integers(1, 32)),
+    st.tuples(
+        st.just("sign_extended"), st.integers(1, 16), st.integers(1, 32)
+    ),
+    st.tuples(
+        st.just("union_byte"), st.integers(0, 5), st.integers(0, 16)
+    ),
+)
+
+
+@given(
+    tag=st.integers(0, 5),
+    lo=st.integers(0, 8),
+    ops=st.lists(_taint_ops, max_size=12),
+)
+@settings(max_examples=300, deadline=None)
+def test_bittaint_matches_dict_reference(tag, lo, ops):
+    fast = BitTaint.byte(tag, lo)
+    ref = RefTaint.byte(tag, lo)
+    assert observable(fast) == observable(ref)
+    for op in ops:
+        name, args = op[0], op[1:]
+        if name == "union_byte":
+            other_tag, other_lo = args
+            fast = fast.union(BitTaint.byte(other_tag, other_lo))
+            ref = ref.union(RefTaint.byte(other_tag, other_lo))
+        elif name == "sign_extended":
+            fast = fast.sign_extended(*args)
+            ref = ref.sign_extended(*args)
+        else:
+            fast = getattr(fast, name)(*args)
+            ref = getattr(ref, name)(*args)
+        assert observable(fast) == observable(ref), name
+        # Derived views must agree with the per-bit map.
+        assert fast.tainted_bits() == [b for b, _ in observable(ref)]
+        assert fast.is_empty() == (not ref.bits)
+        all_tags = frozenset().union(frozenset(), *ref.bits.values())
+        assert fast.tags() == all_tags
+
+
+@given(tag=st.integers(0, 3), lo=st.integers(0, 8))
+@settings(max_examples=50, deadline=None)
+def test_run_and_dict_backed_equal_and_hash_alike(tag, lo):
+    run_backed = BitTaint.byte(tag, lo)
+    dict_backed = BitTaint(
+        {bit: frozenset((tag,)) for bit in range(lo, lo + 8)}
+    )
+    assert run_backed == dict_backed
+    assert hash(run_backed) == hash(dict_backed)
+    assert observable(run_backed) == observable(dict_backed)
+    # And after an op that forces the run out of shape:
+    assert run_backed.masked(0b1010101010101010) == dict_backed.masked(
+        0b1010101010101010
+    )
+
+
+# ----------------------------------------------------------------------
+# Cache vs reference model
+# ----------------------------------------------------------------------
+class RefCache:
+    """Straightforward per-set-list cache with the same contract.
+
+    Draws latency noise with ``rng.gauss`` per *timed* access (the
+    optimized model batches the identical Box-Muller recurrence), uses
+    plain lists per set, recomputes the slice hash per access, and
+    implements PLRU victim selection by walking the tree with a list of
+    allowed ways.
+    """
+
+    def __init__(self, config):
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.stamp = 0
+        n_sets = config.n_slices * config.sets_per_slice
+        self.tags = [[-1] * config.ways for _ in range(n_sets)]
+        self.stamps = [[0] * config.ways for _ in range(n_sets)]
+        self.plru_bits = [[0] * (config.ways - 1) for _ in range(n_sets)]
+        self.cos_masks = {0: tuple(range(config.ways))}
+        self.hits = self.misses = self.flushes = 0
+
+    # -- mapping (independent implementation) --------------------------
+    def _slice_of(self, paddr):
+        if self.config.n_slices == 1:
+            return 0
+        from repro.cache.model import _SLICE_MASKS
+
+        bits = (self.config.n_slices - 1).bit_length()
+        out = 0
+        for k in range(bits):
+            out |= (bin(paddr & _SLICE_MASKS[k]).count("1") & 1) << k
+        return out % self.config.n_slices
+
+    def _set_index(self, paddr):
+        sl = self._slice_of(paddr)
+        st_ = (paddr >> 6) & (self.config.sets_per_slice - 1)
+        return sl * self.config.sets_per_slice + st_
+
+    # -- PLRU (list-walk implementation) --------------------------------
+    def _plru_touch(self, idx, way):
+        bits = self.plru_bits[idx]
+        node, lo, hi = 0, 0, self.config.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            if way < mid:
+                bits[node] = 1
+                node, hi = 2 * node + 1, mid
+            else:
+                bits[node] = 0
+                node, lo = 2 * node + 2, mid
+
+    def _plru_victim(self, idx, allowed):
+        bits = self.plru_bits[idx]
+        node, lo, hi = 0, 0, self.config.ways
+        while hi - lo > 1:
+            mid = (lo + hi) // 2
+            left_ok = any(lo <= w < mid for w in allowed)
+            right_ok = any(mid <= w < hi for w in allowed)
+            go_right = bits[node] == 1
+            if go_right and not right_ok:
+                go_right = False
+            elif not go_right and not left_ok:
+                go_right = True
+            if go_right:
+                node, lo = 2 * node + 2, mid
+            else:
+                node, hi = 2 * node + 1, mid
+        return lo
+
+    # -- accesses -------------------------------------------------------
+    def _touch_line(self, paddr, cos):
+        """(hit, evicted) state transition shared by all access kinds."""
+        tag = paddr >> 6
+        idx = self._set_index(paddr)
+        self.stamp += 1
+        tags = self.tags[idx]
+        plru = self.config.replacement == "plru"
+        if tag in tags:
+            way = tags.index(tag)
+            self.stamps[idx][way] = self.stamp
+            if plru:
+                self._plru_touch(idx, way)
+            self.hits += 1
+            return True, None
+        self.misses += 1
+        allowed = self.cos_masks.get(cos) or self.cos_masks[0]
+        victim = None
+        for w in allowed:
+            if tags[w] == -1:
+                victim = w
+                break
+        evicted = None
+        if victim is None:
+            if plru:
+                victim = self._plru_victim(idx, allowed)
+            else:
+                victim = min(allowed, key=lambda w: self.stamps[idx][w])
+            evicted = tags[victim] << 6
+        tags[victim] = tag
+        self.stamps[idx][victim] = self.stamp
+        if plru:
+            self._plru_touch(idx, victim)
+        return False, evicted
+
+    def access(self, paddr, cos=0):
+        hit, evicted = self._touch_line(paddr, cos)
+        base = (
+            self.config.hit_latency if hit else self.config.miss_latency
+        )
+        lat = self.rng.gauss(base, self.config.noise_sigma)
+        return hit, max(lat, 1.0), evicted
+
+    def access_silent(self, paddr, cos=0):
+        self._touch_line(paddr, cos)
+
+    def flush(self, paddr):
+        tag = paddr >> 6
+        idx = self._set_index(paddr)
+        if tag in self.tags[idx]:
+            self.tags[idx][self.tags[idx].index(tag)] = -1
+        self.flushes += 1
+
+
+_cache_step = st.tuples(
+    st.sampled_from(["access", "timed", "silent", "flush"]),
+    st.integers(0, 95),  # line index; small range forces conflicts
+    st.sampled_from([0, 1]),  # class of service
+)
+
+
+@pytest.mark.parametrize("replacement", ["lru", "plru"])
+@given(steps=st.lists(_cache_step, min_size=1, max_size=300))
+@settings(max_examples=60, deadline=None)
+def test_cache_matches_reference_model(replacement, steps):
+    cfg = CacheConfig(
+        n_slices=2,
+        sets_per_slice=16,
+        ways=4,
+        seed=99,
+        replacement=replacement,
+    )
+    fast = Cache(cfg)
+    ref = RefCache(cfg)
+    fast.cos_masks[1] = ref.cos_masks[1] = (0, 1)
+    for kind, line, cos in steps:
+        paddr = line * LINE_SIZE
+        if kind == "access":
+            got = fast.access(paddr, cos)
+            hit, lat, evicted = ref.access(paddr, cos)
+            assert (got.hit, got.latency, got.evicted) == (hit, lat, evicted)
+        elif kind == "timed":
+            assert fast.access_timed(paddr, cos) == ref.access(paddr, cos)[1]
+        elif kind == "silent":
+            fast.access_silent(paddr, cos)
+            ref.access_silent(paddr, cos)
+        else:
+            fast.flush(paddr)
+            ref.flush(paddr)
+    assert fast.stats == {
+        "hits": ref.hits,
+        "misses": ref.misses,
+        "flushes": ref.flushes,
+    }
+    for line in range(96):
+        assert fast.contains(line * LINE_SIZE) == (
+            (line) in ref.tags[ref._set_index(line * LINE_SIZE)]
+        )
+
+
+# ----------------------------------------------------------------------
+# FULL vs ADDRESS_ONLY tiers
+# ----------------------------------------------------------------------
+def _run_target(target, data, tier):
+    ctx = TracingContext(tier=tier)
+    if target == "zlib":
+        from repro.compression import deflate_compress
+
+        deflate_compress(data, ctx=ctx)
+    elif target == "lzw":
+        from repro.compression import lzw_compress
+
+        lzw_compress(data, ctx=ctx)
+    else:
+        from repro.compression.bzip2.blocksort import histogram
+
+        block = ctx.array("block", len(data))
+        for i, v in enumerate(ctx.input_bytes(data)):
+            block.set(i, v)
+        histogram(ctx, block, len(data))
+    return ctx
+
+
+@pytest.mark.parametrize("target", ["zlib", "lzw", "bzip2"])
+@given(data=st.binary(min_size=30, max_size=120))
+@settings(max_examples=8, deadline=None)
+def test_address_only_tier_trace_is_byte_identical(target, data):
+    from repro.traces.format import SPECIES_MEMORY, serialize_records
+
+    full = _run_target(target, data, InstrumentationTier.FULL)
+    addr = _run_target(target, data, InstrumentationTier.ADDRESS_ONLY)
+
+    fa = full.memory_accesses()
+    aa = addr.memory_accesses()
+    assert [(a.seq, a.address, a.kind, a.site) for a in fa] == [
+        (a.seq, a.address, a.kind, a.site) for a in aa
+    ]
+    assert serialize_records(SPECIES_MEMORY, fa) == serialize_records(
+        SPECIES_MEMORY, aa
+    )
+    # The lower tier really did skip the data-flow records...
+    from repro.taint.value import CompareRecord, OpRecord
+
+    assert not any(isinstance(e, (OpRecord, CompareRecord)) for e in addr.events)
+    assert any(isinstance(e, (OpRecord, CompareRecord)) for e in full.events)
+
+
+def test_survey_metrics_identical_across_tiers(monkeypatch):
+    """survey_recovery (which now runs ADDRESS_ONLY) must report the
+    same metrics as a forced-FULL run."""
+    from repro.campaign.experiments import get_experiment
+    from repro.exec import context as context_mod
+
+    fn = get_experiment("survey_recovery")
+    fast = fn({"size": 150}, 7)
+
+    real_init = context_mod.TracingContext.__init__
+
+    def full_init(self, *args, **kwargs):
+        kwargs["tier"] = InstrumentationTier.FULL
+        real_init(self, *args, **kwargs)
+
+    monkeypatch.setattr(context_mod.TracingContext, "__init__", full_init)
+    slow = fn({"size": 150}, 7)
+    assert fast == slow
+
+
+def test_profile_only_records_functions_only():
+    from repro.compression import lzw_compress
+
+    ctx = TracingContext(tier=InstrumentationTier.PROFILE_ONLY)
+    lzw_compress(b"abcabcabcXYZ" * 4, ctx=ctx)
+    assert ctx.memory_accesses() == []
+    assert ctx.function_events()  # enter/exit markers survive
+    assert ctx.plain_accesses > 0

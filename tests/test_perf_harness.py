@@ -1,0 +1,203 @@
+"""Unit tests for the repro.perf harness: digests, report round-trips,
+section merging, baselines, and the regression gate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.harness import (
+    BenchResult,
+    PerfReport,
+    apply_baseline,
+    compare_reports,
+    load_report,
+    merge_reports,
+    metrics_digest,
+)
+
+
+def _result(name, seconds, params=None, seed=1, metrics=None):
+    metrics = metrics if metrics is not None else {"answer": 42}
+    return BenchResult(
+        name=name,
+        seconds=seconds,
+        all_seconds=[seconds],
+        params=params or {"size": 100},
+        seed=seed,
+        metrics=metrics,
+        metrics_digest=metrics_digest(metrics),
+    )
+
+
+def _report(mode="full", **benches):
+    report = PerfReport(mode=mode, python="3.11", machine="test")
+    for name, res in benches.items():
+        report.benches[name] = res
+    return report
+
+
+class TestMetricsDigest:
+    def test_volatile_keys_do_not_poison_digest(self):
+        a = {"accuracy": 0.9, "duration_seconds": 1.23}
+        b = {"accuracy": 0.9, "duration_seconds": 9.87}
+        assert metrics_digest(a) == metrics_digest(b)
+
+    def test_substantive_change_changes_digest(self):
+        assert metrics_digest({"accuracy": 0.9}) != metrics_digest(
+            {"accuracy": 0.91}
+        )
+
+    def test_key_order_is_canonical(self):
+        assert metrics_digest({"a": 1, "b": 2}) == metrics_digest(
+            {"b": 2, "a": 1}
+        )
+
+
+class TestReportRoundTrip:
+    def test_json_round_trip_preserves_sections(self, tmp_path):
+        report = _report(full=_result("x", 1.0))
+        report.quick_benches["x"] = _result("x", 0.1)
+        report.benches["x"] = report.benches.pop("full")
+        path = tmp_path / "r.json"
+        path.write_text(report.to_json())
+        back = load_report(str(path))
+        assert back.mode == "full"
+        assert back.benches["x"].seconds == 1.0
+        assert back.quick_benches["x"].seconds == 0.1
+        assert back.benches["x"].metrics_digest == metrics_digest(
+            {"answer": 42}
+        )
+
+    def test_wrong_schema_rejected(self):
+        with pytest.raises(ValueError, match="schema"):
+            PerfReport.from_dict({"schema": "other/9"})
+
+    def test_section_for_missing_mode_is_refused(self):
+        report = _report(x=_result("x", 1.0))
+        with pytest.raises(ValueError, match="no 'quick' section"):
+            report.section_for("quick")
+
+
+class TestMergeReports:
+    def test_quick_into_full_lands_in_quick_section(self):
+        existing = _report(mode="full", a=_result("a", 2.0))
+        new = PerfReport(mode="quick", python="3.11", machine="test")
+        new.benches["a"] = _result("a", 0.2)
+        merged = merge_reports(existing, new)
+        assert merged.mode == "full"
+        assert merged.benches["a"].seconds == 2.0
+        assert merged.quick_benches["a"].seconds == 0.2
+
+    def test_same_mode_merge_keeps_absent_benches(self):
+        existing = _report(a=_result("a", 2.0), b=_result("b", 3.0))
+        new = _report(a=_result("a", 1.5))
+        merged = merge_reports(existing, new)
+        assert merged.benches["a"].seconds == 1.5
+        assert merged.benches["b"].seconds == 3.0  # not dropped
+
+    def test_full_into_quick_promotes_full_as_primary(self):
+        existing = PerfReport(mode="quick")
+        existing.benches["a"] = _result("a", 0.2)
+        new = _report(mode="full", a=_result("a", 2.0))
+        merged = merge_reports(existing, new)
+        assert merged.mode == "full"
+        assert merged.benches["a"].seconds == 2.0
+        assert merged.quick_benches["a"].seconds == 0.2
+
+
+class TestApplyBaseline:
+    def test_speedup_and_match_annotated(self):
+        current = _report(a=_result("a", 1.0))
+        baseline = _report(a=_result("a", 3.0))
+        apply_baseline(current, baseline)
+        res = current.benches["a"]
+        assert res.speedup == pytest.approx(3.0)
+        assert res.metrics_match is True
+
+    def test_pin_change_suppresses_metrics_verdict(self):
+        current = _report(a=_result("a", 1.0, params={"size": 500}))
+        baseline = _report(a=_result("a", 3.0, params={"size": 100}))
+        apply_baseline(current, baseline)
+        assert current.benches["a"].metrics_match is None
+
+
+class TestCompareGate:
+    def test_clean_comparison_passes(self):
+        current = _report(a=_result("a", 1.0), b=_result("b", 2.0))
+        baseline = _report(a=_result("a", 1.05), b=_result("b", 2.1))
+        outcome = compare_reports(current, baseline, tolerance=0.2)
+        assert outcome.ok
+        assert "PASS" in outcome.summary()
+
+    def test_digest_mismatch_fails_before_timing(self):
+        current = _report(a=_result("a", 0.5, metrics={"bits": 1}))
+        baseline = _report(a=_result("a", 1.0, metrics={"bits": 2}))
+        outcome = compare_reports(current, baseline, tolerance=0.2)
+        assert not outcome.ok
+        assert outcome.digest_failures == ["a"]
+        assert "METRICS CHANGED" in outcome.summary()
+
+    def test_absolute_regression_detected(self):
+        current = _report(a=_result("a", 2.0))
+        baseline = _report(a=_result("a", 1.0))
+        outcome = compare_reports(
+            current, baseline, tolerance=0.2, normalize=False
+        )
+        assert outcome.regressions == ["a"]
+        assert "REGRESSION" in outcome.summary()
+
+    def test_uniform_machine_slowdown_cancels_when_normalized(self):
+        # Everything 2x slower: a slower machine, not a regression.
+        current = _report(
+            a=_result("a", 2.0), b=_result("b", 4.0), c=_result("c", 6.0)
+        )
+        baseline = _report(
+            a=_result("a", 1.0), b=_result("b", 2.0), c=_result("c", 3.0)
+        )
+        outcome = compare_reports(current, baseline, tolerance=0.2)
+        assert outcome.normalized
+        assert outcome.ok
+
+    def test_relative_regression_survives_normalization(self):
+        # b regresses 3x while a and c are flat.
+        current = _report(
+            a=_result("a", 1.0), b=_result("b", 3.0), c=_result("c", 1.0)
+        )
+        baseline = _report(
+            a=_result("a", 1.0), b=_result("b", 1.0), c=_result("c", 1.0)
+        )
+        outcome = compare_reports(current, baseline, tolerance=0.2)
+        assert outcome.regressions == ["b"]
+
+    def test_pin_change_skips_timing_comparison(self):
+        current = _report(a=_result("a", 9.0, params={"size": 999}))
+        baseline = _report(a=_result("a", 1.0, params={"size": 100}))
+        outcome = compare_reports(current, baseline, tolerance=0.2)
+        assert outcome.ok  # incomparable, not a regression
+        assert any("pin changed" in m for m in outcome.missing)
+
+    def test_quick_current_compares_against_quick_section(self):
+        baseline = _report(a=_result("a", 5.0))
+        baseline.quick_benches["a"] = _result("a", 0.5)
+        current = PerfReport(mode="quick", python="3.11", machine="test")
+        current.benches["a"] = _result("a", 0.52)
+        outcome = compare_reports(current, baseline, tolerance=0.2)
+        assert outcome.ok
+        assert outcome.rows[0].baseline_seconds == 0.5
+
+
+class TestBenchCatalogue:
+    def test_catalogue_names_resolve(self):
+        from repro.perf import available_benches, get_bench
+
+        names = available_benches()
+        assert "sec5e_attack" in names and "fig7_dataset" in names
+        for name in names:
+            bench = get_bench(name)
+            assert bench.resolved_params(quick=True) != {} or bench.params == {}
+
+    def test_unknown_bench_rejected(self):
+        from repro.perf import get_bench
+
+        with pytest.raises(KeyError, match="unknown bench"):
+            get_bench("nope")
