@@ -31,6 +31,8 @@ from dataclasses import dataclass
 from math import cos as _cos, log as _log, pi as _pi, sin as _sin, sqrt as _sqrt
 from typing import Optional
 
+from repro import obs
+
 _TWOPI = 2.0 * _pi
 
 LINE_BITS = 6
@@ -210,6 +212,10 @@ class Cache:
         self._hits = 0
         self._misses = 0
         self._flushes = 0
+        self._evictions = 0
+        # Snapshot of the counters at the last publish_stats() call, so
+        # repeated publishes emit deltas, not re-counted totals.
+        self._published = (0, 0, 0, 0)
         self._zbuf: list[float] = []
         self._zi = 0
         self._hit_lat = cfg.hit_latency
@@ -222,7 +228,26 @@ class Cache:
             "hits": self._hits,
             "misses": self._misses,
             "flushes": self._flushes,
+            "evictions": self._evictions,
         }
+
+    def publish_stats(self, prefix: str = "cache") -> None:
+        """Publish hit/miss/eviction/flush counts to :mod:`repro.obs`.
+
+        Deltas since the previous publish, so end-of-run publishing from
+        several phases (or attacks sharing a cache) accumulates each
+        access exactly once.  A plain no-op while observability is
+        disabled; never called from the per-access hot path."""
+        if not obs.enabled():
+            return
+        counts = (self._hits, self._misses, self._evictions, self._flushes)
+        last = self._published
+        self._published = counts
+        for name, now, before in zip(
+            ("hits", "misses", "evictions", "flushes"), counts, last
+        ):
+            if now != before:
+                obs.counter_add(f"{prefix}.{name}", now - before)
 
     # -- address mapping -------------------------------------------------
     def slice_of(self, paddr: int) -> int:
@@ -345,6 +370,7 @@ class Cache:
                         best = s
                         victim_way = w
             evicted = tags[base + victim_way] << LINE_BITS
+            self._evictions += 1
         tags[base + victim_way] = tag
         self._stamps[base + victim_way] = self._stamp
         if plru is not None:

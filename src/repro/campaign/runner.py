@@ -36,6 +36,7 @@ from concurrent.futures import (
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
+from repro import obs
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import (
     STATUS_CRASHED,
@@ -60,6 +61,13 @@ class InjectedFailure(Exception):
     """A failure forced by the spec's fault-injection drill."""
 
 
+def _alarm_supported() -> bool:
+    """Whether this platform can enforce per-job wall-clock budgets
+    (``SIGALRM`` exists — Windows and some embedded Pythons lack it).
+    Split out so tests can stub the no-SIGALRM path."""
+    return hasattr(signal, "SIGALRM")
+
+
 def _execute_payload(payload: dict) -> dict:
     """Run one job attempt.  Executes inside a worker process (or inline
     under the in-process executor); everything it touches must be
@@ -81,7 +89,7 @@ def _execute_payload(payload: dict) -> dict:
     timeout = payload.get("timeout_seconds")
     use_alarm = (
         timeout is not None
-        and hasattr(signal, "SIGALRM")
+        and _alarm_supported()
         and threading.current_thread() is threading.main_thread()
     )
 
@@ -93,17 +101,34 @@ def _execute_payload(payload: dict) -> dict:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        metrics = fn(payload["params"], payload["seed"])
+        with obs.span(
+            "campaign.job",
+            job_id=payload.get("job_id"),
+            experiment=payload["experiment"],
+            attempt=payload["attempt"],
+        ):
+            metrics = fn(payload["params"], payload["seed"])
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
             signal.signal(signal.SIGALRM, previous)
+        # Pool workers outlive jobs and are torn down without atexit
+        # hooks running reliably; snapshots are cumulative per pid, so
+        # flushing after every job keeps the sink's last-per-pid merge
+        # correct without double counting.
+        obs.flush()
     if not isinstance(metrics, dict):
         raise TypeError(
             f"experiment {payload['experiment']!r} returned "
             f"{type(metrics).__name__}, expected a metrics dict"
         )
-    return {"metrics": metrics, "duration": time.perf_counter() - start}
+    return {
+        "metrics": metrics,
+        "duration": time.perf_counter() - start,
+        # None: no budget requested; False: budget silently unenforceable
+        # on this platform/thread — the runner surfaces it on the record.
+        "timeout_enforced": use_alarm if timeout is not None else None,
+    }
 
 
 class InProcessExecutor:
@@ -203,6 +228,7 @@ class CampaignRunner:
     def _payload(self, attempt: _Attempt) -> dict:
         job = attempt.job
         payload = {
+            "job_id": job.job_id,
             "experiment": job.experiment,
             "params": job.params_dict(),
             "seed": job.seed,
@@ -226,6 +252,7 @@ class CampaignRunner:
         duration: float,
         metrics: Optional[dict] = None,
         error: Optional[str] = None,
+        timeout_enforced: Optional[bool] = None,
     ) -> JobRecord:
         job = attempt.job
         record = JobRecord(
@@ -239,6 +266,7 @@ class CampaignRunner:
             duration_seconds=duration,
             metrics=metrics,
             error=error,
+            timeout_enforced=timeout_enforced,
         )
         self.store.append(record)
         return record
@@ -258,16 +286,50 @@ class CampaignRunner:
             attempt.attempt += 1
             attempt.eligible_at = time.monotonic() + delay
             pending.append(attempt)
+            obs.counter_add("campaign.retries")
             self._emit(
                 f"retry {job.job_id} (attempt {attempt.attempt + 1}, "
                 f"after {delay:.2f}s): {error}"
             )
             return
-        record = self._record(attempt, status, 0.0, error=error)
+        # The last attempt's wall clock: submission to now.  (This used
+        # to be hard-zeroed — and the pool-rebuild path even reset
+        # submitted_at before recording — so every terminal failure
+        # reported duration_seconds=0.0.)
+        duration = (
+            time.monotonic() - attempt.submitted_at
+            if attempt.submitted_at
+            else 0.0
+        )
+        record = self._record(
+            attempt,
+            status,
+            duration,
+            error=error,
+            timeout_enforced=self._timeout_enforced_hint(),
+        )
         result.records.append(record)
         result.counts[status] = result.counts.get(status, 0) + 1
+        obs.counter_add(f"campaign.{status}")
+        obs.log(
+            "warning",
+            "job gave up",
+            job_id=job.job_id,
+            status=status,
+            attempts=attempt.attempt + 1,
+            error=error,
+        )
         self._emit(f"gave up on {job.job_id} after {attempt.attempt + 1} "
                    f"attempts: {error}")
+
+    def _timeout_enforced_hint(self) -> Optional[bool]:
+        """What to record for ``timeout_enforced`` when the attempt
+        itself could not report it (failure paths): ``False`` when a
+        budget was requested but the platform cannot enforce it, else
+        ``None`` (unknown / not applicable)."""
+        if self.spec.timeout_seconds is not None and not _alarm_supported():
+            return False
+        return None
 
     def _handle_outcome(
         self,
@@ -279,6 +341,7 @@ class CampaignRunner:
         """Consume one finished future.  Returns True when the executor
         broke (caller must rebuild it)."""
         job = attempt.job
+        obs.counter_add("campaign.attempts")
         try:
             out = future.result()
         except BrokenExecutor:
@@ -298,11 +361,29 @@ class CampaignRunner:
                 result,
             )
             return False
+        enforced = out.get("timeout_enforced")
+        if enforced is False and obs.warn_once(
+            "campaign.timeout-unenforced",
+            "per-job wall-clock budgets are not enforceable here "
+            "(no SIGALRM or worker off the main thread); jobs may "
+            "overrun their budget",
+            timeout_seconds=self.spec.timeout_seconds,
+        ):
+            self._emit(
+                "warning: per-job timeout cannot be enforced on this "
+                "platform (no SIGALRM); budgets are advisory"
+            )
         record = self._record(
-            attempt, STATUS_OK, out["duration"], metrics=out["metrics"]
+            attempt,
+            STATUS_OK,
+            out["duration"],
+            metrics=out["metrics"],
+            timeout_enforced=enforced,
         )
         result.records.append(record)
         result.counts[STATUS_OK] = result.counts.get(STATUS_OK, 0) + 1
+        obs.counter_add("campaign.ok")
+        obs.observe("campaign.job_seconds", out["duration"])
         self._emit(
             f"ok {job.job_id} {job.params_dict()} trial={job.trial} "
             f"({out['duration']:.2f}s, attempt {attempt.attempt + 1})"
@@ -328,10 +409,35 @@ class CampaignRunner:
         if result.skipped:
             self._emit(f"resume: skipping {result.skipped} recorded jobs")
 
+        if self.spec.timeout_seconds is not None and not _alarm_supported():
+            if obs.warn_once(
+                "campaign.timeout-unenforced",
+                "per-job wall-clock budgets are not enforceable here "
+                "(no SIGALRM); jobs may overrun their budget",
+                timeout_seconds=self.spec.timeout_seconds,
+            ):
+                self._emit(
+                    "warning: per-job timeout cannot be enforced on this "
+                    "platform (no SIGALRM); budgets are advisory"
+                )
+
+        run_span = obs.span(
+            "campaign.run",
+            campaign=self.spec.name,
+            experiment=self.spec.experiment,
+            jobs=len(pending),
+            workers=self.workers,
+        )
         self._executor = self._factory()
         in_flight: dict[Future, _Attempt] = {}
+        observing = obs.enabled()
         try:
+            run_span.__enter__()
             while pending or in_flight:
+                if observing:
+                    obs.observe(
+                        "campaign.queue_depth", len(pending) + len(in_flight)
+                    )
                 now = time.monotonic()
                 # Fill free slots with eligible attempts.
                 free = self.workers - len(in_flight)
@@ -385,8 +491,31 @@ class CampaignRunner:
                         broke = True
                 if broke:
                     self._rebuild(in_flight, pending, result)
+        except KeyboardInterrupt:
+            # Every finished job is already checkpointed (the store
+            # flushes per record), so `campaign resume` picks up cleanly
+            # at the first unrecorded job.  Cancel what we can and let
+            # the interrupt propagate.
+            obs.log(
+                "warning",
+                "campaign interrupted",
+                campaign=self.spec.name,
+                records_checkpointed=len(result.records) + result.skipped,
+                pending=len(pending) + len(in_flight),
+            )
+            self._emit(
+                f"interrupted: {len(result.records)} records checkpointed "
+                f"this run; continue with `campaign resume {self.store.root}`"
+            )
+            try:
+                self._executor.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # noqa: BLE001 — best-effort cancellation
+                pass
+            raise
         finally:
+            run_span.__exit__(None, None, None)
             self._executor.shutdown(wait=True)
+            obs.flush()
 
         result.elapsed_seconds = time.monotonic() - start
         counts = dict(result.counts)
@@ -400,9 +529,17 @@ class CampaignRunner:
     ) -> None:
         """A worker died and took the pool with it: charge every
         in-flight job one attempt (retry or record the crash), then
-        start a fresh pool and keep going."""
+        start a fresh pool and keep going.
+
+        Accounting invariants (pinned by
+        ``tests/test_campaign_runner.py::TestBrokenPoolAccounting``):
+        the job whose future raised ``BrokenExecutor`` was popped from
+        ``in_flight`` and charged by the caller, so it is charged
+        exactly once here too — and ``submitted_at`` is left intact so
+        a terminal record keeps its real wall-clock duration (it was
+        previously zeroed right before ``_retry_or_fail``, wiping the
+        duration of every crash-terminated job)."""
         for attempt in list(in_flight.values()):
-            attempt.submitted_at = 0.0
             self._retry_or_fail(
                 attempt,
                 STATUS_CRASHED,
@@ -411,6 +548,7 @@ class CampaignRunner:
                 result,
             )
         in_flight.clear()
+        obs.counter_add("campaign.pool_rebuilds")
         self._emit("worker pool broke (crashed worker); rebuilding pool")
         try:
             self._executor.shutdown(wait=False, cancel_futures=True)

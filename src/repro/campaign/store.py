@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Optional
 
+from repro import obs
 from repro.campaign.spec import CampaignSpec, JobSpec
 
 MANIFEST_NAME = "manifest.json"
@@ -64,6 +65,9 @@ class JobRecord:
     metrics: Optional[dict] = None  # experiment output when status == ok
     error: Optional[str] = None  # last failure message otherwise
     finished_at: float = field(default_factory=time.time)
+    # None: no budget requested / unknown; False: a wall-clock budget
+    # was requested but the platform could not enforce it (no SIGALRM).
+    timeout_enforced: Optional[bool] = None
 
     @property
     def ok(self) -> bool:
@@ -84,6 +88,7 @@ class JobRecord:
             "metrics": self.metrics,
             "error": self.error,
             "finished_at": self.finished_at,
+            "timeout_enforced": self.timeout_enforced,
         }
 
     @classmethod
@@ -101,6 +106,7 @@ class JobRecord:
             metrics=data.get("metrics"),
             error=data.get("error"),
             finished_at=float(data.get("finished_at", 0.0)),
+            timeout_enforced=data.get("timeout_enforced"),
         )
 
 
@@ -179,11 +185,16 @@ class ResultStore:
     # -- results --------------------------------------------------------
     def append(self, record: JobRecord) -> None:
         """Append one finished job, durably (flush per line)."""
+        observing = obs.enabled()
+        start = time.perf_counter() if observing else 0.0
         with open(self.results_path, "a", encoding="utf-8") as handle:
             handle.write(json.dumps(record.to_dict(), sort_keys=True))
             handle.write("\n")
             handle.flush()
             os.fsync(handle.fileno())
+        if observing:
+            obs.observe("store.append_seconds", time.perf_counter() - start)
+            obs.counter_add("store.appends")
 
     def load_records(self) -> dict[str, JobRecord]:
         """All persisted records, last write per job id winning.

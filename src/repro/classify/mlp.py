@@ -9,6 +9,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import obs
+
+_log = obs.get_logger("classify.mlp")
+
 
 class MLPClassifier:
     """ReLU MLP trained with minibatch Adam on cross-entropy."""
@@ -91,9 +95,15 @@ class MLPClassifier:
     ) -> list[float]:
         """Train; returns per-epoch mean training loss.  Validation data,
         when given, is used for mid-training accuracy reporting only (the
-        paper's evaluation split)."""
+        paper's evaluation split).
+
+        ``verbose`` routes per-epoch progress through the
+        :mod:`repro.obs` logger — never stdout, which campaign workers
+        and the CLI parse — so training is silent unless observability
+        is enabled."""
         history = []
         n = len(x)
+        progress = verbose and x_val is not None and obs.enabled()
         for epoch in range(epochs):
             order = self._rng.permutation(n)
             losses = []
@@ -101,9 +111,15 @@ class MLPClassifier:
                 batch = order[start : start + batch_size]
                 losses.append(self._step(x[batch], y[batch]))
             history.append(float(np.mean(losses)))
-            if verbose and x_val is not None:
+            if progress:
                 acc = self.accuracy(x_val, y_val)
-                print(f"epoch {epoch}: loss {history[-1]:.4f} val acc {acc:.3f}")
+                _log.info(
+                    f"epoch {epoch}: loss {history[-1]:.4f} "
+                    f"val acc {acc:.3f}",
+                    epoch=epoch,
+                    loss=history[-1],
+                    val_accuracy=acc,
+                )
         return history
 
     def predict_proba(self, x: np.ndarray) -> np.ndarray:

@@ -11,14 +11,17 @@ experiment campaign — all from a shell.
     python -m repro trace capture --store corpus.trstore --size 600
     python -m repro trace verify --store corpus.trstore
     python -m repro campaign run examples/specs/lzw_noise_sweep.json \
-        --out runs/lzw --workers 4
+        --out runs/lzw --workers 4 --obs runs/lzw/obs.jsonl
     python -m repro campaign resume runs/lzw
     python -m repro campaign report runs/lzw
+    python -m repro obs report runs/lzw/obs.jsonl
+    python -m repro obs tail runs/lzw/obs.jsonl -n 40
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -306,6 +309,15 @@ def _campaign_pieces(args: argparse.Namespace, spec=None):
     from repro.campaign import CampaignRunner, ResultStore
     from repro.campaign.spec import CampaignSpec
 
+    sink = getattr(args, "obs", None)
+    if sink:
+        from repro import obs
+
+        # Enable here and export the sink path so spawned campaign
+        # worker processes activate from the environment and append to
+        # the same JSONL file.
+        os.environ[obs.ENV_SINK] = sink
+        obs.enable(sink_path=sink)
     if spec is None:
         spec = CampaignSpec.from_json_file(args.spec)
     out = getattr(args, "out", None) or f"runs/{spec.name}"
@@ -336,7 +348,22 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
         f"{spec.experiment!r} -> {store.root} "
         f"({args.workers} worker{'s' if args.workers != 1 else ''})"
     )
-    result = runner.run(resume=args.resume)
+    try:
+        result = runner.run(resume=args.resume)
+    except KeyboardInterrupt:
+        print(
+            f"interrupted — finished jobs are checkpointed; continue "
+            f"with `python -m repro campaign resume {store.root}`",
+            file=sys.stderr,
+        )
+        # The terminal delivers SIGINT to the whole process group; a
+        # second delivery during interpreter shutdown (while atexit
+        # joins the dead pool's threads) prints an ignorable traceback.
+        # The runner already flushed obs and the store fsyncs per
+        # record, so exit hard with the conventional SIGINT code.
+        sys.stderr.flush()
+        sys.stdout.flush()
+        os._exit(130)
     print(result.summary())
     return _campaign_exit_code(result)
 
@@ -352,7 +379,22 @@ def cmd_campaign_resume(args: argparse.Namespace) -> int:
         return 2
     args.out = args.dir
     spec, store, runner = _campaign_pieces(args, spec=store.load_spec())
-    result = runner.run(resume=True)
+    try:
+        result = runner.run(resume=True)
+    except KeyboardInterrupt:
+        print(
+            f"interrupted — finished jobs are checkpointed; continue "
+            f"with `python -m repro campaign resume {store.root}`",
+            file=sys.stderr,
+        )
+        # The terminal delivers SIGINT to the whole process group; a
+        # second delivery during interpreter shutdown (while atexit
+        # joins the dead pool's threads) prints an ignorable traceback.
+        # The runner already flushed obs and the store fsyncs per
+        # record, so exit hard with the conventional SIGINT code.
+        sys.stderr.flush()
+        sys.stdout.flush()
+        os._exit(130)
     print(result.summary())
     return _campaign_exit_code(result)
 
@@ -375,6 +417,60 @@ def cmd_campaign_list(args: argparse.Namespace) -> int:
 
     for name in available_experiments():
         print(name)
+    return 0
+
+
+def _load_obs_events(sink: str):
+    """Read a JSONL obs sink or None (with a stderr message) if absent."""
+    from repro.obs import load_events
+
+    try:
+        return load_events(sink)
+    except FileNotFoundError:
+        print(f"error: no obs sink at {sink}", file=sys.stderr)
+        return None
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Render counters, histograms, and span timings from a JSONL sink."""
+    from repro.obs import render_report
+
+    events = _load_obs_events(args.sink)
+    if events is None:
+        return 2
+    print(render_report(events))
+    return 0
+
+
+def cmd_obs_tail(args: argparse.Namespace) -> int:
+    """Print the last N events of a JSONL sink, one line each."""
+    from repro.obs import render_tail
+
+    events = _load_obs_events(args.sink)
+    if events is None:
+        return 2
+    print(render_tail(events, n=args.n))
+    return 0
+
+
+def cmd_obs_export(args: argparse.Namespace) -> int:
+    """Merge a JSONL sink into one machine-readable JSON summary."""
+    import json
+
+    from repro.obs import merge_events
+
+    events = _load_obs_events(args.sink)
+    if events is None:
+        return 2
+    payload = merge_events(events)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.out}")
+    else:
+        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
     return 0
 
 
@@ -605,6 +701,9 @@ def build_parser() -> argparse.ArgumentParser:
                    help="continue if the directory already holds this campaign")
     c.add_argument("--quiet", action="store_true",
                    help="suppress per-job progress lines")
+    c.add_argument("--obs", metavar="SINK",
+                   help="record observability events (spans, counters, "
+                        "logs) to this JSONL file; workers inherit it")
     c.set_defaults(func=cmd_campaign_run)
 
     c = csub.add_parser(
@@ -613,6 +712,8 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("dir", help="campaign result directory")
     c.add_argument("--workers", type=int, default=1)
     c.add_argument("--quiet", action="store_true")
+    c.add_argument("--obs", metavar="SINK",
+                   help="record observability events to this JSONL file")
     c.set_defaults(func=cmd_campaign_resume)
 
     c = csub.add_parser("report", help="aggregate a campaign into markdown")
@@ -621,6 +722,30 @@ def build_parser() -> argparse.ArgumentParser:
 
     c = csub.add_parser("list", help="list registered experiments")
     c.set_defaults(func=cmd_campaign_list)
+
+    p = sub.add_parser(
+        "obs",
+        help="render observability sinks (spans, counters, logs)",
+    )
+    osub = p.add_subparsers(dest="obs_command", required=True)
+
+    o = osub.add_parser(
+        "report", help="counter/histogram tables and span tree from a sink"
+    )
+    o.add_argument("sink", help="JSONL sink file (--obs / REPRO_OBS path)")
+    o.set_defaults(func=cmd_obs_report)
+
+    o = osub.add_parser("tail", help="print the last N events of a sink")
+    o.add_argument("sink", help="JSONL sink file")
+    o.add_argument("-n", type=int, default=20, help="events to show")
+    o.set_defaults(func=cmd_obs_tail)
+
+    o = osub.add_parser(
+        "export", help="merge a sink into one JSON summary document"
+    )
+    o.add_argument("sink", help="JSONL sink file")
+    o.add_argument("--out", help="output file (default: stdout)")
+    o.set_defaults(func=cmd_obs_export)
 
     p = sub.add_parser(
         "perf",
@@ -685,8 +810,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     except BrokenPipeError:
         # Downstream pipe (e.g. `| head`) closed early; not an error.
         # Detach stdout so interpreter shutdown doesn't re-raise on flush.
-        import os
-
         os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
         return 0
 

@@ -7,14 +7,19 @@ input file::
 
     tc = TaintChannel()
     result = tc.analyze("zlib", lambda ctx: deflate_compress(data, ctx))
-    print(result.summary())
-    print(tc.render(result, result.gadgets[0]))
+    report = tc.render(result, result.gadgets[0])  # a string; print it
+                                                   # only if *you* are a CLI
+
+Programmatic callers get no stdout noise from this module: everything
+returns strings/objects, and the quick demo prints only when the module
+itself is executed (``python -m repro.core.taintchannel.tool``).
 """
 
 from __future__ import annotations
 
 from typing import Callable, Optional
 
+from repro import obs
 from repro.core.taintchannel.controlflow import (
     ControlFlowDivergence,
     diff_function_traces,
@@ -129,22 +134,26 @@ class TaintChannel:
         ctx: Optional[TracingContext] = None,
     ) -> AnalysisResult:
         """Run the target (or reuse a finished trace) and detect gadgets."""
-        if ctx is None:
-            ctx = self.trace(target)
-        input_len = sum(
-            1
-            for tag in range(len(ctx.tags))
-            if ctx.tags.info(tag).source == "input"
-        )
-        return AnalysisResult(
-            target=name,
-            input_len=input_len,
-            gadgets=group_gadgets(ctx.tainted_accesses()),
-            tags=ctx.tags,
-            n_events=len(ctx.events),
-            n_compares=len(ctx.compares()),
-            n_plain_accesses=ctx.plain_accesses,
-        )
+        with obs.span("taintchannel.analyze", target=name):
+            if ctx is None:
+                ctx = self.trace(target)
+            input_len = sum(
+                1
+                for tag in range(len(ctx.tags))
+                if ctx.tags.info(tag).source == "input"
+            )
+            result = AnalysisResult(
+                target=name,
+                input_len=input_len,
+                gadgets=group_gadgets(ctx.tainted_accesses()),
+                tags=ctx.tags,
+                n_events=len(ctx.events),
+                n_compares=len(ctx.compares()),
+                n_plain_accesses=ctx.plain_accesses,
+            )
+        ctx.publish_stats()
+        obs.counter_add("taintchannel.gadgets", len(result.gadgets))
+        return result
 
     def render(self, result: AnalysisResult, gadget, **kwargs) -> str:
         """Fig. 2-style report for one gadget of a result."""
@@ -161,3 +170,22 @@ class TaintChannel:
         return diff_function_traces(
             self.trace(target_a), self.trace(target_b), functions_only
         )
+
+
+def demo(data: bytes = b"the quick brown fox jumps over the lazy dog" * 4,
+         target: str = "zlib") -> str:
+    """Run TaintChannel on a small input and *return* the rendered
+    report — the module's quick demo, side-effect free so programmatic
+    callers (and imports) get no stdout noise.  Printing is the
+    ``__main__`` guard's job."""
+    tc = TaintChannel()
+    result = tc.analyze(target, target_for(target, data))
+    lines = [result.summary()]
+    if result.gadgets:
+        lines.append("")
+        lines.append(tc.render(result, result.gadgets[0]))
+    return "\n".join(lines)
+
+
+if __name__ == "__main__":
+    print(demo())  # noqa: T201 — CLI entry point

@@ -27,6 +27,7 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
+from repro import obs
 from repro.compression.bzip2.pipeline import bzip2_compress_with_paths
 from repro.exec.context import NativeContext, Profiler
 
@@ -218,11 +219,17 @@ def build_dataset(
     :mod:`repro.traces` record the seed per stored trace and replay any
     single capture bit-exactly.
     """
-    timelines = [victim_timeline(f, work_factor) for f in files]
-    xs, ys = [], []
-    for label, timeline in enumerate(timelines):
-        for i in range(traces_per_file):
-            capture_seed = derive_capture_seed(seed, label, i)
-            xs.append(capture_trace(timeline, capture_seed, channel))
-            ys.append(label)
+    with obs.span(
+        "fingerprint.build_dataset",
+        files=len(files),
+        traces_per_file=traces_per_file,
+    ):
+        timelines = [victim_timeline(f, work_factor) for f in files]
+        xs, ys = [], []
+        for label, timeline in enumerate(timelines):
+            for i in range(traces_per_file):
+                capture_seed = derive_capture_seed(seed, label, i)
+                xs.append(capture_trace(timeline, capture_seed, channel))
+                ys.append(label)
+    obs.counter_add("fingerprint.captures", len(xs))
     return np.array(xs, dtype=np.float32), np.array(ys), timelines

@@ -25,6 +25,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro import obs
 from repro.cache.model import Cache, CacheConfig
 from repro.cache.cat import CatController
 from repro.cache.noise import BackgroundNoise, OsPollution
@@ -205,14 +206,21 @@ class SgxBzip2Attack:
         start = time.perf_counter()
         n = len(self.secret)
 
-        self.enclave.fault_handler = self._handle_fault
-        self.stepper.arm()
-        self.victim_histogram(
-            self.enclave, self.block, n, ftab=self.ftab, quadrant=self.quadrant
-        )
-        self._probe_point()  # the last iteration's access
-        self.stepper.disarm()
-        self.enclave.fault_handler = None
+        with obs.span(
+            "attack.sgx",
+            secret_bytes=n,
+            use_cat=self.config.use_cat,
+            use_frame_selection=self.config.use_frame_selection,
+        ):
+            self.enclave.fault_handler = self._handle_fault
+            self.stepper.arm()
+            self.victim_histogram(
+                self.enclave, self.block, n,
+                ftab=self.ftab, quadrant=self.quadrant,
+            )
+            self._probe_point()  # the last iteration's access
+            self.stepper.disarm()
+            self.enclave.fault_handler = None
 
         # Map step order (i = n-1 .. 0) onto per-index observations.
         per_index: list[Observation] = [None] * n
@@ -223,6 +231,10 @@ class SgxBzip2Attack:
 
         recovered = recover_bzip2_block(per_index, self.ftab.base, n)
         elapsed = time.perf_counter() - start
+
+        self.cache.publish_stats()
+        obs.counter_add("attack.sgx.faults", self.space.fault_count)
+        obs.counter_add("attack.sgx.victim_accesses", self.enclave.access_count)
 
         remaps = sum(v.remaps for v in self.frames._vetted.values())
         return AttackOutcome(

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass
 from typing import Optional
 
+from repro import obs
 from repro.cache.cat import CatController
 from repro.cache.model import Cache, CacheConfig
 from repro.cache.noise import BackgroundNoise, OsPollution
@@ -133,12 +134,21 @@ class TimerSgxBzip2Attack:
         start = time.perf_counter()
         n = len(self.secret)
 
-        self._profile_pollution()
-        self.pp.prime(self._locations)
-        histogram(
-            self.enclave, self.block, n, ftab=self.ftab, quadrant=self.quadrant
-        )
-        self._on_interrupt()  # drain the final window
+        with obs.span(
+            "attack.timer",
+            secret_bytes=n,
+            period=self.timer.period,
+            jitter=self.timer.jitter,
+        ):
+            self._profile_pollution()
+            self.pp.prime(self._locations)
+            histogram(
+                self.enclave, self.block, n,
+                ftab=self.ftab, quadrant=self.quadrant,
+            )
+            self._on_interrupt()  # drain the final window
+        self.cache.publish_stats()
+        obs.counter_add("attack.timer.interrupts", self.timer.interrupts)
 
         # Best-effort alignment: window w ends after ~ (w+1) * period
         # victim accesses ~= (w+1) * period / 3 iterations.

@@ -14,6 +14,7 @@ import enum
 from abc import ABC, abstractmethod
 from typing import Iterator, Optional, Sequence
 
+from repro import obs
 from repro.exec.arrays import TArray, TracingArray
 from repro.exec.events import FunctionEvent, MemoryAccess, TraceLimitExceeded
 from repro.taint.bittaint import BitTaint
@@ -235,6 +236,12 @@ class TracingContext(ExecutionContext):
 
     def _append(self, event: Origin) -> None:
         if len(self.events) >= self.max_events:
+            obs.log(
+                "warning",
+                "trace limit exceeded",
+                max_events=self.max_events,
+                seq=self._seq,
+            )
             raise TraceLimitExceeded(
                 f"trace exceeded {self.max_events} events"
             )
@@ -315,6 +322,22 @@ class TracingContext(ExecutionContext):
         )
 
     # -- convenience ---------------------------------------------------
+    def publish_stats(self, prefix: str = "exec") -> None:
+        """Publish this trace's instruction/memory-access counts as obs
+        counters (no-op while observability is disabled).  Called by the
+        consumers that retire a context — TaintChannel analysis, trace
+        capture — not per event, so the recording hot path stays
+        untouched."""
+        if not obs.enabled():
+            return
+        n_accesses = sum(
+            1 for e in self.events if isinstance(e, MemoryAccess)
+        )
+        obs.counter_add("exec.trace_events", len(self.events))
+        obs.counter_add("exec.memory_accesses", n_accesses)
+        obs.counter_add("exec.plain_accesses", self.plain_accesses)
+        obs.counter_add("exec.seq_consumed", self._seq)
+
     def constant(self, value: int, width: int = 64) -> TaintedInt:
         """An untainted value that still participates in trace recording
         when combined with tainted ones."""

@@ -1,0 +1,84 @@
+"""repro.obs — zero-overhead-when-off structured observability.
+
+The repo's logging/metrics/tracing substrate: span-based hierarchical
+timing, named counters and histograms, and a verbosity-controlled
+structured logger, all recording into a bounded in-memory ring and an
+optional JSONL sink that ``python -m repro obs report|tail|export``
+renders.
+
+Disabled (the default) every entry point is a single attribute test, so
+instrumentation in the hot layers — the cache model, the campaign
+runner, trace capture, the end-to-end attacks — costs one predictable
+branch and the perf-smoke pins hold.  Crucially, recording never
+touches a simulated-cache or noise RNG stream, so enabling
+observability leaves every pinned metrics digest byte-identical.
+
+Enable programmatically::
+
+    from repro import obs
+    obs.enable(sink_path="run.jsonl")
+    with obs.span("campaign.job", job_id="..."):
+        obs.counter_add("campaign.attempts")
+
+or from the environment (inherited by campaign worker processes)::
+
+    REPRO_OBS=run.jsonl REPRO_OBS_LEVEL=debug python -m repro campaign run ...
+"""
+
+from repro.obs.core import (
+    ENV_LEVEL,
+    ENV_SINK,
+    Histogram,
+    Logger,
+    Span,
+    counter_add,
+    counters_snapshot,
+    disable,
+    enable,
+    enabled,
+    flush,
+    get_logger,
+    histograms_snapshot,
+    log,
+    observe,
+    recent,
+    reset,
+    span,
+    warn_once,
+)
+from repro.obs.report import (
+    format_event,
+    load_events,
+    merge_events,
+    render_report,
+    render_span_tree,
+    render_tail,
+)
+
+__all__ = [
+    "ENV_LEVEL",
+    "ENV_SINK",
+    "Histogram",
+    "Logger",
+    "Span",
+    "counter_add",
+    "counters_snapshot",
+    "disable",
+    "enable",
+    "enabled",
+    "flush",
+    "format_event",
+    "get_logger",
+    "histograms_snapshot",
+    "load_events",
+    "log",
+    "merge_events",
+    "observe",
+    "recent",
+    "render_report",
+    "render_span_tree",
+    "render_tail",
+    "reset",
+    "span",
+    "warn_once",
+]

@@ -1,0 +1,481 @@
+"""The observability state machine: counters, histograms, spans, logs.
+
+One module-level :class:`ObsState` singleton holds everything; the
+public functions in :mod:`repro.obs` delegate to it.  Two properties
+shape the whole design:
+
+* **Zero overhead when off.**  Observability is *disabled by default*;
+  every recording function starts with a single attribute test
+  (``if not STATE.enabled: return``) and :func:`span` returns one
+  shared no-op context manager.  Instrumented hot paths therefore cost
+  one predictable branch, which is what lets the perf-smoke gate keep
+  its pinned timings.
+* **The measured channel is never perturbed.**  Nothing here draws from
+  ``random`` or numpy RNGs, touches the simulated cache, or mutates an
+  experiment's metrics dict — so every pinned metrics digest is
+  byte-identical with observability on or off (asserted in
+  ``tests/test_obs_integration.py``).
+
+Events (finished spans, log lines, counter snapshots) land in a bounded
+in-memory ring — always inspectable via :func:`recent` — and, when a
+sink path is configured, as JSONL lines rendered back by
+``python -m repro obs report|tail|export``.  Worker processes inherit
+activation through the ``REPRO_OBS`` environment variable and append to
+the same sink (one ``write`` call per line).
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Iterator, Optional
+
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+ENV_SINK = "REPRO_OBS"
+ENV_LEVEL = "REPRO_OBS_LEVEL"
+
+DEFAULT_RING_SIZE = 4096
+
+
+class Histogram:
+    """Streaming summary of one named distribution (count/total/min/max).
+
+    Deliberately not a bucketed histogram: the consumers here want
+    "how many, how long, worst case" — store write latencies, job
+    durations, queue depths — and four floats merge trivially across
+    worker processes.
+    """
+
+    __slots__ = ("count", "total", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = float("inf")
+        self.maximum = float("-inf")
+
+    def observe(self, value: float) -> None:
+        """Fold one sample in."""
+        self.count += 1
+        self.total += value
+        if value < self.minimum:
+            self.minimum = value
+        if value > self.maximum:
+            self.maximum = value
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of the samples seen (0.0 when empty)."""
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        """JSON-ready summary."""
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.minimum if self.count else None,
+            "max": self.maximum if self.count else None,
+            "mean": self.mean,
+        }
+
+    def merge_dict(self, data: dict) -> None:
+        """Fold a :meth:`to_dict` payload (e.g. from another process)
+        into this histogram."""
+        count = int(data.get("count", 0))
+        if not count:
+            return
+        self.count += count
+        self.total += float(data.get("total", 0.0))
+        lo, hi = data.get("min"), data.get("max")
+        if lo is not None and lo < self.minimum:
+            self.minimum = float(lo)
+        if hi is not None and hi > self.maximum:
+            self.maximum = float(hi)
+
+
+class _NullSpan:
+    """The shared do-nothing span handed out while observability is
+    disabled — one module-level instance, so the disabled cost of
+    ``with obs.span(...)`` is a function call and two no-op methods."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def note(self, **fields) -> None:
+        """Ignore annotations."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Span:
+    """One timed, named region of execution.
+
+    Spans nest per thread: entering pushes onto a thread-local stack,
+    so children record their parent id and depth and the report CLI can
+    rebuild the tree.  The event is emitted at *exit* (duration known),
+    tagged ``"error"`` when the body raised.
+    """
+
+    __slots__ = (
+        "name", "fields", "span_id", "parent_id", "depth",
+        "_state", "_wall", "_t0",
+    )
+
+    def __init__(self, state: "ObsState", name: str, fields: dict) -> None:
+        self.name = name
+        self.fields = fields
+        self._state = state
+        self.span_id = ""
+        self.parent_id: Optional[str] = None
+        self.depth = 0
+        self._wall = 0.0
+        self._t0 = 0.0
+
+    def note(self, **fields) -> None:
+        """Attach extra fields mid-span (recorded at exit)."""
+        self.fields.update(fields)
+
+    def __enter__(self) -> "Span":
+        state = self._state
+        self.span_id = state.next_span_id()
+        stack = state.span_stack()
+        if stack:
+            self.parent_id = stack[-1].span_id
+            self.depth = len(stack)
+        stack.append(self)
+        self._wall = time.time()
+        self._t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        duration = time.perf_counter() - self._t0
+        stack = self._state.span_stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        self._state.emit(
+            {
+                "kind": "span",
+                "ts": self._wall,
+                "name": self.name,
+                "id": self.span_id,
+                "parent": self.parent_id,
+                "depth": self.depth,
+                "dur": duration,
+                "status": "error" if exc_type is not None else "ok",
+                "fields": self.fields,
+            }
+        )
+        return False
+
+
+class ObsState:
+    """All mutable observability state for one process.
+
+    Counter and histogram updates take a lock (campaign runners emit
+    from the scheduler thread while experiments emit from the job), and
+    sink writes are one ``handle.write`` per line so concurrent worker
+    processes appending to a shared sink interleave whole lines.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.level = LEVELS["info"]
+        self.sink_path: Optional[str] = None
+        self.counters: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
+        self.ring: deque = deque(maxlen=DEFAULT_RING_SIZE)
+        self._sink_handle = None
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._span_counter = itertools.count(1)
+        self._warned: set[str] = set()
+        self._atexit_registered = False
+
+    # -- lifecycle -----------------------------------------------------
+    def enable(
+        self,
+        sink_path: Optional[str] = None,
+        level: str = "info",
+        ring_size: int = DEFAULT_RING_SIZE,
+    ) -> None:
+        """Turn recording on (idempotent; re-enabling swaps the sink)."""
+        with self._lock:
+            self.level = LEVELS.get(level, LEVELS["info"])
+            if ring_size != self.ring.maxlen:
+                self.ring = deque(self.ring, maxlen=ring_size)
+            if sink_path != self.sink_path and self._sink_handle is not None:
+                self._sink_handle.close()
+                self._sink_handle = None
+            self.sink_path = sink_path
+            self.enabled = True
+            if not self._atexit_registered:
+                atexit.register(self.close)
+                self._atexit_registered = True
+
+    def disable(self) -> None:
+        """Stop recording; flushes counters to the sink first."""
+        self.flush()
+        with self._lock:
+            self.enabled = False
+            if self._sink_handle is not None:
+                self._sink_handle.close()
+                self._sink_handle = None
+            self.sink_path = None
+
+    def reset(self) -> None:
+        """Drop all recorded state (tests; does not touch the sink file)."""
+        self.disable()
+        with self._lock:
+            self.counters.clear()
+            self.histograms.clear()
+            self.ring.clear()
+            self._warned.clear()
+
+    def close(self) -> None:
+        """atexit hook: persist the final counter snapshot."""
+        if self.enabled:
+            self.flush()
+            with self._lock:
+                if self._sink_handle is not None:
+                    self._sink_handle.close()
+                    self._sink_handle = None
+
+    # -- span bookkeeping ----------------------------------------------
+    def next_span_id(self) -> str:
+        """Process-unique span id (pid-prefixed so ids from workers
+        sharing a sink never collide)."""
+        return f"{os.getpid()}-{next(self._span_counter)}"
+
+    def span_stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    # -- event emission ------------------------------------------------
+    def emit(self, event: dict) -> None:
+        """Append one event to the ring and, if configured, the sink."""
+        with self._lock:
+            self.ring.append(event)
+            if self.sink_path is not None:
+                if self._sink_handle is None:
+                    self._sink_handle = open(
+                        self.sink_path, "a", encoding="utf-8"
+                    )
+                self._sink_handle.write(
+                    json.dumps(event, sort_keys=True, default=str) + "\n"
+                )
+                self._sink_handle.flush()
+
+    def flush(self) -> None:
+        """Emit a cumulative snapshot of counters and histograms.
+
+        Snapshots are cumulative per process; the report renderer keeps
+        the last snapshot per pid and sums across pids.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            has_data = bool(self.counters or self.histograms)
+            snapshot = {
+                "kind": "counters",
+                "ts": time.time(),
+                "pid": os.getpid(),
+                "counters": dict(self.counters),
+                "histograms": {
+                    name: h.to_dict() for name, h in self.histograms.items()
+                },
+            }
+        if has_data:
+            self.emit(snapshot)
+
+
+STATE = ObsState()
+
+
+# -- module-level API (what instrumented code calls) -------------------
+def enabled() -> bool:
+    """Whether observability is currently recording."""
+    return STATE.enabled
+
+
+def enable(
+    sink_path: Optional[str] = None,
+    level: str = "info",
+    ring_size: int = DEFAULT_RING_SIZE,
+) -> None:
+    """Turn observability on, optionally streaming events to a JSONL
+    sink that ``python -m repro obs report`` renders later."""
+    STATE.enable(sink_path=sink_path, level=level, ring_size=ring_size)
+
+
+def disable() -> None:
+    """Turn observability off (flushes pending counters first)."""
+    STATE.disable()
+
+
+def reset() -> None:
+    """Disable and clear every counter, histogram, and ring event."""
+    STATE.reset()
+
+
+def span(name: str, **fields):
+    """A timed, named, nestable region::
+
+        with obs.span("campaign.job", job_id=job.job_id):
+            ...
+
+    Returns the shared no-op span while disabled, so the off cost is
+    one branch."""
+    if not STATE.enabled:
+        return NULL_SPAN
+    return Span(STATE, name, fields)
+
+
+def counter_add(name: str, value: float = 1) -> None:
+    """Add ``value`` to the named monotonic counter."""
+    if not STATE.enabled:
+        return
+    with STATE._lock:
+        STATE.counters[name] = STATE.counters.get(name, 0) + value
+
+
+def observe(name: str, value: float) -> None:
+    """Fold one sample into the named histogram."""
+    if not STATE.enabled:
+        return
+    with STATE._lock:
+        hist = STATE.histograms.get(name)
+        if hist is None:
+            hist = STATE.histograms[name] = Histogram()
+        hist.observe(value)
+
+
+def log(level: str, message: str, **fields) -> None:
+    """Record one structured log line (ring + sink, never stdout)."""
+    state = STATE
+    if not state.enabled:
+        return
+    if LEVELS.get(level, 0) < state.level:
+        return
+    state.emit(
+        {
+            "kind": "log",
+            "ts": time.time(),
+            "level": level,
+            "msg": message,
+            "fields": fields,
+        }
+    )
+
+
+def warn_once(key: str, message: str, **fields) -> bool:
+    """Emit a warning log at most once per ``key`` per process.
+
+    Returns True when this call actually emitted (callers can mirror
+    the warning to their own progress stream exactly as often)."""
+    if not STATE.enabled:
+        # Still deduplicate, so callers mirroring the warning to their
+        # own output don't repeat it when obs is off.
+        with STATE._lock:
+            if key in STATE._warned:
+                return False
+            STATE._warned.add(key)
+        return True
+    with STATE._lock:
+        if key in STATE._warned:
+            return False
+        STATE._warned.add(key)
+    log("warning", message, **fields)
+    return True
+
+
+def flush() -> None:
+    """Persist the current counter/histogram snapshot to the sink."""
+    STATE.flush()
+
+
+def recent(n: Optional[int] = None) -> list[dict]:
+    """The last ``n`` ring events (all of them when ``n`` is None)."""
+    events = list(STATE.ring)
+    return events if n is None else events[-n:]
+
+
+def counters_snapshot() -> dict[str, float]:
+    """A copy of the current counter values."""
+    with STATE._lock:
+        return dict(STATE.counters)
+
+
+def histograms_snapshot() -> dict[str, dict]:
+    """A copy of the current histogram summaries."""
+    with STATE._lock:
+        return {name: h.to_dict() for name, h in STATE.histograms.items()}
+
+
+class Logger:
+    """A named, leveled logger routing through the obs event stream.
+
+    Replaces bare ``print()`` in library code: silent by default
+    (observability off), structured when on, and never writes stdout —
+    machine-parsed CLI output stays clean.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def _log(self, level: str, message: str, fields: dict) -> None:
+        if not STATE.enabled:
+            return
+        log(level, message, logger=self.name, **fields)
+
+    def debug(self, message: str, **fields) -> None:
+        """Log at debug level."""
+        self._log("debug", message, fields)
+
+    def info(self, message: str, **fields) -> None:
+        """Log at info level."""
+        self._log("info", message, fields)
+
+    def warning(self, message: str, **fields) -> None:
+        """Log at warning level."""
+        self._log("warning", message, fields)
+
+    def error(self, message: str, **fields) -> None:
+        """Log at error level."""
+        self._log("error", message, fields)
+
+
+def get_logger(name: str) -> Logger:
+    """The module-level way to get a :class:`Logger`."""
+    return Logger(name)
+
+
+def _activate_from_env() -> None:
+    """Honour ``REPRO_OBS`` at import: unset/empty/``0`` leaves
+    observability off; ``1``/``true`` enables ring-only recording; any
+    other value is treated as a JSONL sink path.  This is how campaign
+    worker processes inherit the parent's ``--obs`` flag."""
+    raw = os.environ.get(ENV_SINK, "").strip()
+    if not raw or raw == "0" or raw.lower() == "false":
+        return
+    level = os.environ.get(ENV_LEVEL, "info").strip().lower() or "info"
+    sink = None if raw == "1" or raw.lower() == "true" else raw
+    enable(sink_path=sink, level=level)
+
+
+_activate_from_env()

@@ -1,0 +1,218 @@
+"""Render observability JSONL sinks back into human-readable form.
+
+Three views, matching the ``python -m repro obs`` subcommands:
+
+* :func:`render_report` — merged counter/histogram tables plus
+  per-span-name timing aggregates and the reconstructed span tree;
+* :func:`render_tail` — the last N events, one formatted line each;
+* :func:`merge_events` — the machine-readable merge (``obs export``).
+
+Counter snapshots are *cumulative per process*, so merging keeps the
+last snapshot per pid and sums across pids — a campaign's worker
+processes all appending to one sink aggregate correctly.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.obs.core import Histogram
+
+
+def load_events(path: str) -> list[dict]:
+    """Read a JSONL sink; a torn final line (process died mid-write) is
+    skipped rather than poisoning the report."""
+    events: list[dict] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError:
+                continue
+            if isinstance(event, dict):
+                events.append(event)
+    return events
+
+
+def merge_events(events: list[dict]) -> dict:
+    """Aggregate a sink's events into one JSON-ready summary:
+    ``{"counters", "histograms", "spans", "logs"}``."""
+    # Last cumulative snapshot per pid, then summed across pids.
+    last_per_pid: dict = {}
+    for event in events:
+        if event.get("kind") == "counters":
+            last_per_pid[event.get("pid", 0)] = event
+    counters: dict[str, float] = {}
+    histograms: dict[str, Histogram] = {}
+    for snapshot in last_per_pid.values():
+        for name, value in snapshot.get("counters", {}).items():
+            counters[name] = counters.get(name, 0) + value
+        for name, payload in snapshot.get("histograms", {}).items():
+            histograms.setdefault(name, Histogram()).merge_dict(payload)
+
+    spans: dict[str, dict] = {}
+    n_logs = 0
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span":
+            agg = spans.setdefault(
+                event.get("name", "?"),
+                {"count": 0, "total": 0.0, "max": 0.0, "errors": 0},
+            )
+            duration = float(event.get("dur", 0.0))
+            agg["count"] += 1
+            agg["total"] += duration
+            if duration > agg["max"]:
+                agg["max"] = duration
+            if event.get("status") == "error":
+                agg["errors"] += 1
+        elif kind == "log":
+            n_logs += 1
+    return {
+        "counters": dict(sorted(counters.items())),
+        "histograms": {
+            name: h.to_dict() for name, h in sorted(histograms.items())
+        },
+        "spans": dict(sorted(spans.items())),
+        "n_logs": n_logs,
+        "n_events": len(events),
+    }
+
+
+def render_span_tree(
+    events: list[dict], max_roots: int = 10, max_depth: int = 6
+) -> str:
+    """Reconstruct parent/child span nesting and render it indented,
+    slowest roots first."""
+    span_events = [e for e in events if e.get("kind") == "span"]
+    if not span_events:
+        return "(no spans)"
+    children: dict[Optional[str], list[dict]] = {}
+    for event in span_events:
+        children.setdefault(event.get("parent"), []).append(event)
+    by_id = {e.get("id"): e for e in span_events}
+    # A root is a span whose parent never reached the sink (or is None).
+    roots = [
+        e
+        for e in span_events
+        if e.get("parent") is None or e.get("parent") not in by_id
+    ]
+    roots.sort(key=lambda e: -float(e.get("dur", 0.0)))
+
+    lines: list[str] = []
+
+    def walk(event: dict, depth: int) -> None:
+        if depth > max_depth:
+            return
+        marker = " !" if event.get("status") == "error" else ""
+        fields = event.get("fields") or {}
+        suffix = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            if fields
+            else ""
+        )
+        lines.append(
+            f"{'  ' * depth}{event.get('name')}  "
+            f"{float(event.get('dur', 0.0)) * 1e3:.2f} ms{marker}{suffix}"
+        )
+        kids = children.get(event.get("id"), [])
+        kids.sort(key=lambda e: float(e.get("ts", 0.0)))
+        for kid in kids:
+            walk(kid, depth + 1)
+
+    for root in roots[:max_roots]:
+        walk(root, 0)
+    if len(roots) > max_roots:
+        lines.append(f"... and {len(roots) - max_roots} more root spans")
+    return "\n".join(lines)
+
+
+def render_report(events: list[dict]) -> str:
+    """The full ``obs report`` text: counters, histograms, span
+    aggregates, and the span tree."""
+    merged = merge_events(events)
+    lines: list[str] = [
+        f"observability report: {merged['n_events']} events, "
+        f"{merged['n_logs']} log lines"
+    ]
+
+    if merged["counters"]:
+        lines += ["", "## counters", f"{'name':<44} {'value':>14}"]
+        for name, value in merged["counters"].items():
+            rendered = (
+                f"{value:.0f}" if float(value).is_integer() else f"{value:.4f}"
+            )
+            lines.append(f"{name:<44} {rendered:>14}")
+
+    if merged["histograms"]:
+        lines += [
+            "",
+            "## histograms",
+            f"{'name':<34} {'count':>8} {'mean':>12} {'min':>12} {'max':>12}",
+        ]
+        for name, h in merged["histograms"].items():
+            lines.append(
+                f"{name:<34} {h['count']:>8} {h['mean']:>12.6f} "
+                f"{h['min']:>12.6f} {h['max']:>12.6f}"
+            )
+
+    if merged["spans"]:
+        lines += [
+            "",
+            "## spans",
+            f"{'name':<34} {'count':>8} {'total s':>10} {'mean ms':>10} "
+            f"{'max ms':>10} {'errors':>7}",
+        ]
+        for name, agg in merged["spans"].items():
+            mean_ms = agg["total"] / agg["count"] * 1e3 if agg["count"] else 0.0
+            lines.append(
+                f"{name:<34} {agg['count']:>8} {agg['total']:>10.3f} "
+                f"{mean_ms:>10.2f} {agg['max'] * 1e3:>10.2f} "
+                f"{agg['errors']:>7}"
+            )
+        lines += ["", "## span tree", render_span_tree(events)]
+
+    if len(lines) == 1:
+        lines.append("(sink holds no counters, histograms, or spans)")
+    return "\n".join(lines)
+
+
+def format_event(event: dict) -> str:
+    """One event as one ``obs tail`` line."""
+    kind = event.get("kind")
+    ts = float(event.get("ts", 0.0))
+    if kind == "log":
+        fields = event.get("fields") or {}
+        suffix = (
+            " " + " ".join(f"{k}={v}" for k, v in sorted(fields.items()))
+            if fields
+            else ""
+        )
+        return (
+            f"{ts:.3f} {event.get('level', '?'):<8} "
+            f"{event.get('msg', '')}{suffix}"
+        )
+    if kind == "span":
+        return (
+            f"{ts:.3f} span     {event.get('name')} "
+            f"{float(event.get('dur', 0.0)) * 1e3:.2f} ms "
+            f"[{event.get('status', 'ok')}]"
+        )
+    if kind == "counters":
+        return (
+            f"{ts:.3f} counters pid={event.get('pid')} "
+            f"{len(event.get('counters', {}))} counters, "
+            f"{len(event.get('histograms', {}))} histograms"
+        )
+    return f"{ts:.3f} {kind or '?'}"
+
+
+def render_tail(events: list[dict], n: int = 20) -> str:
+    """The last ``n`` events, formatted."""
+    if not events:
+        return "(no events)"
+    return "\n".join(format_event(e) for e in events[-n:])

@@ -32,6 +32,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro import obs
 from repro.perf.benches import BENCHES, PerfBench, get_bench
 
 SCHEMA = "repro-perf/1"
@@ -214,7 +215,8 @@ def run_benches(
     for bench in benches:
         if on_event:
             on_event(f"[perf] {bench.name} ({report.mode}) ...")
-        timings, metrics = _time_bench(bench, quick, repeats)
+        with obs.span("perf.bench", bench=bench.name, mode=report.mode):
+            timings, metrics = _time_bench(bench, quick, repeats)
         result = BenchResult(
             name=bench.name,
             seconds=min(timings),

@@ -24,6 +24,7 @@ from __future__ import annotations
 import hashlib
 from typing import Optional, Sequence
 
+from repro import obs
 from repro.traces.format import (
     FingerprintCapture,
     SPECIES_FINGERPRINT,
@@ -96,7 +97,11 @@ def capture_memory_trace(
     """
     input_kind = input_kind or default_input_kind(target)
     data = _input_for(input_kind, size, seed)
-    ctx = run_memory_target(target, data)
+    with obs.span(
+        "trace.capture.memory", trace_id=trace_id, target=target, size=size
+    ):
+        ctx = run_memory_target(target, data)
+    ctx.publish_stats()
     meta = {
         "species": SPECIES_MEMORY,
         "target": target,
@@ -112,6 +117,7 @@ def capture_memory_trace(
     ) as writer:
         writer.extend(ctx.tainted_accesses())
     assert writer.entry is not None
+    obs.counter_add("trace.records", writer.entry.n_records)
     return writer.entry
 
 
@@ -172,21 +178,30 @@ def capture_fingerprint_traces(
         "work_factor": work_factor,
         **(extra_meta or {}),
     }
-    with store.create(
-        trace_id, SPECIES_FINGERPRINT, meta, overwrite=overwrite
-    ) as writer:
-        for label, data in enumerate(files):
-            timeline = victim_timeline(data, work_factor)
-            for i in range(traces_per_file):
-                capture_seed = derive_capture_seed(seed, label, i)
-                writer.append(
-                    FingerprintCapture(
-                        label=label,
-                        capture_seed=capture_seed,
-                        trace=capture_raw_trace(timeline, capture_seed, channel),
+    with obs.span(
+        "trace.capture.fingerprint",
+        trace_id=trace_id,
+        corpus=corpus,
+        traces_per_file=traces_per_file,
+    ):
+        with store.create(
+            trace_id, SPECIES_FINGERPRINT, meta, overwrite=overwrite
+        ) as writer:
+            for label, data in enumerate(files):
+                timeline = victim_timeline(data, work_factor)
+                for i in range(traces_per_file):
+                    capture_seed = derive_capture_seed(seed, label, i)
+                    writer.append(
+                        FingerprintCapture(
+                            label=label,
+                            capture_seed=capture_seed,
+                            trace=capture_raw_trace(
+                                timeline, capture_seed, channel
+                            ),
+                        )
                     )
-                )
     assert writer.entry is not None
+    obs.counter_add("trace.records", writer.entry.n_records)
     return writer.entry
 
 

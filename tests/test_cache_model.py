@@ -85,7 +85,25 @@ class TestAccessPath:
         cache.access(0x9000)
         cache.access(0x9000)
         cache.flush(0x9000)
-        assert cache.stats == {"hits": 1, "misses": 1, "flushes": 1}
+        assert cache.stats == {
+            "hits": 1, "misses": 1, "evictions": 0, "flushes": 1,
+        }
+
+    def test_eviction_stat(self, cache):
+        # Fill one (slice, set) past its associativity; the slice hash
+        # makes same-location addresses non-arithmetic, so probe for
+        # them with cache.location().
+        ways = cache.config.ways
+        target = cache.location(0x9000)
+        addrs, addr = [], 0x9000
+        while len(addrs) < ways + 1:
+            if cache.location(addr) == target:
+                addrs.append(addr)
+            addr += 64
+        for a in addrs:
+            cache.access(a)
+        assert cache.stats["evictions"] == 1
+        assert cache.stats["misses"] == ways + 1
 
 
 class TestCat:

@@ -5,10 +5,13 @@ retry and persistence machinery runs single-process and fast; one
 smoke test at the bottom goes through a real ``ProcessPoolExecutor``.
 """
 
+import os
 import time
+from concurrent.futures import BrokenExecutor, Future
 
 import pytest
 
+from repro import obs
 from repro.campaign import (
     CampaignRunner,
     CampaignSpec,
@@ -17,6 +20,14 @@ from repro.campaign import (
     register_experiment,
 )
 from repro.campaign.spec import FaultInjection
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """warn_once dedupes per process even while disabled; isolate it."""
+    obs.reset()
+    yield
+    obs.reset()
 
 CALLS: list = []
 
@@ -207,6 +218,204 @@ class TestResume:
         )
         with pytest.raises(ValueError, match="fresh directory"):
             run_spec(other, tmp_path, resume=True)
+
+
+class _BreakingExecutor(InProcessExecutor):
+    """An executor whose first ``breaks`` submissions come back as a
+    broken pool (``BrokenExecutor`` raised at ``result()`` time, like a
+    real ``ProcessPoolExecutor`` after a worker dies), with a small
+    delay so terminal records have measurable wall clock."""
+
+    def __init__(self, breaks: int = 0, delay: float = 0.0) -> None:
+        self.breaks = breaks
+        self.delay = delay
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        if self.breaks > 0:
+            self.breaks -= 1
+            if self.delay:
+                time.sleep(self.delay)
+            future: Future = Future()
+            future.set_exception(BrokenExecutor("worker died"))
+            return future
+        return super().submit(fn, *args, **kwargs)
+
+
+class TestBrokenPoolAccounting:
+    """The pool-rebuild path must charge a broken-pool job exactly one
+    attempt and keep its real wall-clock duration (it used to reset
+    ``submitted_at`` to 0.0 right before recording, zeroing every
+    crash-terminated job's duration)."""
+
+    def _runner(self, spec, tmp_path, breaks, delay=0.0):
+        built = []
+
+        def factory():
+            executor = _BreakingExecutor(
+                breaks=breaks if not built else 0, delay=delay
+            )
+            built.append(executor)
+            return executor
+
+        store = ResultStore(tmp_path / spec.name)
+        return CampaignRunner(spec, store, executor_factory=factory), store, built
+
+    def test_broken_pool_job_charged_exactly_one_attempt(self, tmp_path):
+        spec = CampaignSpec(
+            name="broke-retry",
+            experiment="test_echo",
+            grid={"x": [1]},
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        runner, store, built = self._runner(spec, tmp_path, breaks=1)
+        result = runner.run()
+        assert result.counts == {"ok": 1}
+        assert len(built) == 2  # the pool was rebuilt exactly once
+        (record,) = store.load_records().values()
+        # broken-pool attempt charged once, successful retry second
+        assert record.attempts == 2
+
+    def test_terminal_crash_keeps_wall_clock_duration(self, tmp_path):
+        spec = CampaignSpec(
+            name="broke-terminal",
+            experiment="test_echo",
+            grid={"x": [1]},
+            max_retries=0,
+        )
+        runner, store, _ = self._runner(spec, tmp_path, breaks=1, delay=0.05)
+        result = runner.run()
+        assert result.counts == {"crashed": 1}
+        (record,) = store.load_records().values()
+        assert record.attempts == 1
+        assert record.duration_seconds >= 0.04  # not the old hard 0.0
+
+    def test_every_in_flight_job_charged_once_on_rebuild(self, tmp_path):
+        spec = CampaignSpec(
+            name="broke-flight",
+            experiment="test_echo",
+            grid={"x": [1, 2]},
+            max_retries=1,
+            retry_backoff=0.0,
+        )
+        built = []
+
+        def factory():
+            executor = _BreakingExecutor(breaks=2 if not built else 0)
+            built.append(executor)
+            return executor
+
+        store = ResultStore(tmp_path / spec.name)
+        runner = CampaignRunner(
+            spec, store, workers=2, executor_factory=factory
+        )
+        result = runner.run()
+        assert result.counts == {"ok": 2}
+        assert len(built) == 2
+        assert [r.attempts for r in store.load_records().values()] == [2, 2]
+
+
+class TestTimeoutEnforcement:
+    """Per-job budgets silently do nothing without SIGALRM; the runner
+    must say so (once) and stamp ``timeout_enforced: false`` on the
+    records instead of pretending the budget was live."""
+
+    def _run(self, tmp_path, spec):
+        events = []
+        store = ResultStore(tmp_path / spec.name)
+        runner = CampaignRunner(
+            spec,
+            store,
+            executor_factory=InProcessExecutor,
+            on_event=events.append,
+        )
+        return runner.run(), store, events
+
+    def test_unenforceable_budget_flagged_and_warned_once(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.campaign.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "_alarm_supported", lambda: False)
+        spec = CampaignSpec(
+            name="noalarm",
+            experiment="test_echo",
+            grid={"x": [1, 2, 3]},
+            timeout_seconds=5.0,
+        )
+        result, store, events = self._run(tmp_path, spec)
+        assert result.counts == {"ok": 3}
+        records = store.load_records().values()
+        assert all(r.timeout_enforced is False for r in records)
+        warnings = [e for e in events if "cannot be enforced" in e]
+        assert len(warnings) == 1  # once per campaign, not per job
+
+    def test_enforceable_budget_stamped_true(self, tmp_path):
+        if not hasattr(__import__("signal"), "SIGALRM"):
+            pytest.skip("platform has no SIGALRM")
+        spec = CampaignSpec(
+            name="alarm",
+            experiment="test_echo",
+            grid={"x": [1]},
+            timeout_seconds=5.0,
+        )
+        result, store, events = self._run(tmp_path, spec)
+        (record,) = store.load_records().values()
+        assert record.timeout_enforced is True
+        assert not any("cannot be enforced" in e for e in events)
+
+    def test_no_budget_means_not_applicable(self, tmp_path):
+        spec = CampaignSpec(
+            name="nobudget", experiment="test_echo", grid={"x": [1]}
+        )
+        _, store, _ = self._run(tmp_path, spec)
+        (record,) = store.load_records().values()
+        assert record.timeout_enforced is None
+
+
+@register_experiment("test_interrupt_once")
+def _interrupt_once(params: dict, seed: int) -> dict:
+    """Raises KeyboardInterrupt while the flag file exists (consuming
+    it), so a resumed campaign sails through."""
+    flag = params.get("flag")
+    if params.get("x") == 2 and flag and os.path.exists(flag):
+        os.unlink(flag)
+        raise KeyboardInterrupt
+    return {"value": params.get("x", 0)}
+
+
+class TestKeyboardInterrupt:
+    def test_interrupt_checkpoints_then_resume_completes(self, tmp_path):
+        flag = tmp_path / "interrupt.flag"
+        flag.write_text("armed")
+
+        def spec():
+            return CampaignSpec(
+                name="ki",
+                experiment="test_interrupt_once",
+                grid={"x": [1, 2, 3]},
+                fixed={"flag": str(flag)},
+            )
+
+        events = []
+        store = ResultStore(tmp_path / "ki")
+        runner = CampaignRunner(
+            spec(),
+            store,
+            executor_factory=InProcessExecutor,
+            on_event=events.append,
+        )
+        with pytest.raises(KeyboardInterrupt):
+            runner.run()
+        # The finished job was flushed to the JSONL checkpoint before
+        # the interrupt, and the user is pointed at `campaign resume`.
+        assert len(store.load_records()) == 1
+        assert any("campaign resume" in e for e in events)
+
+        result, store = run_spec(spec(), tmp_path, resume=True)
+        assert result.skipped == 1
+        assert result.counts == {"ok": 2}
+        assert len(store.load_records()) == 3
 
 
 class TestProcessPool:

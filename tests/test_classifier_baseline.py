@@ -45,3 +45,43 @@ class TestNearestCentroid:
         # not collapse.
         assert centroid.accuracy(x_test, y_test) > 0.9
         assert mlp.accuracy(x_test, y_test) > 0.8
+
+
+class TestFitSilence:
+    """fit() must never print: campaign workers and the CLI parse
+    stdout.  Progress goes through the repro.obs logger instead."""
+
+    def _toy(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack(
+            [rng.normal(0, 0.2, (20, 4)), rng.normal(3, 0.2, (20, 4))]
+        ).astype(np.float32)
+        y = np.array([0] * 20 + [1] * 20)
+        return x, y
+
+    def test_fit_is_silent_by_default(self, capsys):
+        x, y = self._toy()
+        clf = MLPClassifier(4, 2, hidden=8, seed=1)
+        clf.fit(x, y, epochs=3, x_val=x, y_val=y, verbose=True)
+        assert capsys.readouterr().out == ""
+
+    def test_verbose_fit_routes_through_obs(self, capsys):
+        from repro import obs
+
+        obs.reset()
+        obs.enable()
+        try:
+            x, y = self._toy()
+            clf = MLPClassifier(4, 2, hidden=8, seed=1)
+            clf.fit(x, y, epochs=3, x_val=x, y_val=y, verbose=True)
+            assert capsys.readouterr().out == ""  # still no stdout
+            logs = [
+                e
+                for e in obs.recent()
+                if e["kind"] == "log"
+                and e["fields"].get("logger") == "classify.mlp"
+            ]
+            assert len(logs) == 3  # one per epoch
+            assert "val_accuracy" in logs[0]["fields"]
+        finally:
+            obs.reset()

@@ -1,0 +1,266 @@
+"""Unit tests for repro.obs: state machine, spans, sinks, reports.
+
+The contract under test is the tentpole's: disabled observability is a
+no-op (and cheap), enabled observability records counters, histograms,
+nested spans and logs into the ring and the JSONL sink, and the report
+renderer reconstructs it all — including multi-process counter merging.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro import obs
+from repro.obs.core import STATE, Histogram
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    """Every test starts and ends with observability off and empty."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+class TestDisabled:
+    def test_disabled_by_default(self):
+        assert not obs.enabled()
+
+    def test_disabled_records_nothing(self):
+        with obs.span("x", a=1):
+            obs.counter_add("c")
+            obs.observe("h", 1.0)
+            obs.log("info", "hello")
+        assert obs.counters_snapshot() == {}
+        assert obs.histograms_snapshot() == {}
+        assert obs.recent() == []
+
+    def test_disabled_span_is_the_shared_null_span(self):
+        from repro.obs.core import NULL_SPAN
+
+        assert obs.span("a") is NULL_SPAN
+        assert obs.span("b", k=1) is NULL_SPAN
+        # note() must be callable on it (code annotates unconditionally)
+        obs.span("c").note(extra=2)
+
+    def test_logger_silent_when_disabled(self, capsys):
+        log = obs.get_logger("test")
+        log.info("nothing", x=1)
+        log.error("still nothing")
+        assert capsys.readouterr().out == ""
+        assert obs.recent() == []
+
+
+class TestCountersAndHistograms:
+    def test_counter_accumulates(self):
+        obs.enable()
+        obs.counter_add("jobs")
+        obs.counter_add("jobs", 4)
+        assert obs.counters_snapshot() == {"jobs": 5}
+
+    def test_histogram_summary(self):
+        obs.enable()
+        for v in (1.0, 3.0, 2.0):
+            obs.observe("lat", v)
+        h = obs.histograms_snapshot()["lat"]
+        assert h["count"] == 3
+        assert h["min"] == 1.0
+        assert h["max"] == 3.0
+        assert h["mean"] == 2.0
+
+    def test_histogram_merge_dict(self):
+        h = Histogram()
+        h.observe(2.0)
+        h.merge_dict({"count": 2, "total": 10.0, "min": 1.0, "max": 9.0})
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.minimum == 1.0
+        assert h.maximum == 9.0
+        h.merge_dict({"count": 0})  # empty payloads are ignored
+        assert h.count == 3
+
+    def test_thread_safety_of_counters(self):
+        obs.enable()
+
+        def work():
+            for _ in range(1000):
+                obs.counter_add("n")
+
+        threads = [threading.Thread(target=work) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert obs.counters_snapshot()["n"] == 4000
+
+
+class TestSpans:
+    def test_span_records_duration_and_fields(self):
+        obs.enable()
+        with obs.span("outer", key="v"):
+            pass
+        (event,) = [e for e in obs.recent() if e["kind"] == "span"]
+        assert event["name"] == "outer"
+        assert event["fields"] == {"key": "v"}
+        assert event["dur"] >= 0.0
+        assert event["status"] == "ok"
+        assert event["parent"] is None
+
+    def test_spans_nest(self):
+        obs.enable()
+        with obs.span("outer") as outer:
+            with obs.span("inner"):
+                pass
+        spans = {e["name"]: e for e in obs.recent() if e["kind"] == "span"}
+        assert spans["inner"]["parent"] == outer.span_id
+        assert spans["inner"]["depth"] == 1
+        assert spans["outer"]["depth"] == 0
+
+    def test_span_marks_errors(self):
+        obs.enable()
+        with pytest.raises(ValueError):
+            with obs.span("bad"):
+                raise ValueError("boom")
+        (event,) = [e for e in obs.recent() if e["kind"] == "span"]
+        assert event["status"] == "error"
+
+    def test_note_annotates_mid_span(self):
+        obs.enable()
+        with obs.span("annotated") as sp:
+            sp.note(result=42)
+        (event,) = [e for e in obs.recent() if e["kind"] == "span"]
+        assert event["fields"] == {"result": 42}
+
+
+class TestRingAndSink:
+    def test_ring_is_bounded(self):
+        obs.enable(ring_size=8)
+        for i in range(20):
+            obs.log("info", f"line {i}")
+        events = obs.recent()
+        assert len(events) == 8
+        assert events[-1]["msg"] == "line 19"
+
+    def test_sink_is_jsonl(self, tmp_path):
+        sink = tmp_path / "obs.jsonl"
+        obs.enable(sink_path=str(sink))
+        obs.log("info", "hello", n=1)
+        with obs.span("s"):
+            pass
+        obs.counter_add("c", 2)
+        obs.flush()
+        obs.disable()
+        lines = [json.loads(x) for x in sink.read_text().splitlines()]
+        kinds = [e["kind"] for e in lines]
+        assert "log" in kinds and "span" in kinds and "counters" in kinds
+        snap = [e for e in lines if e["kind"] == "counters"][-1]
+        assert snap["counters"] == {"c": 2}
+
+    def test_load_events_skips_torn_lines(self, tmp_path):
+        sink = tmp_path / "obs.jsonl"
+        sink.write_text(
+            '{"kind": "log", "ts": 1, "level": "info", "msg": "ok"}\n'
+            '{"kind": "log", "ts": 2, "lev'  # torn mid-write
+        )
+        events = obs.load_events(str(sink))
+        assert len(events) == 1
+
+    def test_level_filters_logs(self):
+        obs.enable(level="warning")
+        obs.log("debug", "dropped")
+        obs.log("info", "dropped too")
+        obs.log("error", "kept")
+        assert [e["msg"] for e in obs.recent() if e["kind"] == "log"] == [
+            "kept"
+        ]
+
+
+class TestWarnOnce:
+    def test_emits_once_per_key(self):
+        obs.enable()
+        assert obs.warn_once("k", "message") is True
+        assert obs.warn_once("k", "message") is False
+        logs = [e for e in obs.recent() if e["kind"] == "log"]
+        assert len(logs) == 1
+
+    def test_dedupes_even_while_disabled(self):
+        assert obs.warn_once("k", "mirror me") is True
+        assert obs.warn_once("k", "mirror me") is False
+        assert obs.recent() == []  # nothing recorded, only deduped
+
+
+class TestEnvActivation:
+    def test_unset_or_zero_stays_off(self, monkeypatch):
+        from repro.obs.core import _activate_from_env
+
+        for raw in ("", "0", "false"):
+            monkeypatch.setenv(obs.ENV_SINK, raw)
+            _activate_from_env()
+            assert not obs.enabled()
+
+    def test_one_enables_ring_only(self, monkeypatch):
+        from repro.obs.core import _activate_from_env
+
+        monkeypatch.setenv(obs.ENV_SINK, "1")
+        _activate_from_env()
+        assert obs.enabled()
+        assert STATE.sink_path is None
+
+    def test_path_enables_sink(self, monkeypatch, tmp_path):
+        from repro.obs.core import _activate_from_env
+
+        sink = tmp_path / "env.jsonl"
+        monkeypatch.setenv(obs.ENV_SINK, str(sink))
+        monkeypatch.setenv(obs.ENV_LEVEL, "debug")
+        _activate_from_env()
+        assert obs.enabled()
+        assert STATE.sink_path == str(sink)
+        obs.log("debug", "visible at debug level")
+        assert obs.recent()[-1]["msg"] == "visible at debug level"
+
+
+class TestReportRendering:
+    def _sinked_events(self, tmp_path):
+        sink = tmp_path / "obs.jsonl"
+        obs.enable(sink_path=str(sink))
+        with obs.span("root", run=1):
+            with obs.span("child"):
+                obs.counter_add("widgets", 7)
+                obs.observe("widget.seconds", 0.25)
+        obs.log("info", "made widgets")
+        obs.flush()
+        obs.disable()
+        return obs.load_events(str(sink))
+
+    def test_report_renders_counters_spans_and_tree(self, tmp_path):
+        text = obs.render_report(self._sinked_events(tmp_path))
+        assert "widgets" in text
+        assert "widget.seconds" in text
+        assert "## spans" in text
+        assert "root" in text and "child" in text
+        # the tree indents the child under its root
+        assert "\n  child" in text
+
+    def test_merge_sums_counters_across_pids(self):
+        events = [
+            {"kind": "counters", "pid": 1, "counters": {"c": 2},
+             "histograms": {}},
+            {"kind": "counters", "pid": 1, "counters": {"c": 5},
+             "histograms": {}},  # later snapshot from pid 1 wins
+            {"kind": "counters", "pid": 2, "counters": {"c": 3},
+             "histograms": {}},
+        ]
+        merged = obs.merge_events(events)
+        assert merged["counters"] == {"c": 8}
+
+    def test_tail_formats_each_kind(self, tmp_path):
+        text = obs.render_tail(self._sinked_events(tmp_path), n=50)
+        assert "span" in text
+        assert "made widgets" in text
+        assert "counters" in text
+
+    def test_empty_inputs_render_placeholders(self):
+        assert "(no events)" in obs.render_tail([])
+        assert "(no spans)" in obs.render_span_tree([])
+        assert "no counters" in obs.render_report([])

@@ -1,0 +1,151 @@
+"""Observability end-to-end: real campaigns, real attacks, real sinks.
+
+Two acceptance criteria from the tentpole are pinned here:
+
+* with observability **enabled**, a real campaign run leaves a JSONL
+  sink from which ``obs report`` renders non-empty counter and span
+  output (asserted, not eyeballed);
+* with observability enabled or disabled, experiment **metrics are
+  byte-identical** — instrumentation never touches a simulated cache or
+  noise RNG stream, so every pinned metrics digest holds.
+"""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.campaign import CampaignRunner, CampaignSpec, InProcessExecutor, ResultStore
+from repro.perf.harness import metrics_digest
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+def _run_campaign(tmp_path, name="obs-int"):
+    spec = CampaignSpec(
+        name=name,
+        experiment="lzw_recovery",
+        grid={"size": [30, 40]},
+        trials=1,
+    )
+    store = ResultStore(tmp_path / name)
+    runner = CampaignRunner(
+        spec, store, executor_factory=InProcessExecutor
+    )
+    return runner.run(), store
+
+
+class TestCampaignSink:
+    def test_campaign_run_fills_the_sink(self, tmp_path):
+        sink = tmp_path / "obs.jsonl"
+        obs.enable(sink_path=str(sink))
+        result, _ = _run_campaign(tmp_path)
+        obs.disable()
+        assert result.counts == {"ok": 2}
+
+        events = obs.load_events(str(sink))
+        merged = obs.merge_events(events)
+        assert merged["counters"]["campaign.ok"] == 2
+        assert merged["counters"]["campaign.attempts"] == 2
+        span_names = set(merged["spans"])
+        assert "campaign.run" in span_names
+        assert "campaign.job" in span_names
+        assert merged["spans"]["campaign.job"]["count"] == 2
+        assert merged["histograms"]["campaign.job_seconds"]["count"] == 2
+        assert merged["histograms"]["store.append_seconds"]["count"] == 2
+
+    def test_obs_report_renders_nonempty_output(self, tmp_path):
+        sink = tmp_path / "obs.jsonl"
+        obs.enable(sink_path=str(sink))
+        _run_campaign(tmp_path)
+        obs.disable()
+
+        text = obs.render_report(obs.load_events(str(sink)))
+        assert "## counters" in text
+        assert "campaign.ok" in text
+        assert "## spans" in text
+        assert "campaign.job" in text
+
+    def test_obs_cli_report_from_campaign_run(self, tmp_path, capsys):
+        """The CLI acceptance path: campaign run --obs, then obs report."""
+        from repro import cli
+
+        spec_path = tmp_path / "spec.json"
+        spec_path.write_text(
+            json.dumps(
+                {
+                    "name": "obs-cli",
+                    "experiment": "lzw_recovery",
+                    "grid": {"size": [30]},
+                }
+            )
+        )
+        sink = tmp_path / "obs.jsonl"
+        rc = cli.main(
+            [
+                "campaign", "run", str(spec_path),
+                "--out", str(tmp_path / "run"),
+                "--quiet",
+                "--obs", str(sink),
+            ]
+        )
+        assert rc == 0
+        obs.reset()  # the CLI enabled obs in-process; stop recording
+
+        capsys.readouterr()
+        assert cli.main(["obs", "report", str(sink)]) == 0
+        out = capsys.readouterr().out
+        assert "campaign.ok" in out
+        assert "campaign.run" in out
+
+    def test_missing_sink_is_a_clean_error(self, tmp_path, capsys):
+        from repro import cli
+
+        assert cli.main(["obs", "report", str(tmp_path / "nope.jsonl")]) == 2
+        assert "no obs sink" in capsys.readouterr().err
+
+
+class TestNonPerturbation:
+    """Enabling observability must not change any experiment metric."""
+
+    def _digests(self, fn):
+        obs.reset()
+        off = metrics_digest(fn())
+        obs.enable()
+        on = metrics_digest(fn())
+        obs.reset()
+        return off, on
+
+    def test_sgx_attack_metrics_identical(self):
+        from repro.core.zipchannel.sgx_attack import run_extraction_experiment
+
+        off, on = self._digests(
+            lambda: run_extraction_experiment(size=60, seed=3)
+        )
+        assert off == on
+
+    def test_taintchannel_metrics_identical(self):
+        from repro.core.taintchannel.tool import run_gadget_scan
+        from repro.workloads import random_bytes
+
+        data = random_bytes(120, seed=5)
+        off, on = self._digests(lambda: run_gadget_scan("lzw", data))
+        assert off == on
+
+    def test_campaign_records_identical(self, tmp_path):
+        _, store_off = _run_campaign(tmp_path, name="digest-off")
+        obs.enable(sink_path=str(tmp_path / "obs.jsonl"))
+        _, store_on = _run_campaign(tmp_path, name="digest-on")
+        obs.disable()
+        metrics_off = {
+            k: r.metrics for k, r in store_off.load_records().items()
+        }
+        metrics_on = {
+            k: r.metrics for k, r in store_on.load_records().items()
+        }
+        assert metrics_off == metrics_on

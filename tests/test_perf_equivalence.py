@@ -186,7 +186,7 @@ class RefCache:
         self.stamps = [[0] * config.ways for _ in range(n_sets)]
         self.plru_bits = [[0] * (config.ways - 1) for _ in range(n_sets)]
         self.cos_masks = {0: tuple(range(config.ways))}
-        self.hits = self.misses = self.flushes = 0
+        self.hits = self.misses = self.evictions = self.flushes = 0
 
     # -- mapping (independent implementation) --------------------------
     def _slice_of(self, paddr):
@@ -265,6 +265,7 @@ class RefCache:
             else:
                 victim = min(allowed, key=lambda w: self.stamps[idx][w])
             evicted = tags[victim] << 6
+            self.evictions += 1
         tags[victim] = tag
         self.stamps[idx][victim] = self.stamp
         if plru:
@@ -328,6 +329,7 @@ def test_cache_matches_reference_model(replacement, steps):
     assert fast.stats == {
         "hits": ref.hits,
         "misses": ref.misses,
+        "evictions": ref.evictions,
         "flushes": ref.flushes,
     }
     for line in range(96):

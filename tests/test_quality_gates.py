@@ -1,8 +1,10 @@
 """Repository-wide quality gates: documentation coverage, determinism,
-and large-input behaviour."""
+lint hygiene, and large-input behaviour."""
 
+import ast
 import importlib
 import inspect
+import pathlib
 import pkgutil
 
 import pytest
@@ -42,6 +44,92 @@ class TestDocumentation:
     def test_modules_all_import(self):
         for name in PUBLIC_MODULES:
             importlib.import_module(name)
+
+
+SRC_ROOT = pathlib.Path(repro.__file__).resolve().parent
+
+# CLI entry points own stdout; everything else must stay silent (the
+# same exemption as pyproject's ruff T201 per-file-ignores).
+CLI_FILES = {"cli.py", "__main__.py"}
+
+
+def _is_main_guard(test: ast.expr) -> bool:
+    """``if __name__ == "__main__":`` — the one place library modules
+    may print."""
+    return (
+        isinstance(test, ast.Compare)
+        and isinstance(test.left, ast.Name)
+        and test.left.id == "__name__"
+        and len(test.comparators) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value == "__main__"
+    )
+
+
+class TestLintGates:
+    """AST mirrors of the CI ruff rules (T201, E722, B006), so the
+    gates hold even where ruff is not installed."""
+
+    def _sources(self):
+        for path in sorted(SRC_ROOT.rglob("*.py")):
+            yield path, ast.parse(
+                path.read_text(encoding="utf-8"), filename=str(path)
+            )
+
+    def test_no_print_in_library_code(self):
+        """``print()`` belongs to the CLI entry points; library code
+        routes diagnostics through repro.obs (ruff T201)."""
+        offenders = []
+        for path, tree in self._sources():
+            if path.name in CLI_FILES:
+                continue
+            guarded = set()
+            for node in ast.walk(tree):
+                if isinstance(node, ast.If) and _is_main_guard(node.test):
+                    guarded.update(id(sub) for sub in ast.walk(node))
+            for node in ast.walk(tree):
+                if id(node) in guarded:
+                    continue
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "print"
+                ):
+                    offenders.append(
+                        f"{path.relative_to(SRC_ROOT)}:{node.lineno}"
+                    )
+        assert not offenders, f"print() in library code: {offenders}"
+
+    def test_no_bare_except(self):
+        """Bare ``except:`` swallows KeyboardInterrupt/SystemExit —
+        always name the exception (ruff E722)."""
+        offenders = [
+            f"{path.relative_to(SRC_ROOT)}:{node.lineno}"
+            for path, tree in self._sources()
+            for node in ast.walk(tree)
+            if isinstance(node, ast.ExceptHandler) and node.type is None
+        ]
+        assert not offenders, f"bare except: {offenders}"
+
+    def test_no_mutable_default_arguments(self):
+        """Mutable defaults are shared across calls (ruff B006)."""
+        offenders = []
+        for path, tree in self._sources():
+            for node in ast.walk(tree):
+                if not isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ):
+                    continue
+                defaults = list(node.args.defaults) + [
+                    d for d in node.args.kw_defaults if d is not None
+                ]
+                for default in defaults:
+                    if isinstance(default, (ast.List, ast.Dict, ast.Set)):
+                        offenders.append(
+                            f"{path.relative_to(SRC_ROOT)}:{default.lineno} "
+                            f"({node.name})"
+                        )
+        assert not offenders, f"mutable default arguments: {offenders}"
 
 
 class TestDeterminism:

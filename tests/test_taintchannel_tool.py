@@ -233,3 +233,24 @@ class TestEventBudget:
 
         with pytest.raises(TraceLimitExceeded):
             tc.analyze("zlib", lambda ctx: deflate_compress(data, ctx))
+
+
+class TestDemo:
+    """The module demo returns its report; printing is only for
+    ``python -m repro.core.taintchannel.tool`` itself."""
+
+    def test_demo_returns_report_without_stdout(self, capsys):
+        from repro.core.taintchannel.tool import demo
+
+        text = demo(data=b"abcdefgh" * 30, target="lzw")
+        assert isinstance(text, str)
+        assert "gadget" in text.lower() or "accesses" in text.lower()
+        assert capsys.readouterr().out == ""
+
+    def test_analyze_emits_no_stdout(self, capsys):
+        from repro.core.taintchannel.tool import TaintChannel, target_for
+
+        data = b"abcdefgh" * 30
+        tc = TaintChannel()
+        tc.analyze("lzw", target_for("lzw", data))
+        assert capsys.readouterr().out == ""
