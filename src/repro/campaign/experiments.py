@@ -394,3 +394,69 @@ def mitigation_overhead(params: dict, seed: int) -> dict:
         "mitigated_bit_accuracy": hardened.bit_accuracy,
         "access_overhead": hardened.victim_accesses / vulnerable.victim_accesses,
     }
+
+
+@register_experiment("gadget_leakage")
+def gadget_leakage(params: dict, seed: int) -> dict:
+    """Channel-quality diagnostics for one survey gadget.
+
+    Params: ``target`` (``zlib``/``lzw``/``bzip2``), ``size`` (input
+    bytes, default 120), ``input_kind`` (default: the survey's per-
+    target convention).  With ``store`` (+ optional ``trace_id`` or
+    ``sweep_seed``) the metering replays a stored trace instead of
+    re-running the victim — metrics are bit-identical either way.
+    Returns the flat leakage metrics (per-bit accuracy, empirical
+    mutual information, bits per cache-line observation).
+    """
+    from repro.diag.leakage import (
+        measure_gadget_from_store,
+        measure_gadget_live,
+    )
+
+    target = params.get("target", "bzip2")
+    size = int(params.get("size", 120))
+    if "store" in params:
+        from repro.traces import TraceStore
+
+        sweep_seed = int(params.get("sweep_seed", seed))
+        trace_id = params.get(
+            "trace_id", f"survey-{target}-n{size}-s{sweep_seed}"
+        )
+        diag = measure_gadget_from_store(TraceStore(params["store"]), trace_id)
+    else:
+        diag = measure_gadget_live(
+            target, size, seed, input_kind=params.get("input_kind")
+        )
+    return diag.metric_dict()
+
+
+@register_experiment("channel_health")
+def channel_health_experiment(params: dict, seed: int) -> dict:
+    """The channel-health probe suite as a campaign experiment.
+
+    Params: ``samples`` (timing draws, default 1500), ``n_targets``
+    (eviction-set targets, default 4), ``step_n`` (single-step input
+    bytes, default 32), ``noise_sigma`` (cache timer noise override).
+    ``seed`` is unused — the probes pin their own seeds so results are
+    comparable across campaign cells.
+    """
+    from repro.diag.channel import channel_health
+
+    del seed
+    noise_sigma = params.get("noise_sigma")
+    health = channel_health(
+        samples=int(params.get("samples", 1500)),
+        n_targets=int(params.get("n_targets", 4)),
+        step_n=int(params.get("step_n", 32)),
+        noise_sigma=None if noise_sigma is None else float(noise_sigma),
+    )
+    return {
+        "margin_sigma": health["timing"]["margin_sigma"],
+        "empirical_separation": health["timing"]["empirical_separation"],
+        "misclassified_rate": health["timing"]["misclassified_rate"],
+        "eviction_minimal_fraction": health["eviction"]["minimal_fraction"],
+        "eviction_congruent_fraction": health["eviction"]["congruent_fraction"],
+        "eviction_mean_tests": health["eviction"]["mean_tests"],
+        "single_step_fidelity": health["single_step"]["step_fidelity"],
+        "single_step_page_accuracy": health["single_step"]["page_accuracy"],
+    }

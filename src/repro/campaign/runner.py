@@ -108,6 +108,17 @@ def _execute_payload(payload: dict) -> dict:
             attempt=payload["attempt"],
         ):
             metrics = fn(payload["params"], payload["seed"])
+        if isinstance(metrics, dict):
+            # Stream the job's numeric metrics into the sink so `repro
+            # obs watch` can roll them live and the store's diag.json
+            # timeseries has per-job points.  Reads the dict only —
+            # the non-perturbation invariant holds.
+            obs.publish_metrics(
+                "campaign.job",
+                metrics,
+                job_id=payload.get("job_id"),
+                experiment=payload["experiment"],
+            )
     finally:
         if use_alarm:
             signal.setitimer(signal.ITIMER_REAL, 0.0)
@@ -408,6 +419,17 @@ class CampaignRunner:
         result = CampaignResult(skipped=len(all_jobs) - len(pending))
         if result.skipped:
             self._emit(f"resume: skipping {result.skipped} recorded jobs")
+
+        # Announce the run's shape up front: `repro obs watch` reads
+        # this line to show done/total progress before any job lands.
+        obs.log(
+            "info",
+            "campaign started",
+            campaign=self.spec.name,
+            experiment=self.spec.experiment,
+            jobs=len(pending),
+            workers=self.workers,
+        )
 
         if self.spec.timeout_seconds is not None and not _alarm_supported():
             if obs.warn_once(

@@ -28,6 +28,8 @@ from repro.campaign.spec import CampaignSpec, JobSpec
 
 MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
+DIAG_NAME = "diag.json"
+DIAG_TIMESERIES_SCHEMA = "repro-diag-timeseries/1"
 
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
@@ -169,11 +171,13 @@ class ResultStore:
         return CampaignSpec.from_dict(self.load_manifest()["spec"])
 
     def finalize(self, counts: dict) -> None:
-        """Stamp completion time and outcome counts into the manifest."""
+        """Stamp completion time and outcome counts into the manifest,
+        and aggregate the per-job metrics into the diag timeseries."""
         manifest = self.load_manifest()
         manifest["finished_at"] = time.time()
         manifest["outcomes"] = dict(counts)
         self._write_manifest(manifest)
+        self.write_diag()
 
     def _write_manifest(self, manifest: dict) -> None:
         tmp = self.manifest_path.with_suffix(".json.tmp")
@@ -220,6 +224,75 @@ class ResultStore:
     def completed_ids(self) -> set[str]:
         """Job ids that already have a record — what resume skips."""
         return set(self.load_records())
+
+    # -- diag timeseries ------------------------------------------------
+    @property
+    def diag_path(self) -> Path:
+        return self.root / DIAG_NAME
+
+    def write_diag(self) -> Optional[Path]:
+        """Aggregate per-job numeric metrics into ``diag.json``.
+
+        One point per recorded job in finish order, plus per-metric
+        series and summary stats — the campaign-level view of the
+        diagnostics that workers also streamed through the obs sink.
+        Returns the written path, or None when there are no records.
+        """
+        records = sorted(
+            self.load_records().values(), key=lambda r: (r.finished_at, r.job_id)
+        )
+        if not records:
+            return None
+        points: list[dict] = []
+        series: dict[str, list[float]] = {}
+        for record in records:
+            values = {
+                key: float(int(v) if isinstance(v, bool) else v)
+                for key, v in (record.metrics or {}).items()
+                if isinstance(v, (int, float))
+            }
+            values["duration_seconds"] = float(record.duration_seconds)
+            points.append(
+                {
+                    "job_id": record.job_id,
+                    "finished_at": record.finished_at,
+                    "status": record.status,
+                    "trial": record.trial,
+                    "metrics": values,
+                }
+            )
+            if record.ok:
+                for key, value in values.items():
+                    series.setdefault(key, []).append(value)
+        summary = {
+            key: {
+                "n": len(vs),
+                "mean": sum(vs) / len(vs),
+                "min": min(vs),
+                "max": max(vs),
+                "last": vs[-1],
+            }
+            for key, vs in sorted(series.items())
+        }
+        payload = {
+            "schema": DIAG_TIMESERIES_SCHEMA,
+            "n_points": len(points),
+            "points": points,
+            "series": dict(sorted(series.items())),
+            "summary": summary,
+        }
+        tmp = self.diag_path.with_suffix(".json.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, self.diag_path)
+        return self.diag_path
+
+    def load_diag(self) -> dict:
+        """Read ``diag.json`` (raises ``FileNotFoundError`` when the
+        campaign has not finalized yet)."""
+        with open(self.diag_path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
 
     def pending_jobs(self, spec: CampaignSpec) -> list[JobSpec]:
         """The spec's jobs that have no record yet, in expansion order."""

@@ -443,13 +443,61 @@ def cmd_obs_report(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_tail(args: argparse.Namespace) -> int:
-    """Print the last N events of a JSONL sink, one line each."""
-    from repro.obs import render_tail
+    """Print the last N events of a JSONL sink, one line each.
 
-    events = _load_obs_events(args.sink)
-    if events is None:
-        return 2
-    print(render_tail(events, n=args.n))
+    With ``--follow`` keep polling the sink for appended lines (like
+    ``tail -f``); truncated or corrupt trailing lines from killed
+    workers are buffered/skipped instead of raising."""
+    from repro.obs import format_event, render_tail
+
+    if not args.follow:
+        events = _load_obs_events(args.sink)
+        if events is None:
+            return 2
+        print(render_tail(events, n=args.n))
+        return 0
+
+    import time as _time
+
+    from repro.obs.watch import SinkFollower
+
+    follower = SinkFollower(args.sink)
+    deadline = (
+        None
+        if args.duration is None
+        else _time.monotonic() + args.duration
+    )
+    shown = 0
+    try:
+        while True:
+            events = follower.poll()
+            if shown == 0 and events:
+                events = events[-args.n:]
+            for event in events:
+                print(format_event(event))
+                shown += 1
+            sys.stdout.flush()
+            if deadline is not None and _time.monotonic() >= deadline:
+                break
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+def cmd_obs_watch(args: argparse.Namespace) -> int:
+    """Live in-terminal dashboard over a sink being written by a
+    running campaign: job progress, rolling metrics sparklines, merged
+    counters/histograms, recent warnings."""
+    from repro.obs.watch import watch_loop
+
+    watch_loop(
+        args.sink,
+        interval=args.interval,
+        duration=args.duration,
+        clear=not args.no_clear,
+        once=args.once,
+    )
     return 0
 
 
@@ -472,6 +520,134 @@ def cmd_obs_export(args: argparse.Namespace) -> int:
         json.dump(payload, sys.stdout, indent=2, sort_keys=True)
         print()
     return 0
+
+
+def cmd_diag_report(args: argparse.Namespace) -> int:
+    """Per-gadget leakage metering: mutual information, per-bit
+    accuracy, and Figs. 2-4-style heatmaps — from a live run or (with
+    ``--store``) from stored traces, bit-identically."""
+    from repro.diag import (
+        render_survey_leakage,
+        survey_leakage,
+        survey_leakage_from_store,
+    )
+
+    if args.store:
+        from repro.traces import TraceStore
+
+        store = TraceStore(args.store)
+        if not store.exists():
+            print(f"error: no trace store at {args.store}", file=sys.stderr)
+            return 2
+        try:
+            diags = survey_leakage_from_store(
+                store, args.size, args.seed, prefix=args.prefix
+            )
+        except (KeyError, FileNotFoundError) as exc:
+            print(
+                f"error: missing survey trace: {exc} — capture with "
+                f"`repro trace capture --store {args.store} "
+                f"--size {args.size} --seed {args.seed}`",
+                file=sys.stderr,
+            )
+            return 2
+        source = f"stored traces ({args.store})"
+    else:
+        diags = survey_leakage(args.size, args.seed)
+        source = "live run"
+    print(
+        f"# leakage diagnostics — {source}, size={args.size} "
+        f"seed={args.seed}"
+    )
+    print()
+    print(render_survey_leakage(diags))
+    return 0
+
+
+def cmd_diag_channel(args: argparse.Namespace) -> int:
+    """Channel-health probes: timing margins, eviction-set quality,
+    single-step fidelity, optional fingerprint confusion matrix."""
+    from repro.diag import channel_health, render_channel_health
+
+    report = channel_health(
+        samples=args.samples,
+        n_targets=args.targets,
+        step_n=args.step_n,
+        noise_sigma=args.noise_sigma,
+        include_confusion=args.confusion,
+    )
+    print(render_channel_health(report))
+    return 0
+
+
+def cmd_diag_collect(args: argparse.Namespace) -> int:
+    """Run the deterministic diagnostics suite and write the metrics
+    (the baseline-refresh path: ``--out benchmarks/diag_baseline.json``)."""
+    import json as _json
+
+    from repro.diag import baseline_payload, collect_diag_metrics
+
+    params = {
+        "size": args.size,
+        "seed": args.seed,
+        "samples": args.samples,
+        "n_targets": args.targets,
+        "step_n": args.step_n,
+    }
+    metrics = collect_diag_metrics(
+        noise_sigma=args.noise_sigma,
+        include_confusion=args.confusion,
+        **params,
+    )
+    payload = baseline_payload(metrics, params=params)
+    if args.out:
+        from repro.diag import save_baseline
+
+        save_baseline(args.out, payload)
+        print(f"wrote {len(metrics)} metrics to {args.out}")
+    else:
+        _json.dump(payload, sys.stdout, indent=2, sort_keys=True)
+        print()
+    return 0
+
+
+def cmd_diag_compare(args: argparse.Namespace) -> int:
+    """The leakage drift gate: current metrics vs a committed baseline;
+    exit 1 when a gated metric regressed beyond tolerance."""
+    import json as _json
+
+    from repro.diag import collect_diag_metrics, compare_diag, load_baseline
+
+    try:
+        baseline = load_baseline(args.baseline)
+    except FileNotFoundError:
+        print(f"error: no baseline at {args.baseline}", file=sys.stderr)
+        return 2
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.current:
+        try:
+            with open(args.current, "r", encoding="utf-8") as handle:
+                current = _json.load(handle)
+        except FileNotFoundError:
+            print(f"error: no metrics file at {args.current}", file=sys.stderr)
+            return 2
+    else:
+        # No file given: re-collect now with the baseline's parameters
+        # (plus any injected override, e.g. --noise-sigma for drills).
+        params = baseline.get("params", {})
+        current = collect_diag_metrics(
+            size=int(params.get("size", 120)),
+            seed=int(params.get("seed", 7)),
+            samples=int(params.get("samples", 1500)),
+            n_targets=int(params.get("n_targets", 4)),
+            step_n=int(params.get("step_n", 32)),
+            noise_sigma=args.noise_sigma,
+        )
+    result = compare_diag(current, baseline, tolerance=args.tolerance)
+    print(result.summary())
+    return 0 if result.ok else 1
 
 
 def cmd_perf_run(args: argparse.Namespace) -> int:
@@ -738,7 +914,31 @@ def build_parser() -> argparse.ArgumentParser:
     o = osub.add_parser("tail", help="print the last N events of a sink")
     o.add_argument("sink", help="JSONL sink file")
     o.add_argument("-n", type=int, default=20, help="events to show")
+    o.add_argument("--follow", "-f", action="store_true",
+                   help="poll the sink for appended events (tail -f); "
+                        "tolerates torn lines from killed workers")
+    o.add_argument("--interval", type=float, default=0.5,
+                   help="poll interval seconds (with --follow)")
+    o.add_argument("--duration", type=float,
+                   help="stop following after this many seconds "
+                        "(default: until Ctrl-C)")
     o.set_defaults(func=cmd_obs_tail)
+
+    o = osub.add_parser(
+        "watch",
+        help="live dashboard over a sink a running campaign is writing",
+    )
+    o.add_argument("sink", help="JSONL sink file (--obs SINK of the run)")
+    o.add_argument("--interval", type=float, default=0.5,
+                   help="poll/redraw interval seconds")
+    o.add_argument("--duration", type=float,
+                   help="stop watching after this many seconds "
+                        "(default: until Ctrl-C)")
+    o.add_argument("--once", action="store_true",
+                   help="render one frame and exit (CI smoke)")
+    o.add_argument("--no-clear", action="store_true",
+                   help="append frames instead of clearing the screen")
+    o.set_defaults(func=cmd_obs_watch)
 
     o = osub.add_parser(
         "export", help="merge a sink into one JSON summary document"
@@ -746,6 +946,71 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("sink", help="JSONL sink file")
     o.add_argument("--out", help="output file (default: stdout)")
     o.set_defaults(func=cmd_obs_export)
+
+    p = sub.add_parser(
+        "diag",
+        help="channel-quality diagnostics: leakage metering and drift gate",
+    )
+    dsub = p.add_subparsers(dest="diag_command", required=True)
+
+    d = dsub.add_parser(
+        "report",
+        help="per-gadget MI + per-bit accuracy heatmaps (live or stored)",
+    )
+    d.add_argument("--size", type=int, default=120, help="input bytes")
+    d.add_argument("--seed", type=int, default=7, help="survey sweep seed")
+    d.add_argument("--store",
+                   help="meter stored survey traces instead of a live run")
+    d.add_argument("--prefix", default="survey",
+                   help="trace id prefix in the store")
+    d.set_defaults(func=cmd_diag_report)
+
+    d = dsub.add_parser(
+        "channel",
+        help="timing margins, eviction-set quality, single-step fidelity",
+    )
+    d.add_argument("--samples", type=int, default=1500,
+                   help="hit/miss timing draws")
+    d.add_argument("--targets", type=int, default=4,
+                   help="eviction-set targets to build")
+    d.add_argument("--step-n", type=int, default=32,
+                   help="single-step probe input bytes")
+    d.add_argument("--noise-sigma", type=float,
+                   help="override the cache timer noise σ")
+    d.add_argument("--confusion", action="store_true",
+                   help="include a small fingerprint confusion matrix")
+    d.set_defaults(func=cmd_diag_channel)
+
+    d = dsub.add_parser(
+        "collect",
+        help="run the deterministic diag suite into a metrics JSON",
+    )
+    d.add_argument("--out", help="write here (default: stdout)")
+    d.add_argument("--size", type=int, default=120)
+    d.add_argument("--seed", type=int, default=7)
+    d.add_argument("--samples", type=int, default=1500)
+    d.add_argument("--targets", type=int, default=4)
+    d.add_argument("--step-n", type=int, default=32)
+    d.add_argument("--noise-sigma", type=float,
+                   help="override the cache timer noise σ")
+    d.add_argument("--confusion", action="store_true")
+    d.set_defaults(func=cmd_diag_collect)
+
+    d = dsub.add_parser(
+        "compare",
+        help="drift gate: current metrics vs committed baseline",
+    )
+    d.add_argument("current", nargs="?",
+                   help="metrics JSON to check (default: collect now "
+                        "with the baseline's parameters)")
+    d.add_argument("--baseline", default="benchmarks/diag_baseline.json",
+                   help="committed baseline payload")
+    d.add_argument("--tolerance", type=float, default=0.05,
+                   help="allowed relative regression (default 0.05 = 5%%)")
+    d.add_argument("--noise-sigma", type=float,
+                   help="override the cache noise σ for the fresh "
+                        "collection (regression-injection drills)")
+    d.set_defaults(func=cmd_diag_compare)
 
     p = sub.add_parser(
         "perf",

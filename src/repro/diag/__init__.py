@@ -1,0 +1,86 @@
+"""repro.diag — channel-quality diagnostics on top of repro.obs.
+
+Three layers, all deterministic given their seeds:
+
+* **leakage metering** (:mod:`repro.diag.leakage`) — per-gadget
+  empirical mutual information and per-bit accuracy maps for the
+  zlib/lzw/bzip2 survey gadgets, computed identically from live runs
+  or stored ``.trc`` traces, rendered as Figs. 2-4-style ASCII
+  heatmaps;
+* **channel-health probes** (:mod:`repro.diag.channel`) — hit/miss
+  timing-margin histograms (decision margin in σ), eviction-set
+  quality versus the cache model's ground truth, single-step fidelity,
+  and fingerprint confusion matrices;
+* **drift gate** (:mod:`repro.diag.drift`) — ``repro diag compare``
+  fails when leakage metrics regress beyond tolerance against the
+  committed ``benchmarks/diag_baseline.json``.
+
+Campaign workers publish these metrics through the obs sink
+(``obs.publish_metrics``); ``repro obs watch`` renders them live and
+``campaign.store`` aggregates them into a per-run ``diag.json``
+timeseries.
+"""
+
+from repro.diag.channel import (
+    channel_health,
+    eviction_quality,
+    fingerprint_confusion,
+    render_channel_health,
+    render_timing_margins,
+    single_step_fidelity,
+    timing_margins,
+)
+from repro.diag.drift import (
+    DIAG_SCHEMA,
+    DiagComparison,
+    DiagRow,
+    baseline_payload,
+    collect_diag_metrics,
+    compare_diag,
+    load_baseline,
+    metric_direction,
+    save_baseline,
+)
+from repro.diag.leakage import (
+    GADGET_TARGETS,
+    GadgetLeakage,
+    leakage_from_lines,
+    measure_gadget_from_store,
+    measure_gadget_live,
+    plugin_mutual_information,
+    render_heatmap,
+    render_leakage,
+    render_survey_leakage,
+    survey_leakage,
+    survey_leakage_from_store,
+)
+
+__all__ = [
+    "DIAG_SCHEMA",
+    "DiagComparison",
+    "DiagRow",
+    "GADGET_TARGETS",
+    "GadgetLeakage",
+    "baseline_payload",
+    "channel_health",
+    "collect_diag_metrics",
+    "compare_diag",
+    "eviction_quality",
+    "fingerprint_confusion",
+    "leakage_from_lines",
+    "load_baseline",
+    "measure_gadget_from_store",
+    "measure_gadget_live",
+    "metric_direction",
+    "plugin_mutual_information",
+    "render_channel_health",
+    "render_heatmap",
+    "render_leakage",
+    "render_survey_leakage",
+    "render_timing_margins",
+    "save_baseline",
+    "single_step_fidelity",
+    "survey_leakage",
+    "survey_leakage_from_store",
+    "timing_margins",
+]

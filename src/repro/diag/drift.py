@@ -1,0 +1,259 @@
+"""The leakage drift gate: fail CI when channel quality regresses.
+
+Modeled on the ``repro perf compare`` gate (PR 3) but for *leakage*
+metrics instead of timings: :func:`collect_diag_metrics` runs the
+deterministic diagnostics suite — the three gadgets' leakage meters
+plus the channel-health probes — into one flat ``{metric: value}``
+dict, and :func:`compare_diag` checks it against a committed
+``benchmarks/diag_baseline.json`` with a per-metric *direction*:
+
+* ``higher`` (bit accuracy, mutual information, eviction quality,
+  fidelity) fails when ``current < baseline * (1 - tolerance)``;
+* ``lower`` (misclassification rate) fails when
+  ``current > baseline * (1 + tolerance)`` (plus an absolute epsilon
+  so a 0.0 baseline doesn't make any nonzero value a failure);
+* ``info`` metrics are recorded but never gate.
+
+Every probe is seeded, so on one machine the collected numbers are
+exactly reproducible; the tolerance absorbs the last-ulp libm
+differences a different platform may introduce into the timing draws.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Optional
+
+DIAG_SCHEMA = "repro-diag/1"
+
+DEFAULT_TOLERANCE = 0.05
+# Absolute slack for lower-is-better metrics with ~0 baselines.
+ABS_EPSILON = 0.005
+
+DEFAULT_PARAMS = {
+    "size": 120,
+    "seed": 7,
+    "samples": 1500,
+    "n_targets": 4,
+    "step_n": 32,
+}
+
+# Direction per metric suffix (the part after "<gadget>." / the probe
+# prefix).  Anything not matched here defaults to "info".
+_HIGHER = (
+    "byte_accuracy",
+    "bit_accuracy",
+    "bit_accuracy_min",
+    "mi_bits_per_byte",
+    "bits_per_observation",
+    "recovered_fraction",
+    "exact_found",
+    "timing.margin_sigma",
+    "timing.empirical_separation",
+    "eviction.found_fraction",
+    "eviction.minimal_fraction",
+    "eviction.verified_fraction",
+    "eviction.congruent_fraction",
+    "single_step.step_fidelity",
+    "single_step.ftab_fault_fidelity",
+    "single_step.page_accuracy",
+    "confusion.test_accuracy",
+    "confusion.diagonal_accuracy",
+)
+_LOWER = (
+    "timing.misclassified_rate",
+)
+
+
+def metric_direction(name: str) -> str:
+    """``higher`` / ``lower`` / ``info`` for one metric name."""
+    for suffix in _LOWER:
+        if name.endswith(suffix):
+            return "lower"
+    for suffix in _HIGHER:
+        if name.endswith(suffix):
+            return "higher"
+    return "info"
+
+
+def collect_diag_metrics(
+    size: int = DEFAULT_PARAMS["size"],
+    seed: int = DEFAULT_PARAMS["seed"],
+    samples: int = DEFAULT_PARAMS["samples"],
+    n_targets: int = DEFAULT_PARAMS["n_targets"],
+    step_n: int = DEFAULT_PARAMS["step_n"],
+    noise_sigma: Optional[float] = None,
+    include_confusion: bool = False,
+) -> dict:
+    """Run the full diagnostics suite into one flat metrics dict.
+
+    ``noise_sigma`` overrides the cache noise used by the channel
+    probes — bumping it is the standard injected-regression drill for
+    the gate.
+    """
+    from repro.diag.channel import channel_health
+    from repro.diag.leakage import survey_leakage
+
+    metrics: dict[str, float] = {}
+    for target, diag in survey_leakage(size, seed).items():
+        metrics.update(diag.metric_dict(prefix=f"{target}."))
+
+    health = channel_health(
+        samples=samples,
+        n_targets=n_targets,
+        step_n=step_n,
+        noise_sigma=noise_sigma,
+        include_confusion=include_confusion,
+    )
+    timing = health["timing"]
+    for key in (
+        "margin_sigma",
+        "empirical_separation",
+        "misclassified_rate",
+        "hit_mean",
+        "miss_mean",
+        "noise_sigma",
+    ):
+        metrics[f"timing.{key}"] = float(timing[key])
+    for key, value in health["eviction"].items():
+        metrics[f"eviction.{key}"] = float(value)
+    for key, value in health["single_step"].items():
+        metrics[f"single_step.{key}"] = float(value)
+    if include_confusion:
+        conf = health["confusion"]
+        metrics["confusion.test_accuracy"] = conf["test_accuracy"]
+        metrics["confusion.diagonal_accuracy"] = conf["diagonal_accuracy"]
+    return metrics
+
+
+def baseline_payload(metrics: dict, params: Optional[dict] = None) -> dict:
+    """The JSON document ``repro diag collect --out`` writes."""
+    return {
+        "schema": DIAG_SCHEMA,
+        "params": dict(params or DEFAULT_PARAMS),
+        "metrics": dict(sorted(metrics.items())),
+        "directions": {
+            name: metric_direction(name) for name in sorted(metrics)
+        },
+    }
+
+
+def save_baseline(path: str, payload: dict) -> None:
+    """Write a :func:`baseline_payload` document to ``path``."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_baseline(path: str) -> dict:
+    """Read a baseline back, rejecting non-``repro-diag/1`` files."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("schema") != DIAG_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {DIAG_SCHEMA} baseline "
+            f"(schema={payload.get('schema')!r})"
+        )
+    return payload
+
+
+@dataclass
+class DiagRow:
+    """One metric's comparison outcome."""
+
+    name: str
+    direction: str
+    baseline: Optional[float]
+    current: Optional[float]
+    ok: bool
+    note: str = ""
+
+
+@dataclass
+class DiagComparison:
+    """The full gate result; ``ok`` is what CI exits on."""
+
+    rows: list[DiagRow] = field(default_factory=list)
+    tolerance: float = DEFAULT_TOLERANCE
+
+    @property
+    def ok(self) -> bool:
+        return all(row.ok for row in self.rows)
+
+    @property
+    def regressions(self) -> list[DiagRow]:
+        return [row for row in self.rows if not row.ok]
+
+    def summary(self) -> str:
+        lines = [
+            f"diag compare (tolerance {self.tolerance * 100:.1f}%):",
+            f"{'metric':<38} {'dir':<7} {'baseline':>12} "
+            f"{'current':>12}  status",
+        ]
+        for row in self.rows:
+            base = "-" if row.baseline is None else f"{row.baseline:.6g}"
+            cur = "-" if row.current is None else f"{row.current:.6g}"
+            status = "ok" if row.ok else "REGRESSED"
+            if row.direction == "info" and row.ok:
+                status = "info"
+            note = f"  ({row.note})" if row.note else ""
+            lines.append(
+                f"{row.name:<38} {row.direction:<7} {base:>12} "
+                f"{cur:>12}  {status}{note}"
+            )
+        verdict = "PASS" if self.ok else "FAIL"
+        n_bad = len(self.regressions)
+        lines.append(
+            f"{verdict}: {n_bad} regression{'s' if n_bad != 1 else ''} "
+            f"across {len(self.rows)} metrics"
+        )
+        return "\n".join(lines)
+
+
+def compare_diag(
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> DiagComparison:
+    """Gate ``current`` metrics against a baseline payload.
+
+    ``current`` may be a flat metrics dict or a full baseline-shaped
+    payload; ``baseline`` must be the payload form (it carries the
+    directions).  A metric present in the baseline but missing from
+    the current run is a failure (the suite shrank); new metrics are
+    informational.
+    """
+    base_metrics = baseline.get("metrics", baseline)
+    directions = baseline.get("directions", {})
+    cur_metrics = current.get("metrics", current)
+
+    comparison = DiagComparison(tolerance=tolerance)
+    for name in sorted(base_metrics):
+        direction = directions.get(name) or metric_direction(name)
+        base = float(base_metrics[name])
+        if name not in cur_metrics:
+            comparison.rows.append(
+                DiagRow(name, direction, base, None, False, "missing")
+            )
+            continue
+        cur = float(cur_metrics[name])
+        if direction == "higher":
+            ok = cur >= base * (1.0 - tolerance) - ABS_EPSILON
+        elif direction == "lower":
+            ok = cur <= base * (1.0 + tolerance) + ABS_EPSILON
+        else:
+            ok = True
+        comparison.rows.append(DiagRow(name, direction, base, cur, ok))
+    for name in sorted(set(cur_metrics) - set(base_metrics)):
+        comparison.rows.append(
+            DiagRow(
+                name,
+                "info",
+                None,
+                float(cur_metrics[name]),
+                True,
+                "new",
+            )
+        )
+    return comparison

@@ -41,6 +41,7 @@ from repro.obs.core import (
     histograms_snapshot,
     log,
     observe,
+    publish_metrics,
     recent,
     reset,
     span,
@@ -50,9 +51,16 @@ from repro.obs.report import (
     format_event,
     load_events,
     merge_events,
+    merge_warnings,
     render_report,
     render_span_tree,
     render_tail,
+)
+from repro.obs.watch import (
+    SinkFollower,
+    WatchState,
+    render_watch,
+    sparkline,
 )
 
 __all__ = [
@@ -73,12 +81,18 @@ __all__ = [
     "load_events",
     "log",
     "merge_events",
+    "merge_warnings",
     "observe",
+    "publish_metrics",
     "recent",
     "render_report",
     "render_span_tree",
     "render_tail",
+    "render_watch",
     "reset",
     "span",
+    "sparkline",
+    "SinkFollower",
     "warn_once",
+    "WatchState",
 ]

@@ -29,6 +29,7 @@ from __future__ import annotations
 import atexit
 import itertools
 import json
+import math
 import os
 import threading
 import time
@@ -43,22 +44,54 @@ ENV_LEVEL = "REPRO_OBS_LEVEL"
 DEFAULT_RING_SIZE = 4096
 
 
-class Histogram:
-    """Streaming summary of one named distribution (count/total/min/max).
+# Fixed log-spaced quantile bins: 8 bins per decade over 1e-9 .. 1e9,
+# plus bin 0 for non-positive samples.  Sparse per-bin counts serialise
+# as a small dict and merge across worker processes by addition, which
+# is what lets p50/p95/p99 survive the last-snapshot-per-pid-then-sum
+# report pipeline.
+_BINS_PER_DECADE = 8
+_QUANTILE_LO_EXP = -9
+_QUANTILE_HI_EXP = 9
+_N_QUANTILE_BINS = (_QUANTILE_HI_EXP - _QUANTILE_LO_EXP) * _BINS_PER_DECADE
 
-    Deliberately not a bucketed histogram: the consumers here want
-    "how many, how long, worst case" — store write latencies, job
-    durations, queue depths — and four floats merge trivially across
-    worker processes.
+
+def _quantile_bin(value: float) -> int:
+    """Bin index for one sample (0 = non-positive, 1.._N clamped)."""
+    if value <= 0.0:
+        return 0
+    idx = 1 + int((math.log10(value) - _QUANTILE_LO_EXP) * _BINS_PER_DECADE)
+    if idx < 1:
+        return 1
+    if idx > _N_QUANTILE_BINS:
+        return _N_QUANTILE_BINS
+    return idx
+
+
+def _quantile_bin_value(idx: int) -> float:
+    """Representative (geometric-centre) value for a bin index."""
+    if idx <= 0:
+        return 0.0
+    return 10.0 ** (_QUANTILE_LO_EXP + (idx - 0.5) / _BINS_PER_DECADE)
+
+
+class Histogram:
+    """Streaming summary of one named distribution.
+
+    Tracks count/total/min/max plus a sparse fixed-bin (log-spaced)
+    histogram good for p50/p95/p99 estimates.  The consumers here want
+    "how many, how long, worst case, tail" — store write latencies, job
+    durations, queue depths — and a handful of floats plus a sparse
+    bin dict merge trivially across worker processes.
     """
 
-    __slots__ = ("count", "total", "minimum", "maximum")
+    __slots__ = ("count", "total", "minimum", "maximum", "bins")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.minimum = float("inf")
         self.maximum = float("-inf")
+        self.bins: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         """Fold one sample in."""
@@ -68,25 +101,55 @@ class Histogram:
             self.minimum = value
         if value > self.maximum:
             self.maximum = value
+        idx = _quantile_bin(value)
+        self.bins[idx] = self.bins.get(idx, 0) + 1
 
     @property
     def mean(self) -> float:
         """Arithmetic mean of the samples seen (0.0 when empty)."""
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """Fixed-bin estimate of the ``q``-quantile (None when empty).
+
+        The estimate is each bin's geometric centre, clamped to the
+        observed [min, max] so single-sample histograms report the
+        sample itself.  Payloads merged from pre-quantile sinks may
+        carry no bins; the estimate then covers only binned samples.
+        """
+        binned = sum(self.bins.values())
+        if not binned:
+            return None
+        rank = q * (binned - 1)
+        cumulative = 0
+        estimate = _quantile_bin_value(max(self.bins))
+        for idx in sorted(self.bins):
+            cumulative += self.bins[idx]
+            if cumulative > rank:
+                estimate = _quantile_bin_value(idx)
+                break
+        if self.count:
+            estimate = min(max(estimate, self.minimum), self.maximum)
+        return estimate
+
     def to_dict(self) -> dict:
-        """JSON-ready summary."""
+        """JSON-ready summary (quantiles are fixed-bin estimates)."""
         return {
             "count": self.count,
             "total": self.total,
             "min": self.minimum if self.count else None,
             "max": self.maximum if self.count else None,
             "mean": self.mean,
+            "bins": {str(idx): n for idx, n in sorted(self.bins.items())},
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
         }
 
     def merge_dict(self, data: dict) -> None:
         """Fold a :meth:`to_dict` payload (e.g. from another process)
-        into this histogram."""
+        into this histogram.  Payloads written before quantile bins
+        existed merge fine — they just contribute no bin counts."""
         count = int(data.get("count", 0))
         if not count:
             return
@@ -97,6 +160,9 @@ class Histogram:
             self.minimum = float(lo)
         if hi is not None and hi > self.maximum:
             self.maximum = float(hi)
+        for raw_idx, n in data.get("bins", {}).items():
+            idx = int(raw_idx)
+            self.bins[idx] = self.bins.get(idx, 0) + int(n)
 
 
 class _NullSpan:
@@ -374,6 +440,7 @@ def log(level: str, message: str, **fields) -> None:
         {
             "kind": "log",
             "ts": time.time(),
+            "pid": os.getpid(),
             "level": level,
             "msg": message,
             "fields": fields,
@@ -384,8 +451,11 @@ def log(level: str, message: str, **fields) -> None:
 def warn_once(key: str, message: str, **fields) -> bool:
     """Emit a warning log at most once per ``key`` per process.
 
-    Returns True when this call actually emitted (callers can mirror
-    the warning to their own progress stream exactly as often)."""
+    The event carries ``warn_key`` so report rendering can deduplicate
+    the same warning re-emitted by forked workers (each process has its
+    own ``_warned`` set).  Returns True when this call actually emitted
+    (callers can mirror the warning to their own progress stream
+    exactly as often)."""
     if not STATE.enabled:
         # Still deduplicate, so callers mirroring the warning to their
         # own output don't repeat it when obs is off.
@@ -398,8 +468,35 @@ def warn_once(key: str, message: str, **fields) -> bool:
         if key in STATE._warned:
             return False
         STATE._warned.add(key)
-    log("warning", message, **fields)
+    log("warning", message, **{"warn_key": key, **fields})
     return True
+
+
+def publish_metrics(name: str, values: dict, **fields) -> None:
+    """Emit one ``"metrics"`` event carrying the numeric entries of
+    ``values`` (non-numeric entries are dropped; the dict is read, never
+    mutated).  This is how campaign workers stream per-job diagnostics
+    — bit accuracy, mutual information, durations — into the sink for
+    ``repro obs watch`` and the per-run ``diag.json`` timeseries."""
+    if not STATE.enabled:
+        return
+    numeric = {
+        key: (int(value) if isinstance(value, bool) else value)
+        for key, value in values.items()
+        if isinstance(value, (int, float))
+    }
+    if not numeric:
+        return
+    STATE.emit(
+        {
+            "kind": "metrics",
+            "ts": time.time(),
+            "pid": os.getpid(),
+            "name": name,
+            "fields": fields,
+            "values": numeric,
+        }
+    )
 
 
 def flush() -> None:

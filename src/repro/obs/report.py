@@ -38,9 +38,40 @@ def load_events(path: str) -> list[dict]:
     return events
 
 
+def merge_warnings(events: list[dict]) -> list[dict]:
+    """Deduplicate warning logs by ``warn_key``.
+
+    ``warn_once`` dedupes per process, so a campaign's forked workers
+    each emit the same warning once; here they collapse to one row with
+    a count and the set of pids that raised it.  Warnings without a
+    ``warn_key`` dedupe by message text."""
+    merged: dict[str, dict] = {}
+    for event in events:
+        if event.get("kind") != "log" or event.get("level") != "warning":
+            continue
+        fields = event.get("fields") or {}
+        key = str(fields.get("warn_key", event.get("msg", "?")))
+        row = merged.setdefault(
+            key,
+            {
+                "key": key,
+                "msg": event.get("msg", ""),
+                "count": 0,
+                "pids": [],
+            },
+        )
+        row["count"] += 1
+        pid = event.get("pid")
+        if pid is not None and pid not in row["pids"]:
+            row["pids"].append(pid)
+    for row in merged.values():
+        row["pids"].sort()
+    return sorted(merged.values(), key=lambda r: (-r["count"], r["key"]))
+
+
 def merge_events(events: list[dict]) -> dict:
     """Aggregate a sink's events into one JSON-ready summary:
-    ``{"counters", "histograms", "spans", "logs"}``."""
+    ``{"counters", "histograms", "spans", "metrics", "warnings", ...}``."""
     # Last cumulative snapshot per pid, then summed across pids.
     last_per_pid: dict = {}
     for event in events:
@@ -55,6 +86,7 @@ def merge_events(events: list[dict]) -> dict:
             histograms.setdefault(name, Histogram()).merge_dict(payload)
 
     spans: dict[str, dict] = {}
+    metrics: dict[str, dict] = {}
     n_logs = 0
     for event in events:
         kind = event.get("kind")
@@ -72,12 +104,35 @@ def merge_events(events: list[dict]) -> dict:
                 agg["errors"] += 1
         elif kind == "log":
             n_logs += 1
+        elif kind == "metrics":
+            prefix = event.get("name", "?")
+            for key, value in (event.get("values") or {}).items():
+                agg = metrics.setdefault(
+                    f"{prefix}.{key}",
+                    {
+                        "count": 0,
+                        "total": 0.0,
+                        "min": float("inf"),
+                        "max": float("-inf"),
+                        "last": None,
+                    },
+                )
+                value = float(value)
+                agg["count"] += 1
+                agg["total"] += value
+                agg["min"] = min(agg["min"], value)
+                agg["max"] = max(agg["max"], value)
+                agg["last"] = value
+    for agg in metrics.values():
+        agg["mean"] = agg["total"] / agg["count"] if agg["count"] else 0.0
     return {
         "counters": dict(sorted(counters.items())),
         "histograms": {
             name: h.to_dict() for name, h in sorted(histograms.items())
         },
         "spans": dict(sorted(spans.items())),
+        "metrics": dict(sorted(metrics.items())),
+        "warnings": merge_warnings(events),
         "n_logs": n_logs,
         "n_events": len(events),
     }
@@ -152,12 +207,33 @@ def render_report(events: list[dict]) -> str:
         lines += [
             "",
             "## histograms",
-            f"{'name':<34} {'count':>8} {'mean':>12} {'min':>12} {'max':>12}",
+            f"{'name':<34} {'count':>8} {'mean':>12} {'min':>12} "
+            f"{'max':>12} {'p50':>12} {'p95':>12} {'p99':>12}",
         ]
+
+        def _q(h: dict, key: str) -> str:
+            value = h.get(key)
+            return f"{value:>12.6f}" if value is not None else f"{'-':>12}"
+
         for name, h in merged["histograms"].items():
             lines.append(
                 f"{name:<34} {h['count']:>8} {h['mean']:>12.6f} "
-                f"{h['min']:>12.6f} {h['max']:>12.6f}"
+                f"{h['min']:>12.6f} {h['max']:>12.6f} "
+                f"{_q(h, 'p50')} {_q(h, 'p95')} {_q(h, 'p99')}"
+            )
+
+    if merged["metrics"]:
+        lines += [
+            "",
+            "## job metrics",
+            f"{'name':<44} {'count':>7} {'mean':>12} {'min':>12} "
+            f"{'max':>12} {'last':>12}",
+        ]
+        for name, agg in merged["metrics"].items():
+            lines.append(
+                f"{name:<44} {agg['count']:>7} {agg['mean']:>12.6f} "
+                f"{agg['min']:>12.6f} {agg['max']:>12.6f} "
+                f"{agg['last']:>12.6f}"
             )
 
     if merged["spans"]:
@@ -175,6 +251,15 @@ def render_report(events: list[dict]) -> str:
                 f"{agg['errors']:>7}"
             )
         lines += ["", "## span tree", render_span_tree(events)]
+
+    if merged["warnings"]:
+        lines += ["", "## warnings"]
+        for row in merged["warnings"]:
+            pids = len(row["pids"])
+            lines.append(
+                f"[x{row['count']}, {pids} pid{'s' if pids != 1 else ''}] "
+                f"{row['msg']}"
+            )
 
     if len(lines) == 1:
         lines.append("(sink holds no counters, histograms, or spans)")
@@ -208,6 +293,13 @@ def format_event(event: dict) -> str:
             f"{len(event.get('counters', {}))} counters, "
             f"{len(event.get('histograms', {}))} histograms"
         )
+    if kind == "metrics":
+        values = event.get("values") or {}
+        rendered = " ".join(
+            f"{k}={v:.6g}" if isinstance(v, float) else f"{k}={v}"
+            for k, v in sorted(values.items())
+        )
+        return f"{ts:.3f} metrics  {event.get('name', '?')} {rendered}"
     return f"{ts:.3f} {kind or '?'}"
 
 

@@ -1,0 +1,188 @@
+"""Leakage metering: per-gadget MI, per-bit maps, live == stored.
+
+The tentpole acceptance criterion pinned here: for every gadget,
+metering a live run and metering the stored trace of the *same* run
+produce bit-identical :meth:`GadgetLeakage.to_dict` payloads — the two
+paths share one scoring core, and these tests keep it that way.
+"""
+
+import math
+
+import pytest
+
+from repro.diag.leakage import (
+    GADGET_TARGETS,
+    leakage_from_lines,
+    measure_gadget_from_store,
+    measure_gadget_live,
+    plugin_mutual_information,
+    render_heatmap,
+    render_leakage,
+    render_survey_leakage,
+    survey_leakage,
+    survey_leakage_from_store,
+)
+from repro.traces.capture import capture_survey_traces
+from repro.traces.store import TraceStore
+
+SIZE = 60
+SEED = 7
+
+
+@pytest.fixture(scope="module")
+def survey_store(tmp_path_factory):
+    """One captured survey sweep shared by the whole module."""
+    root = tmp_path_factory.mktemp("diag") / "survey.trstore"
+    store = TraceStore(root)
+    capture_survey_traces(store, size=SIZE, seed=SEED)
+    return store
+
+
+class TestPluginMI:
+    def test_identity_equals_entropy(self):
+        xs = [0, 0, 1, 1, 2, 2, 2, 3]
+        h = plugin_mutual_information(xs, xs)
+        # H = -(sum p log p) over {2/8, 2/8, 3/8, 1/8}
+        expected = -sum(
+            p * math.log2(p) for p in (0.25, 0.25, 0.375, 0.125)
+        )
+        assert h == pytest.approx(expected)
+
+    def test_independent_symbols_give_zero(self):
+        xs = [0, 0, 1, 1]
+        ys = [0, 1, 0, 1]
+        assert plugin_mutual_information(xs, ys) == pytest.approx(0.0)
+
+    def test_constant_either_side_gives_zero(self):
+        assert plugin_mutual_information([5, 5, 5], [1, 2, 3]) == 0.0
+        assert plugin_mutual_information([1, 2, 3], [5, 5, 5]) == 0.0
+
+    def test_empty_and_mismatched_inputs(self):
+        assert plugin_mutual_information([], []) == 0.0
+        assert plugin_mutual_information([1, 2], [1]) == 0.0
+
+    def test_never_negative(self):
+        xs = [0, 1, 0, 1, 1, 0]
+        ys = [1, 1, 0, 0, 1, 0]
+        assert plugin_mutual_information(xs, ys) >= 0.0
+
+
+class TestLiveStoredAgreement:
+    """The bit-exact contract between the two metering paths."""
+
+    @pytest.mark.parametrize("target", GADGET_TARGETS)
+    def test_live_and_stored_payloads_identical(self, target, survey_store):
+        input_seed = SEED + 1 if target == "bzip2" else SEED
+        live = measure_gadget_live(target, SIZE, input_seed)
+        stored = measure_gadget_from_store(
+            survey_store, f"survey-{target}-n{SIZE}-s{SEED}"
+        )
+        assert live.to_dict() == stored.to_dict()
+
+    def test_survey_helpers_agree_across_all_gadgets(self, survey_store):
+        live = survey_leakage(SIZE, SEED)
+        stored = survey_leakage_from_store(survey_store, SIZE, SEED)
+        assert set(live) == set(GADGET_TARGETS)
+        for target in GADGET_TARGETS:
+            assert live[target].to_dict() == stored[target].to_dict()
+
+    def test_non_memory_trace_is_rejected(self, tmp_path):
+        from repro.traces.capture import capture_fingerprint_traces
+
+        store = TraceStore(tmp_path / "fp.trstore")
+        entry = capture_fingerprint_traces(
+            store, "fp", corpus="lipsum", traces_per_file=1, seed=1
+        )
+        with pytest.raises(ValueError, match="memory"):
+            measure_gadget_from_store(store, entry.trace_id)
+
+
+class TestLeakageNumbers:
+    @pytest.fixture(scope="class")
+    def diags(self):
+        return survey_leakage(SIZE, SEED)
+
+    @pytest.mark.parametrize("target", GADGET_TARGETS)
+    def test_accuracies_bounded_and_consistent(self, target, diags):
+        d = diags[target]
+        assert 0.0 <= d.byte_accuracy <= d.recovered_fraction <= 1.0
+        assert 0.0 <= d.bit_accuracy <= 1.0
+        assert len(d.per_bit_accuracy) == 8
+        assert d.bit_accuracy == pytest.approx(
+            sum(d.per_bit_accuracy) / 8.0
+        )
+        # bit_matrix shape and agreement with the per-bit summary
+        assert len(d.bit_matrix) == 8
+        assert all(len(row) == SIZE for row in d.bit_matrix)
+        for b in range(8):
+            assert d.per_bit_accuracy[b] == pytest.approx(
+                sum(d.bit_matrix[b]) / SIZE
+            )
+
+    @pytest.mark.parametrize("target", GADGET_TARGETS)
+    def test_mi_is_bounded_by_input_entropy(self, target, diags):
+        d = diags[target]
+        assert 0.0 <= d.mi_bits_per_byte <= d.input_entropy_bits + 1e-9
+        assert d.bits_per_observation == pytest.approx(
+            d.mi_bits_per_byte * SIZE / d.n_observations
+        )
+
+    def test_gadgets_leak_most_of_the_input(self, diags):
+        # The noiseless simulated channel recovers (nearly) everything:
+        # zlib misses only the first position, lzw's first-byte low
+        # bits are ambiguous, bzip2 is exact.
+        assert diags["zlib"].byte_accuracy >= 0.95
+        assert diags["lzw"].bit_accuracy >= 0.95
+        assert diags["bzip2"].byte_accuracy == 1.0
+        assert diags["lzw"].extras["exact_found"] is True
+        assert diags["bzip2"].extras["ambiguous_positions"] == 0
+
+    def test_metric_dict_flattens_with_prefix(self, diags):
+        m = diags["lzw"].metric_dict(prefix="lzw.")
+        assert m["lzw.bit_accuracy"] == diags["lzw"].bit_accuracy
+        assert m["lzw.bit_accuracy_min"] == min(
+            diags["lzw"].per_bit_accuracy
+        )
+        assert m["lzw.exact_found"] == 1  # bool flattened to int
+        assert all(isinstance(v, (int, float)) for v in m.values())
+
+    def test_unknown_target_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            measure_gadget_live("gzip", 10, 0)
+        with pytest.raises(ValueError, match="unknown gadget"):
+            leakage_from_lines("gzip", [], {}, 10, "random", 0)
+
+
+class TestRendering:
+    @pytest.fixture(scope="class")
+    def diag(self):
+        return measure_gadget_live("zlib", SIZE, SEED)
+
+    def test_heatmap_has_eight_bit_rows(self, diag):
+        text = render_heatmap(diag)
+        for b in range(8):
+            assert f"bit {b} |" in text
+        assert f"position 0 .. {SIZE - 1}" in text
+
+    def test_heatmap_narrow_input_uses_one_column_per_byte(self, diag):
+        text = render_heatmap(diag, columns=SIZE * 3)
+        # columns clamp to n, so each row body is exactly n cells
+        row = next(l for l in text.splitlines() if l.startswith("bit 7"))
+        body = row.split("|")[1]
+        assert len(body) == SIZE
+
+    def test_empty_input_renders_placeholder(self):
+        diag = leakage_from_lines("zlib", [], {"head": 0}, 0, "random", 0)
+        assert render_heatmap(diag) == "(empty input)"
+
+    def test_leakage_block_mentions_the_key_numbers(self, diag):
+        text = render_leakage(diag)
+        assert "## zlib" in text
+        assert "mutual information" in text
+        assert "bits/observation" in text
+
+    def test_survey_report_orders_all_gadgets(self):
+        diags = survey_leakage(40, 3)
+        text = render_survey_leakage(diags)
+        positions = [text.index(f"## {t}") for t in GADGET_TARGETS]
+        assert positions == sorted(positions)

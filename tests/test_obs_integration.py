@@ -137,6 +137,26 @@ class TestNonPerturbation:
         off, on = self._digests(lambda: run_gadget_scan("lzw", data))
         assert off == on
 
+    def test_diag_metrics_identical(self):
+        """The diag probes publish through obs but never read from it:
+        the drift-gate metrics must not move when a sink is recording."""
+        from repro.diag import collect_diag_metrics
+
+        off, on = self._digests(
+            lambda: collect_diag_metrics(
+                size=40, samples=200, n_targets=2, step_n=16
+            )
+        )
+        assert off == on
+
+    def test_leakage_metering_identical(self):
+        from repro.diag import measure_gadget_live
+
+        off, on = self._digests(
+            lambda: measure_gadget_live("lzw", 40, 7).metric_dict()
+        )
+        assert off == on
+
     def test_campaign_records_identical(self, tmp_path):
         _, store_off = _run_campaign(tmp_path, name="digest-off")
         obs.enable(sink_path=str(tmp_path / "obs.jsonl"))
