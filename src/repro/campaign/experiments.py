@@ -460,3 +460,260 @@ def channel_health_experiment(params: dict, seed: int) -> dict:
         "single_step_fidelity": health["single_step"]["step_fidelity"],
         "single_step_page_accuracy": health["single_step"]["page_accuracy"],
     }
+
+
+# -- compression-oracle scenarios (BREACH / memory compression) --------
+
+
+def _oracle_setup(params: dict, seed: int):
+    """Build the (victim, oracle) pair a scenario cell describes.
+
+    Shared by the oracle experiments so a sweep cell and a standalone
+    run with the same coordinates hit the identical configuration.
+    """
+    from repro.oracle import make_oracle, make_victim
+
+    victim_name = params.get("victim", "http")
+    observable = params.get("observable", "size")
+    mitigation = params.get("mitigation", "none")
+    victim_kwargs = {
+        "seed": seed,
+        "secret_len": int(params.get("secret_len", 8)),
+        "charset": params.get("charset", "alnum_lower"),
+    }
+    if victim_name == "http" and "filler_bytes" in params:
+        victim_kwargs["filler_bytes"] = int(params["filler_bytes"])
+    victim = make_victim(victim_name, mitigation=mitigation, **victim_kwargs)
+    oracle = make_oracle(
+        victim,
+        observable,
+        mitigation,
+        seed=seed,
+        **dict(params.get("mitigation_params", {})),
+    )
+    return victim, oracle
+
+
+@register_experiment("breach_recovery")
+def breach_recovery(params: dict, seed: int) -> dict:
+    """Iterative BREACH secret recovery through a sealed oracle.
+
+    Params: ``victim`` (``http``/``memcomp``), ``observable``
+    (``size``/``time``), ``mitigation`` (``none``/``padding``/
+    ``quantize``/``jitter``/``debreach``), ``secret_len``, ``charset``,
+    ``reps``, ``max_queries``, ``mitigation_params`` (dict forwarded to
+    the mitigation), optional ``store`` to persist the probe trace.
+    The recovered bytes are scored against the victim's ground truth
+    but never returned — only the ``correct`` verdict and per-position
+    confirmed fraction leave the worker.
+
+    Viable cells: ``http`` leaks through both observables;
+    ``memcomp`` leaks byte-wise only through ``size`` — on its *time*
+    observable the per-byte copy-out saving is cancelled by the longer
+    match search, so byte-granular recovery is below SNR and the
+    ``memcomp_timing`` candidate distinguisher is the timing attack
+    (exactly the split in the literature).
+    """
+    from repro.oracle import BreachAttack
+
+    victim, oracle = _oracle_setup(params, seed)
+    secret_len = len(victim.secret)
+    # The memcomp page carries a multi-entry probe systematic that flips
+    # the divide-and-conquer sign (singleton probes are clean), so it
+    # defaults to the O(n) scan strategy like the timing oracle does.
+    strategy = params.get(
+        "strategy", "scan" if victim.name == "memcomp" else None
+    )
+    attack = BreachAttack(
+        oracle,
+        victim.known_prefix,
+        reps=int(params.get("reps", 2)),
+        seed=seed ^ 0xB4EA,
+        max_queries=int(params.get("max_queries", 50_000)),
+        strategy=strategy,
+    )
+    result = attack.run(secret_len, truth=victim.secret)
+    if "store" in params:
+        from repro.traces import TraceStore, capture_oracle_trace
+
+        trace_id = params.get(
+            "trace_id",
+            f"breach-{victim.name}-{oracle.observable}-"
+            f"{oracle.mitigation_name}-s{seed}",
+        )
+        capture_oracle_trace(
+            TraceStore(params["store"]),
+            trace_id,
+            result.probes,
+            victim=victim.name,
+            observable=oracle.observable,
+            mitigation=oracle.mitigation_name,
+            seed=seed,
+            overwrite=bool(params.get("overwrite", False)),
+            extra_meta={"experiment": "breach_recovery"},
+        )
+    confirmed = sum(
+        1 for a, b in zip(result.recovered, victim.secret) if a == b
+    )
+    return {
+        "correct": bool(result.correct),
+        "success": bool(result.success),
+        "secret_len": secret_len,
+        "recovered_len": len(result.recovered),
+        "matching_fraction": confirmed / max(1, secret_len),
+        "queries": result.queries,
+        "queries_per_char": result.queries / max(1, secret_len),
+        "probes": len(result.probes),
+    }
+
+
+@register_experiment("memcomp_timing")
+def memcomp_timing(params: dict, seed: int) -> dict:
+    """The memory-compression candidate distinguisher (KASLR/dedup shape).
+
+    The secret is planted among ``n_candidates - 1`` decoy tokens at a
+    seed-derived position; the attacker stores each candidate through
+    the sealed oracle and picks the argmin.  Params: ``n_candidates``,
+    ``secret_len``, ``charset``, ``reps``, ``observable`` (default
+    ``time`` — the Schwarzl observable), ``mitigation``,
+    ``mitigation_params``, optional ``store``.
+    """
+    import random as _random
+
+    from repro.oracle import MemCompTimingDistinguisher
+    from repro.workloads.generators import token_secret
+
+    params = dict(params)
+    params.setdefault("victim", "memcomp")
+    params.setdefault("observable", "time")
+    victim, oracle = _oracle_setup(params, seed)
+
+    n_candidates = int(params.get("n_candidates", 12))
+    charset = params.get("charset", "alnum_lower")
+    secret_len = len(victim.secret)
+    decoys = []
+    i = 1
+    while len(decoys) < n_candidates - 1:
+        decoy = token_secret(secret_len, seed=seed * 1_009 + i, charset=charset)
+        if decoy != victim.secret:
+            decoys.append(decoy)
+        i += 1
+    true_index = _random.Random(seed ^ 0xDEC0).randrange(n_candidates)
+    candidates = decoys[:true_index] + [victim.secret] + decoys[true_index:]
+
+    distinguisher = MemCompTimingDistinguisher(
+        oracle, reps=int(params.get("reps", 5))
+    )
+    result = distinguisher.run(candidates)
+    if "store" in params:
+        from repro.traces import TraceStore, capture_oracle_trace
+
+        capture_oracle_trace(
+            TraceStore(params["store"]),
+            params.get(
+                "trace_id",
+                f"memcomp-{oracle.observable}-"
+                f"{oracle.mitigation_name}-s{seed}",
+            ),
+            result.probes,
+            victim=victim.name,
+            observable=oracle.observable,
+            mitigation=oracle.mitigation_name,
+            seed=seed,
+            overwrite=bool(params.get("overwrite", False)),
+            extra_meta={"experiment": "memcomp_timing"},
+        )
+    return {
+        "correct": bool(result.chosen_index == true_index),
+        "n_candidates": n_candidates,
+        "margin": result.margin,
+        "queries": result.queries,
+    }
+
+
+@register_experiment("oracle_mitigation_sweep")
+def oracle_mitigation_sweep(params: dict, seed: int) -> dict:
+    """Recovery-rate-versus-overhead across mitigations and observables.
+
+    For every (observable, mitigation) cell: one BREACH recovery run,
+    the per-character oracle MI (same plug-in estimator as the drift
+    gate), and the observation overhead relative to the unmitigated
+    cell on fixed neutral queries.  Overhead is measured through the
+    oracle rather than the mitigation transform because the Debreach
+    guard lives victim-side (it changes the compressor, not the
+    observable).
+
+    Params: ``observables`` (default ``["size", "time"]``),
+    ``mitigations`` (default ``["none", "padding", "quantize",
+    "jitter", "debreach"]``), ``secret_len`` (default 6),
+    ``max_queries`` per cell (default 4000), ``mi_samples`` (default
+    24; 0 skips MI), ``reps``, plus the ``breach_recovery`` victim
+    knobs.
+
+    The matrix is deliberately diagonal: observable-shaping defenses
+    close only the observable they shape (padding/quantize leave the
+    *time* channel wide open — the TIME/HEIST lesson — and jitter
+    leaves *size* open); only the compressor-level Debreach guard
+    closes both.
+    """
+    from repro.diag.oracle import measure_oracle_channel
+    from repro.oracle import make_oracle, make_victim
+
+    observables = list(params.get("observables", ["size", "time"]))
+    mitigations = list(
+        params.get(
+            "mitigations",
+            ["none", "padding", "quantize", "jitter", "debreach"],
+        )
+    )
+    secret_len = int(params.get("secret_len", 6))
+    mi_samples = int(params.get("mi_samples", 24))
+    neutral = [b"probe-%d" % i for i in range(8)]
+
+    metrics: dict[str, float] = {}
+    for observable in observables:
+        # Unmitigated reference cost for this observable: same victim
+        # seed, fresh oracle, fixed neutral queries.
+        ref_victim = make_victim(
+            "http", seed=seed, secret_len=secret_len
+        )
+        ref_oracle = make_oracle(ref_victim, observable, "none", seed=seed)
+        ref_cost = sum(ref_oracle.observe(q) for q in neutral) / len(neutral)
+        for mitigation in mitigations:
+            cell = breach_recovery(
+                {
+                    **{
+                        k: v
+                        for k, v in params.items()
+                        if k in ("charset", "reps", "mitigation_params",
+                                 "filler_bytes")
+                    },
+                    "victim": "http",
+                    "observable": observable,
+                    "mitigation": mitigation,
+                    "secret_len": secret_len,
+                    "max_queries": int(params.get("max_queries", 4_000)),
+                },
+                seed,
+            )
+            victim = make_victim(
+                "http", mitigation=mitigation, seed=seed,
+                secret_len=secret_len,
+            )
+            oracle = make_oracle(victim, observable, mitigation, seed=seed)
+            cost = sum(oracle.observe(q) for q in neutral) / len(neutral)
+            key = f"{observable}.{mitigation}"
+            metrics[f"{key}.correct"] = float(cell["correct"])
+            metrics[f"{key}.matching_fraction"] = cell["matching_fraction"]
+            metrics[f"{key}.queries"] = float(cell["queries"])
+            metrics[f"{key}.overhead_pct"] = 100.0 * (cost / ref_cost - 1.0)
+            if mi_samples > 0:
+                diag = measure_oracle_channel(
+                    observable=observable,
+                    mitigation=mitigation,
+                    n_samples=mi_samples,
+                    seed=seed,
+                )
+                metrics[f"{key}.mi_bits"] = diag.mi_bits
+                metrics[f"{key}.mi_capacity_bits"] = diag.capacity_bits
+    return metrics

@@ -8,6 +8,9 @@ experiment campaign — all from a shell.
     python -m repro sgx-attack --size 2000
     python -m repro fingerprint --corpus lipsum --traces 40
     python -m repro survey --size 800
+    python -m repro oracle demo --victim http
+    python -m repro oracle attack --victim http --observable size
+    python -m repro oracle sweep --observables size --mitigations none padding
     python -m repro trace capture --store corpus.trstore --size 600
     python -m repro trace verify --store corpus.trstore
     python -m repro campaign run examples/specs/lzw_noise_sweep.json \
@@ -225,7 +228,10 @@ def cmd_trace_list(args: argparse.Namespace) -> int:
     entries = store.list(species=args.species)
     for entry in entries:
         meta = entry.meta
-        label = meta.get("target") or meta.get("corpus") or "-"
+        label = (
+            meta.get("target") or meta.get("corpus")
+            or meta.get("victim") or "-"
+        )
         print(
             f"{entry.trace_id:<40} {entry.species:<12} {label:<10} "
             f"{entry.n_records:>9} rec {entry.size_bytes:>10} B"
@@ -260,7 +266,7 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
     """Export one trace to JSON for external tooling."""
     import json
 
-    from repro.traces import FingerprintCapture, TraceStore
+    from repro.traces import FingerprintCapture, OracleProbe, TraceStore
 
     store = TraceStore(args.store)
     try:
@@ -276,6 +282,16 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
                     "label": record.label,
                     "capture_seed": record.capture_seed,
                     "trace": record.trace.tolist(),
+                }
+            )
+        elif isinstance(record, OracleProbe):
+            records.append(
+                {
+                    "step": record.step,
+                    "label": record.label,
+                    "probe_len": record.probe_len,
+                    "observation": record.observation,
+                    "queries": record.queries,
                 }
             )
         else:
@@ -593,6 +609,7 @@ def cmd_diag_collect(args: argparse.Namespace) -> int:
         "samples": args.samples,
         "n_targets": args.targets,
         "step_n": args.step_n,
+        "oracle_samples": args.oracle_samples,
     }
     metrics = collect_diag_metrics(
         noise_sigma=args.noise_sigma,
@@ -643,11 +660,141 @@ def cmd_diag_compare(args: argparse.Namespace) -> int:
             samples=int(params.get("samples", 1500)),
             n_targets=int(params.get("n_targets", 4)),
             step_n=int(params.get("step_n", 32)),
+            oracle_samples=int(params.get("oracle_samples", 48)),
             noise_sigma=args.noise_sigma,
         )
     result = compare_diag(current, baseline, tolerance=args.tolerance)
     print(result.summary())
     return 0 if result.ok else 1
+
+
+def _oracle_params(args: argparse.Namespace) -> dict:
+    """Shared experiment params from parsed oracle-command arguments."""
+    import json as _json
+
+    params = {
+        "victim": args.victim,
+        "observable": args.observable,
+        "mitigation": args.mitigation,
+        "secret_len": args.secret_len,
+        "charset": args.charset,
+        "reps": args.reps,
+        "max_queries": args.max_queries,
+    }
+    if args.mitigation_params:
+        params["mitigation_params"] = _json.loads(args.mitigation_params)
+    if getattr(args, "store", None):
+        params["store"] = args.store
+        params["overwrite"] = True
+    if getattr(args, "strategy", None):
+        params["strategy"] = args.strategy
+    return params
+
+
+def cmd_oracle_demo(args: argparse.Namespace) -> int:
+    """Show the raw compression-oracle signal: one victim, one true and
+    one false guess, and what each observable leaks."""
+    from repro.oracle import make_oracle, make_victim
+    from repro.recovery import probe_pair
+
+    victim = make_victim(
+        args.victim,
+        mitigation=args.mitigation,
+        seed=args.seed,
+        secret_len=args.secret_len,
+        charset=args.charset,
+    )
+    print(
+        f"victim: {victim.name} (secret: {len(victim.secret)} chars of "
+        f"{args.charset}, mitigation {args.mitigation})"
+    )
+    if victim.name == "http":
+        plain = len(victim.payload(b""))
+        packed = victim.size(b"")
+        print(f"response: {plain} B plain, {packed} B through gzip "
+              f"(the secret shares the compression context with the "
+              f"reflected query)")
+    true_c = victim.secret[0]
+    false_c = ord("q") if true_c != ord("q") else ord("x")
+    for label, c in (("true ", true_c), ("false", false_c)):
+        oracle = make_oracle(
+            victim, args.observable, args.mitigation, seed=args.seed
+        )
+        match, broken = probe_pair(victim.known_prefix, b"", [c])
+        delta = oracle.observe(match) - oracle.observe(broken)
+        print(
+            f"{label} guess {chr(c)!r}: two-guess {args.observable} "
+            f"delta {delta:+.1f}"
+        )
+    print(
+        "a negative delta means the guess extended an LZ77 match into "
+        "the secret — iterate with `repro oracle attack`"
+    )
+    return 0
+
+
+def cmd_oracle_attack(args: argparse.Namespace) -> int:
+    """Run the end-to-end BREACH recovery (or print why it failed)."""
+    from repro.campaign.experiments import get_experiment
+
+    result = get_experiment("breach_recovery")(_oracle_params(args), args.seed)
+    print(
+        f"breach recovery: victim={args.victim} observable={args.observable} "
+        f"mitigation={args.mitigation}"
+    )
+    print(
+        f"recovered {result['recovered_len']}/{result['secret_len']} chars, "
+        f"{result['matching_fraction'] * 100:.0f}% matching ground truth"
+    )
+    print(
+        f"queries: {result['queries']} "
+        f"({result['queries_per_char']:.1f}/char over {result['probes']} probes)"
+    )
+    verdict = "SECRET RECOVERED" if result["correct"] else "recovery failed"
+    print(f"verdict: {verdict}")
+    return 0
+
+
+def cmd_oracle_sweep(args: argparse.Namespace) -> int:
+    """Recovery-rate-vs-overhead matrix across mitigations/observables."""
+    import json as _json
+
+    from repro.campaign.experiments import get_experiment
+
+    params = {
+        "secret_len": args.secret_len,
+        "max_queries": args.max_queries,
+        "mi_samples": args.mi_samples,
+    }
+    if args.observables:
+        params["observables"] = args.observables
+    if args.mitigations:
+        params["mitigations"] = args.mitigations
+    metrics = get_experiment("oracle_mitigation_sweep")(params, args.seed)
+    if args.json:
+        _json.dump(metrics, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    cells = sorted(
+        {key.rsplit(".", 1)[0] for key in metrics if key.endswith(".correct")}
+    )
+    print(
+        f"{'observable':<11} {'mitigation':<11} {'recovered':>9} "
+        f"{'queries':>8} {'overhead%':>10} {'MI bits':>9}"
+    )
+    for cell in cells:
+        observable, mitigation = cell.split(".", 1)
+        mi = metrics.get(f"{cell}.mi_bits")
+        cap = metrics.get(f"{cell}.mi_capacity_bits")
+        mi_text = "-" if mi is None else f"{mi:.2f}/{cap:.0f}"
+        print(
+            f"{observable:<11} {mitigation:<11} "
+            f"{metrics[f'{cell}.matching_fraction']:>9.2f} "
+            f"{metrics[f'{cell}.queries']:>8.0f} "
+            f"{metrics[f'{cell}.overhead_pct']:>10.2f} "
+            f"{mi_text:>9}"
+        )
+    return 0
 
 
 def cmd_perf_run(args: argparse.Namespace) -> int:
@@ -846,7 +993,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     t = tsub.add_parser("list", help="list the traces in a store")
     t.add_argument("--store", required=True)
-    t.add_argument("--species", choices=["memory", "fingerprint"])
+    t.add_argument("--species", choices=["memory", "fingerprint", "oracle"])
     t.set_defaults(func=cmd_trace_list)
 
     t = tsub.add_parser(
@@ -861,6 +1008,66 @@ def build_parser() -> argparse.ArgumentParser:
     t.add_argument("--id", required=True)
     t.add_argument("--out", help="output file (default: stdout)")
     t.set_defaults(func=cmd_trace_export)
+
+    p = sub.add_parser(
+        "oracle",
+        help="compression-ratio/timing oracles: BREACH & memory compression",
+    )
+    orsub = p.add_subparsers(dest="oracle_command", required=True)
+
+    def add_oracle_args(o: argparse.ArgumentParser) -> None:
+        o.add_argument("--victim", choices=["http", "memcomp"],
+                       default="http")
+        o.add_argument("--observable", choices=["size", "time"],
+                       default="size")
+        o.add_argument("--mitigation",
+                       choices=["none", "padding", "quantize", "jitter",
+                                "debreach"],
+                       default="none")
+        o.add_argument("--secret-len", type=int, default=8,
+                       help="victim secret length in characters")
+        o.add_argument("--charset", default="alnum_lower",
+                       help="victim secret charset "
+                            "(hex/alnum_lower/alnum/token68)")
+        o.add_argument("--seed", type=int, default=0)
+        o.add_argument("--reps", type=int, default=2,
+                       help="probe repetitions per score")
+        o.add_argument("--max-queries", type=int, default=50_000,
+                       help="attack give-up budget")
+        o.add_argument("--mitigation-params",
+                       help='mitigation knobs as JSON, e.g. \'{"quantum": 32}\'')
+
+    o = orsub.add_parser(
+        "demo", help="show the raw true-vs-false guess signal"
+    )
+    add_oracle_args(o)
+    o.set_defaults(func=cmd_oracle_demo)
+
+    o = orsub.add_parser(
+        "attack", help="end-to-end BREACH recovery through a sealed oracle"
+    )
+    add_oracle_args(o)
+    o.add_argument("--strategy", choices=["dnc", "scan"],
+                   help="per-character search (default: per scenario)")
+    o.add_argument("--store",
+                   help="persist the per-guess probe trace into this store")
+    o.set_defaults(func=cmd_oracle_attack)
+
+    o = orsub.add_parser(
+        "sweep", help="recovery-rate vs overhead across mitigations"
+    )
+    o.add_argument("--observables", nargs="*",
+                   help="observables to sweep (default: size time)")
+    o.add_argument("--mitigations", nargs="*",
+                   help="mitigations to sweep (default: all)")
+    o.add_argument("--secret-len", type=int, default=6)
+    o.add_argument("--max-queries", type=int, default=4_000)
+    o.add_argument("--mi-samples", type=int, default=24,
+                   help="per-cell oracle-MI samples (0 skips MI)")
+    o.add_argument("--seed", type=int, default=0)
+    o.add_argument("--json", action="store_true",
+                   help="raw metrics JSON instead of the table")
+    o.set_defaults(func=cmd_oracle_sweep)
 
     p = sub.add_parser(
         "campaign",
@@ -991,6 +1198,8 @@ def build_parser() -> argparse.ArgumentParser:
     d.add_argument("--samples", type=int, default=1500)
     d.add_argument("--targets", type=int, default=4)
     d.add_argument("--step-n", type=int, default=32)
+    d.add_argument("--oracle-samples", type=int, default=48,
+                   help="oracle-MI samples per mitigation (0 skips)")
     d.add_argument("--noise-sigma", type=float,
                    help="override the cache timer noise σ")
     d.add_argument("--confusion", action="store_true")

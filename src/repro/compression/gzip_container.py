@@ -23,9 +23,32 @@ GZIP_MAGIC = b"\x1f\x8b"
 METHOD_DEFLATE = 0x08
 OS_UNIX = 0x03
 
+HEADER_SIZE = 10  # magic + method/flags + mtime + xfl/OS
+TRAILER_SIZE = 8  # CRC-32 + ISIZE
+#: Exact container bytes around the deflate body (no optional fields:
+#: this writer never emits FEXTRA/FNAME/FCOMMENT).  The size-oracle
+#: accounting in :mod:`repro.oracle` adds this to body sizes instead of
+#: re-deriving the framing.
+CONTAINER_OVERHEAD = HEADER_SIZE + TRAILER_SIZE
+
 
 class GzipFormatError(ValueError):
     """Malformed container or failed integrity check."""
+
+
+def gzip_header(mtime: int = 0) -> bytes:
+    """The fixed-size RFC 1952 header this writer emits."""
+    return (
+        GZIP_MAGIC
+        + bytes([METHOD_DEFLATE, 0])  # method, flags
+        + struct.pack("<I", mtime)
+        + bytes([0, OS_UNIX])  # extra flags, OS
+    )
+
+
+def gzip_trailer(data: bytes) -> bytes:
+    """CRC-32 + modulo-2^32 length trailer over the *uncompressed* data."""
+    return struct.pack("<II", crc32(data), len(data) & 0xFFFFFFFF)
 
 
 def gzip_compress(
@@ -34,15 +57,26 @@ def gzip_compress(
     mtime: int = 0,
 ) -> bytes:
     """Wrap :func:`deflate_compress` output in a gzip container."""
-    header = (
-        GZIP_MAGIC
-        + bytes([METHOD_DEFLATE, 0])  # method, flags
-        + struct.pack("<I", mtime)
-        + bytes([0, OS_UNIX])  # extra flags, OS
-    )
-    body = deflate_compress(data, ctx)
-    trailer = struct.pack("<II", crc32(data), len(data) & 0xFFFFFFFF)
-    return header + body + trailer
+    return gzip_header(mtime) + deflate_compress(data, ctx) + gzip_trailer(data)
+
+
+def compressed_size(
+    data: bytes,
+    ctx: Optional[ExecutionContext] = None,
+    body: Optional[bytes] = None,
+) -> int:
+    """Size in bytes of the gzip container for ``data`` — what a BREACH
+    attacker reads off the Content-Length header.
+
+    Exactly ``len(gzip_compress(data))``, with the container overhead
+    accounted once here (:data:`CONTAINER_OVERHEAD`) so oracle size
+    bookkeeping is never duplicated.  Pass ``body`` when the deflate
+    body is already in hand (e.g. a guarded-compression variant) to
+    skip recompressing.
+    """
+    if body is None:
+        body = deflate_compress(data, ctx)
+    return len(body) + CONTAINER_OVERHEAD
 
 
 def gzip_decompress(blob: bytes) -> bytes:

@@ -13,7 +13,11 @@ Three layers, all deterministic given their seeds:
   and fingerprint confusion matrices;
 * **drift gate** (:mod:`repro.diag.drift`) — ``repro diag compare``
   fails when leakage metrics regress beyond tolerance against the
-  committed ``benchmarks/diag_baseline.json``.
+  committed ``benchmarks/diag_baseline.json``;
+* **oracle channel MI** (:mod:`repro.diag.oracle`) — per-character
+  mutual information of the BREACH compression-ratio oracle, scored
+  through the same plug-in MI core as the cache gadgets and gated in
+  both directions (open unmitigated, closed mitigated).
 
 Campaign workers publish these metrics through the obs sink
 (``obs.publish_metrics``); ``repro obs watch`` renders them live and
@@ -54,6 +58,12 @@ from repro.diag.leakage import (
     survey_leakage,
     survey_leakage_from_store,
 )
+from repro.diag.oracle import (
+    ORACLE_MI_CHARSET,
+    OracleChannelDiag,
+    measure_oracle_channel,
+    oracle_channel_metrics,
+)
 
 __all__ = [
     "DIAG_SCHEMA",
@@ -61,6 +71,8 @@ __all__ = [
     "DiagRow",
     "GADGET_TARGETS",
     "GadgetLeakage",
+    "ORACLE_MI_CHARSET",
+    "OracleChannelDiag",
     "baseline_payload",
     "channel_health",
     "collect_diag_metrics",
@@ -71,7 +83,9 @@ __all__ = [
     "load_baseline",
     "measure_gadget_from_store",
     "measure_gadget_live",
+    "measure_oracle_channel",
     "metric_direction",
+    "oracle_channel_metrics",
     "plugin_mutual_information",
     "render_channel_health",
     "render_heatmap",

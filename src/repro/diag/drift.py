@@ -37,6 +37,7 @@ DEFAULT_PARAMS = {
     "samples": 1500,
     "n_targets": 4,
     "step_n": 32,
+    "oracle_samples": 48,
 }
 
 # Direction per metric suffix (the part after "<gadget>." / the probe
@@ -46,6 +47,7 @@ _HIGHER = (
     "bit_accuracy",
     "bit_accuracy_min",
     "mi_bits_per_byte",
+    "mi_bits",
     "bits_per_observation",
     "recovered_fraction",
     "exact_found",
@@ -61,8 +63,19 @@ _HIGHER = (
     "confusion.test_accuracy",
     "confusion.diagonal_accuracy",
 )
+# Mitigated-oracle rows are checked first: under an effective
+# mitigation the channel must stay *closed*, so leakage going up is
+# the regression (e.g. ``oracle.size.padding.mi_bits``).
 _LOWER = (
     "timing.misclassified_rate",
+    "padding.mi_bits",
+    "padding.recovered_fraction",
+    "quantize.mi_bits",
+    "quantize.recovered_fraction",
+    "jitter.mi_bits",
+    "jitter.recovered_fraction",
+    "debreach.mi_bits",
+    "debreach.recovered_fraction",
 )
 
 
@@ -85,6 +98,7 @@ def collect_diag_metrics(
     step_n: int = DEFAULT_PARAMS["step_n"],
     noise_sigma: Optional[float] = None,
     include_confusion: bool = False,
+    oracle_samples: int = DEFAULT_PARAMS["oracle_samples"],
 ) -> dict:
     """Run the full diagnostics suite into one flat metrics dict.
 
@@ -94,6 +108,7 @@ def collect_diag_metrics(
     """
     from repro.diag.channel import channel_health
     from repro.diag.leakage import survey_leakage
+    from repro.diag.oracle import oracle_channel_metrics
 
     metrics: dict[str, float] = {}
     for target, diag in survey_leakage(size, seed).items():
@@ -124,6 +139,10 @@ def collect_diag_metrics(
         conf = health["confusion"]
         metrics["confusion.test_accuracy"] = conf["test_accuracy"]
         metrics["confusion.diagonal_accuracy"] = conf["diagonal_accuracy"]
+    if oracle_samples > 0:
+        metrics.update(
+            oracle_channel_metrics(seed=seed, n_samples=oracle_samples)
+        )
     return metrics
 
 

@@ -1,9 +1,9 @@
-"""Mitigations against compression cache side-channels (Section VIII).
+"""Mitigations against compression side-channels (Section VIII + BREACH).
 
-The paper's discussion names constant-time compression as the would-be
-defence (while noting that disabling compression is the only deployed
-complete fix).  This package implements the two oblivious-access
-building blocks that make the studied gadgets constant-*access*:
+Two families:
+
+**Oblivious access** (the paper's constant-time discussion) — make the
+cache-*address* trace input-independent:
 
 * :func:`oblivious_histogram` — a Bzip2 histogram whose loop touches
   every cache line of ``ftab`` on every iteration, so the access trace
@@ -12,9 +12,19 @@ building blocks that make the studied gadgets constant-*access*:
   over all lines (ORAM-free linear scanning, the classic constant-time
   lookup), used to build a hardened LZW probe.
 
-They are deliberately honest about cost: the benchmarks measure the
-(large) slowdown, which is why such mitigations are not deployed — the
-paper's point.
+**Oracle shaping** (the BREACH / memory-compression channel of
+:mod:`repro.oracle`) — make the compressed *size* / *wall-time*
+observable useless:
+
+* :mod:`repro.mitigations.padding` — gzhttp-style random padding, size
+  quantization, and latency jitter applied to the sealed observable;
+* :mod:`repro.mitigations.debreach` — Debreach-style taint-guarded
+  deflate that excludes secret spans from LZ77 match search, so
+  attacker input can never compress against the secret.
+
+All of them are deliberately honest about cost: the campaign sweeps
+measure recovery-rate-vs-overhead curves, which is why such mitigations
+are rarely deployed — the paper's point.
 """
 
 from repro.mitigations.oblivious import (
@@ -22,9 +32,31 @@ from repro.mitigations.oblivious import (
     oblivious_histogram,
     oblivious_lzw_compress,
 )
+from repro.mitigations.padding import (
+    LatencyJitter,
+    ORACLE_MITIGATIONS,
+    OracleMitigation,
+    RandomPadding,
+    SizeQuantization,
+    get_oracle_mitigation,
+)
+from repro.mitigations.debreach import (
+    GuardedDeflater,
+    guarded_deflate_compress,
+    guarded_gzip_compress,
+)
 
 __all__ = [
     "ObliviousTable",
     "oblivious_histogram",
     "oblivious_lzw_compress",
+    "LatencyJitter",
+    "ORACLE_MITIGATIONS",
+    "OracleMitigation",
+    "RandomPadding",
+    "SizeQuantization",
+    "get_oracle_mitigation",
+    "GuardedDeflater",
+    "guarded_deflate_compress",
+    "guarded_gzip_compress",
 ]

@@ -1,0 +1,67 @@
+"""Compression-ratio and timing oracles: the BREACH / memory-compression
+scenario family.
+
+The cache channels elsewhere in this reproduction leak through *where*
+compression touches memory; this package reproduces the older, coarser
+channel the paper situates itself against — compression leaks through
+*how well it compresses*.  An attacker who can (a) inject chosen bytes
+next to a secret and (b) observe one scalar per attempt — compressed
+size or compression time — recovers the secret without any shared cache
+at all.
+
+Layered exactly like the real attacks:
+
+* :mod:`repro.oracle.victims` — open victim models: a gzip web endpoint
+  reflecting attacker input next to a CSRF token (BREACH) and a
+  ZRAM-style compressed page store (Schwarzl et al.).
+* :mod:`repro.oracle.observables` — the sealed :class:`Oracle`
+  boundary: ``observe(query) -> float`` and nothing else, with the
+  deterministic timing model and the observable-shaping mitigations of
+  :mod:`repro.mitigations.padding` applied inside the seal.
+* :mod:`repro.oracle.attacks` — :class:`BreachAttack` (two-guess
+  divide-and-conquer character recovery, core logic in
+  :mod:`repro.recovery.oracle_recover`) and
+  :class:`MemCompTimingDistinguisher` (argmin-latency candidate
+  distinguishing).
+
+CLI: ``python -m repro oracle demo|attack|sweep``.  Campaigns:
+``breach_recovery``, ``memcomp_timing``, ``oracle_mitigation_sweep``.
+Diagnostics: :mod:`repro.diag.oracle` scores per-character mutual
+information through the same plug-in MI core as the cache channels.
+"""
+
+from repro.oracle.attacks import (
+    BreachAttack,
+    BreachResult,
+    DistinguisherResult,
+    MemCompTimingDistinguisher,
+)
+from repro.oracle.observables import (
+    OBSERVABLES,
+    Oracle,
+    SizeOracle,
+    TimingOracle,
+    make_oracle,
+)
+from repro.oracle.victims import (
+    VICTIMS,
+    HttpResponseVictim,
+    MemCompressionVictim,
+    make_victim,
+)
+
+__all__ = [
+    "BreachAttack",
+    "BreachResult",
+    "DistinguisherResult",
+    "HttpResponseVictim",
+    "MemCompTimingDistinguisher",
+    "MemCompressionVictim",
+    "OBSERVABLES",
+    "Oracle",
+    "SizeOracle",
+    "TimingOracle",
+    "VICTIMS",
+    "make_oracle",
+    "make_victim",
+]

@@ -1,0 +1,212 @@
+"""Attacker harnesses over sealed oracles.
+
+Two attacks, one per scenario family:
+
+* :class:`BreachAttack` — iterative BREACH secret recovery through a
+  size (or timing) oracle: two-guess divide-and-conquer per character
+  with charset escalation, driven by the pure core in
+  :mod:`repro.recovery.oracle_recover`.
+* :class:`MemCompTimingDistinguisher` — the KASLR/dedup-flavoured
+  memory-compression attack: distinguish which of N candidate secrets
+  is resident by storing each next to the secret and taking the argmin
+  of the mean store latency (a correct candidate deduplicates against
+  the secret, compresses further, and stores faster).
+
+Both emit one :class:`~repro.traces.format.OracleProbe` record per
+scored probe into ``self.probes``, ready for
+:func:`repro.traces.capture.capture_oracle_trace`, and bracket their
+runs in obs spans so ``--obs`` campaigns show per-attack query counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro import obs
+from repro.oracle.observables import Oracle
+from repro.recovery.oracle_recover import (
+    CONFIRM_THRESHOLD,
+    DEFAULT_CHARSET_LADDER,
+    ProbeOutcome,
+    RecoveryResult,
+    recover_secret,
+)
+from repro.traces.format import OracleProbe
+
+
+@dataclass
+class BreachResult:
+    """Outcome of one BREACH recovery run."""
+
+    recovered: bytes
+    success: bool          # every position passed two-guess confirmation
+    correct: Optional[bool]  # recovered == ground truth (None if unknown)
+    queries: int
+    probes: list[OracleProbe] = field(default_factory=list)
+
+
+class BreachAttack:
+    """Iterative BREACH secret recovery through a sealed oracle.
+
+    Args:
+        oracle: the sealed observable (size or time).
+        prefix: the attacker-known bytes preceding the secret in the
+            victim payload (BREACH's "bootstrapping secret").
+        charsets: escalation ladder of charset names.
+        reps: probe repetitions averaged per score (random re-padding).
+        max_queries: hard query budget — a mitigated oracle burns
+            queries without confirming, so the budget is the attack's
+            give-up condition.
+        confirm_threshold: two-guess delta that confirms a candidate, in
+            observation units.  Defaults per observable: a quarter byte
+            for size, half the per-byte transmit cost (ticks) for time.
+        strategy: per-character search — ``"dnc"`` (two-guess divide and
+            conquer, the size oracle's O(log) mode) or ``"scan"``
+            (per-candidate singleton probes, which the timing oracle
+            needs because multi-candidate probes pick up match-search
+            timing systematics).  Defaults per observable.
+    """
+
+    def __init__(
+        self,
+        oracle: Oracle,
+        prefix: bytes,
+        charsets: Sequence[str] = DEFAULT_CHARSET_LADDER,
+        reps: int = 2,
+        seed: int = 0,
+        max_queries: int = 50_000,
+        confirm_threshold: Optional[float] = None,
+        strategy: Optional[str] = None,
+    ) -> None:
+        if confirm_threshold is None:
+            if oracle.observable == "time":
+                # Half the per-byte cost of this victim's observable —
+                # the timing analogue of the quarter-byte size threshold.
+                confirm_threshold = -oracle.units_per_byte / 2
+            else:
+                confirm_threshold = CONFIRM_THRESHOLD
+        if strategy is None:
+            strategy = "scan" if oracle.observable == "time" else "dnc"
+        self.strategy = strategy
+        self.oracle = oracle
+        self.prefix = bytes(prefix)
+        self.charsets = tuple(charsets)
+        self.reps = reps
+        self.seed = seed
+        self.max_queries = max_queries
+        self.confirm_threshold = confirm_threshold
+        self.probes: list[OracleProbe] = []
+
+    def _on_probe(self, outcome: ProbeOutcome) -> None:
+        self.probes.append(
+            OracleProbe(
+                step=outcome.step,
+                label=outcome.label,
+                probe_len=outcome.probe_len,
+                observation=outcome.delta,
+                queries=outcome.queries,
+            )
+        )
+        obs.counter_add("oracle.probes")
+
+    def run(self, length: int, truth: Optional[bytes] = None) -> BreachResult:
+        """Recover ``length`` characters; score against ``truth`` if given."""
+        self.probes.clear()
+        with obs.span(
+            "oracle.breach",
+            observable=self.oracle.observable,
+            mitigation=self.oracle.mitigation_name,
+            length=length,
+        ):
+            result: RecoveryResult = recover_secret(
+                self.oracle.observe,
+                self.prefix,
+                length,
+                charsets=self.charsets,
+                reps=self.reps,
+                seed=self.seed,
+                max_queries=self.max_queries,
+                on_probe=self._on_probe,
+                confirm_threshold=self.confirm_threshold,
+                strategy=self.strategy,
+            )
+        correct = None
+        if truth is not None:
+            correct = result.recovered == bytes(truth)[:length]
+        obs.counter_add("oracle.breach.chars_confirmed", result.confirmed)
+        return BreachResult(
+            recovered=result.recovered,
+            success=result.success,
+            correct=correct,
+            queries=result.queries,
+            probes=list(self.probes),
+        )
+
+
+@dataclass
+class DistinguisherResult:
+    """Outcome of one timing-distinguisher run."""
+
+    chosen: bytes
+    chosen_index: int
+    means: list[float]     # mean observation per candidate, probe order
+    margin: float          # runner-up mean minus winner mean
+    queries: int
+    probes: list[OracleProbe] = field(default_factory=list)
+
+
+class MemCompTimingDistinguisher:
+    """Pick the resident secret out of N candidates by store latency.
+
+    The KASLR-break shape of the memory-compression attack: the secret
+    is known to be one of ``candidates`` (candidate pointer values,
+    dedup targets); storing a page containing the right one compresses
+    further and returns measurably faster.
+    """
+
+    def __init__(self, oracle: Oracle, reps: int = 5) -> None:
+        self.oracle = oracle
+        self.reps = reps
+        self.probes: list[OracleProbe] = []
+
+    def run(self, candidates: Sequence[bytes]) -> DistinguisherResult:
+        if not candidates:
+            raise ValueError("need at least one candidate")
+        self.probes.clear()
+        means: list[float] = []
+        with obs.span(
+            "oracle.memcomp",
+            observable=self.oracle.observable,
+            mitigation=self.oracle.mitigation_name,
+            n_candidates=len(candidates),
+        ):
+            for i, cand in enumerate(candidates):
+                cand = bytes(cand)
+                total = 0.0
+                for _ in range(max(1, self.reps)):
+                    total += self.oracle.observe(cand)
+                mean = total / max(1, self.reps)
+                means.append(mean)
+                probe = OracleProbe(
+                    step=i,
+                    label=f"candidate:{cand[:12].decode('latin1')}",
+                    probe_len=len(cand),
+                    observation=mean,
+                    queries=self.oracle.queries,
+                )
+                self.probes.append(probe)
+                obs.counter_add("oracle.probes")
+        order = sorted(range(len(means)), key=means.__getitem__)
+        winner = order[0]
+        margin = (
+            means[order[1]] - means[winner] if len(means) > 1 else float("inf")
+        )
+        return DistinguisherResult(
+            chosen=bytes(candidates[winner]),
+            chosen_index=winner,
+            means=means,
+            margin=margin,
+            queries=self.oracle.queries,
+            probes=list(self.probes),
+        )

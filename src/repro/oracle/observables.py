@@ -1,0 +1,143 @@
+"""The sealed oracle layer: one scalar per query, nothing else.
+
+A compression-oracle attacker never sees the victim's memory, code, or
+plaintext — only a single number per request: the compressed response
+size (BREACH reads it off Content-Length) or the wall-time of the
+compression (Schwarzl et al. time the ZRAM store).  :class:`Oracle`
+enforces that boundary in the type system: attacks receive an oracle,
+not a victim, and the oracle exports exactly ``observe(query) -> float``
+plus a query counter.
+
+Determinism: every observation is a pure function of
+``(victim state, query, oracle seed, query index)``.  The timing model
+adds seeded Gaussian measurement noise to the victim's virtual ticks,
+and mitigations draw their randomness from the same per-query RNG — so
+campaigns replay bit-identically and recorded probe traces re-score
+exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+
+from repro import obs
+from repro.mitigations.padding import OracleMitigation, get_oracle_mitigation
+
+OBSERVABLES = ("size", "time")
+
+
+class Oracle(ABC):
+    """Sealed query interface over a victim.
+
+    Subclasses implement :meth:`_measure`; the public :meth:`observe`
+    owns the per-query RNG, the query counter, and the mitigation
+    transform, so no subclass can accidentally widen the channel.
+    """
+
+    observable: str = "?"
+
+    def __init__(
+        self,
+        victim,
+        mitigation: OracleMitigation | None = None,
+        seed: int = 0,
+    ) -> None:
+        self._victim = victim
+        self._mitigation = mitigation or OracleMitigation()
+        self._seed = seed
+        self.queries = 0
+
+    @property
+    def mitigation_name(self) -> str:
+        return self._mitigation.name
+
+    @property
+    def units_per_byte(self) -> float:
+        """How much one compressed byte moves this observable — the
+        scale attacks calibrate their decision thresholds against.
+        (This is attacker-known calibration data, not a leak: a real
+        attacker measures it from reference queries.)"""
+        return 1.0
+
+    def _rng(self, query: bytes) -> random.Random:
+        # Deterministic per (oracle seed, query index, query bytes):
+        # bytes-seeding hashes via SHA-512 internally, so this is stable
+        # across processes (unlike hash()-based seeding).
+        return random.Random(
+            b"%d:%d:" % (self._seed, self.queries) + bytes(query)
+        )
+
+    def observe(self, query: bytes) -> float:
+        """The one number the attacker gets for this query."""
+        rng = self._rng(query)
+        value = self._transform(self._measure(bytes(query)), rng)
+        self.queries += 1
+        obs.counter_add("oracle.queries")
+        return value
+
+    @abstractmethod
+    def _measure(self, query: bytes) -> float:
+        """The victim-side raw measurement (pre-mitigation)."""
+
+    @abstractmethod
+    def _transform(self, value: float, rng: random.Random) -> float:
+        """Apply the observable-appropriate mitigation transform."""
+
+
+class SizeOracle(Oracle):
+    """Compressed-size observable: BREACH's Content-Length channel."""
+
+    observable = "size"
+
+    def _measure(self, query: bytes) -> float:
+        return float(self._victim.size(query))
+
+    def _transform(self, value: float, rng: random.Random) -> float:
+        return float(self._mitigation.transform_size(int(value), rng))
+
+
+class TimingOracle(Oracle):
+    """Wall-time observable: virtual compression ticks plus seeded
+    Gaussian measurement noise (the deterministic timing model)."""
+
+    observable = "time"
+
+    def __init__(
+        self,
+        victim,
+        mitigation: OracleMitigation | None = None,
+        seed: int = 0,
+        noise_ticks: float = 3.0,
+    ) -> None:
+        super().__init__(victim, mitigation, seed)
+        self.noise_ticks = noise_ticks
+
+    @property
+    def units_per_byte(self) -> float:
+        return float(self._victim.TICKS_PER_BYTE)
+
+    def _measure(self, query: bytes) -> float:
+        return float(self._victim.ticks(query))
+
+    def _transform(self, value: float, rng: random.Random) -> float:
+        noisy = value + rng.gauss(0.0, self.noise_ticks)
+        return self._mitigation.transform_time(noisy, rng)
+
+
+def make_oracle(
+    victim,
+    observable: str = "size",
+    mitigation: str = "none",
+    seed: int = 0,
+    **mitigation_params,
+) -> Oracle:
+    """Seal a victim behind the named observable and mitigation."""
+    shaped = get_oracle_mitigation(mitigation, **mitigation_params)
+    if observable == "size":
+        return SizeOracle(victim, shaped, seed)
+    if observable == "time":
+        return TimingOracle(victim, shaped, seed)
+    raise ValueError(
+        f"unknown observable {observable!r}; choose from {OBSERVABLES}"
+    )

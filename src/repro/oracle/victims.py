@@ -1,0 +1,216 @@
+"""The victims behind the compression oracles.
+
+Two scenario families from the compression-oracle literature that the
+paper positions ZipChannel against (Section II related work):
+
+* :class:`HttpResponseVictim` — the BREACH setting: a web server gzips
+  a response that interleaves a fixed secret (a CSRF token) with
+  attacker-reflected input.  The attacker sees only the compressed
+  response size (or the compression wall-time).
+* :class:`MemCompressionVictim` — the Schwarzl et al. memory-compression
+  setting: a ZRAM-style store compresses a page that co-locates
+  attacker-controlled bytes with a secret; store latency depends on
+  compressibility, so a guess that matches the secret is observably
+  faster (and smaller).
+
+Victims are *open* objects — they expose their secret so experiments
+can score recovery accuracy.  The attacker-facing seal lives one layer
+up in :mod:`repro.oracle.observables`, which wraps a victim and exports
+nothing but a scalar per query.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.compression.gzip_container import CONTAINER_OVERHEAD, gzip_compress
+from repro.compression.lz77 import deflate_compress
+from repro.exec.context import NativeContext, Profiler
+from repro.memsys.paging import PAGE_SIZE, AddressSpace
+from repro.mitigations.debreach import guarded_gzip_compress
+from repro.workloads.generators import (
+    HttpResponseGenerator,
+    english_like,
+    random_bytes,
+    token_secret,
+)
+
+VICTIMS = ("http", "memcomp")
+
+#: Ticks charged per byte written back by the memory-compression store.
+#: Models the ZRAM copy-out: latency grows with *compressed* size, which
+#: is the paper-adjacent reason compressibility is timing-observable.
+STORE_TICKS_PER_BYTE = 4
+
+#: Ticks charged per compressed byte the HTTP victim serialises onto the
+#: wire.  Couples response time to response size the way TIME/HEIST do:
+#: even when Content-Length is hidden, transmission cost leaks it.  Set
+#: well above the deflate search-path tick variance (~5 ticks between
+#: same-multiset probes) so a one-byte size delta survives in time.
+TRANSMIT_TICKS_PER_BYTE = 16
+
+
+class HttpResponseVictim:
+    """A gzip-compressing web endpoint with a reflected query parameter.
+
+    Args:
+        secret: the CSRF token to protect; generated from ``seed`` and
+            ``charset`` when omitted.
+        debreach: harden with the taint-guarded deflater — the secret
+            span is excluded from LZ77 match search, so reflected input
+            can never compress against it.
+    """
+
+    name = "http"
+    #: Ticks one compressed byte costs on this victim's time observable.
+    TICKS_PER_BYTE = TRANSMIT_TICKS_PER_BYTE
+
+    def __init__(
+        self,
+        secret: Optional[bytes] = None,
+        seed: int = 0,
+        secret_len: int = 12,
+        charset: str = "alnum_lower",
+        filler_bytes: int = 160,
+        debreach: bool = False,
+    ) -> None:
+        if secret is None:
+            secret = token_secret(secret_len, seed, charset)
+        self.secret = bytes(secret)
+        self.debreach = debreach
+        self.generator = HttpResponseGenerator(
+            self.secret, seed=seed, filler_bytes=filler_bytes
+        )
+
+    @property
+    def known_prefix(self) -> bytes:
+        """The attacker-known bytes immediately preceding the secret."""
+        return HttpResponseGenerator.SECRET_PREFIX
+
+    def payload(self, query: bytes) -> bytes:
+        return self.generator.response(query)
+
+    def compress(self, query: bytes, ctx=None) -> bytes:
+        payload = self.generator.response(query)
+        if self.debreach:
+            span = self.generator.secret_span(query)
+            return guarded_gzip_compress(payload, [span], ctx)
+        return gzip_compress(payload, ctx)
+
+    def size(self, query: bytes) -> int:
+        """Compressed response size — the Content-Length the network sees."""
+        return len(self.compress(query))
+
+    def ticks(self, query: bytes) -> int:
+        """Virtual response time: deflate ticks plus per-byte transmit
+        cost for the compressed bytes (the TIME/HEIST observation that
+        response *duration* proxies response size)."""
+        profiler = Profiler()
+        blob = self.compress(query, ctx=NativeContext(profiler))
+        return profiler.now + TRANSMIT_TICKS_PER_BYTE * len(blob)
+
+
+class MemCompressionVictim:
+    """A ZRAM-style compressed page store with an attacker-shared page.
+
+    One page interleaves compressible filler, a marker-tagged secret,
+    and an attacker-writable region; :meth:`store` writes a guess into
+    the attacker region, compresses the page, and returns
+    compressibility-dependent cost.  The page lives in a
+    :class:`~repro.memsys.paging.AddressSpace` so the scenario shares
+    the reproduction's memory model (finite frames, page-granular
+    mapping) rather than inventing its own.
+    """
+
+    name = "memcomp"
+    #: Ticks one compressed byte costs on this victim's time observable.
+    TICKS_PER_BYTE = STORE_TICKS_PER_BYTE
+
+    BASE_VADDR = 0x5000_0000
+    MARKER = b"\x00ptr="
+
+    def __init__(
+        self,
+        secret: Optional[bytes] = None,
+        seed: int = 0,
+        secret_len: int = 8,
+        charset: str = "alnum_lower",
+        page_size: int = PAGE_SIZE // 4,
+    ) -> None:
+        if secret is None:
+            secret = token_secret(secret_len, seed, charset)
+        self.secret = bytes(secret)
+        self.page_size = page_size
+        self.space = AddressSpace(seed=seed)
+        self.space.map_range(self.BASE_VADDR, page_size)
+        # Filler is compressible text; the tail pad is incompressible so
+        # page size stays fixed without adding exploitable redundancy.
+        filler_len = max(0, page_size // 2 - len(self.MARKER) - len(secret))
+        self._head = (
+            english_like(filler_len, seed ^ 0x3A7)
+            + self.MARKER
+            + self.secret
+        )
+        self._pad = random_bytes(page_size, seed ^ 0x5C3)
+
+    @property
+    def known_prefix(self) -> bytes:
+        """The marker tagging the secret in the page — a BREACH-style
+        attacker guesses ``MARKER + candidate`` so a correct candidate
+        extends the match into the resident secret."""
+        return self.MARKER
+
+    def page_bytes(self, guess: bytes) -> bytes:
+        """The page content with ``guess`` written to the shared region."""
+        body = self._head + self.MARKER + bytes(guess)
+        if len(body) > self.page_size:
+            raise ValueError(
+                f"guess of {len(guess)} bytes overflows the "
+                f"{self.page_size}-byte page"
+            )
+        return body + self._pad[: self.page_size - len(body)]
+
+    def store(self, guess: bytes) -> tuple[int, int]:
+        """Write the page through the compressed store.
+
+        Returns ``(compressed_size, ticks)``: deflate body size plus the
+        virtual time of compressing and copying out the compressed page.
+        """
+        page = self.page_bytes(guess)
+        # Touch the address space like a real store would: translate the
+        # first and last byte of the page being written back.
+        self.space.translate(self.BASE_VADDR, "write")
+        self.space.translate(self.BASE_VADDR + self.page_size - 1, "write")
+        profiler = Profiler()
+        body = deflate_compress(page, ctx=NativeContext(profiler))
+        ticks = profiler.now + STORE_TICKS_PER_BYTE * len(body)
+        return len(body), ticks
+
+    def size(self, guess: bytes) -> int:
+        """Stored (compressed) page size, with container accounting to
+        match the HTTP victim's size semantics."""
+        return self.store(guess)[0] + CONTAINER_OVERHEAD
+
+    def ticks(self, guess: bytes) -> int:
+        """Store latency in virtual ticks — the Schwarzl observable."""
+        return self.store(guess)[1]
+
+
+def make_victim(name: str, mitigation: str = "none", **params):
+    """Construct a victim by CLI/campaign name.
+
+    ``mitigation="debreach"`` is victim-side (it changes the compressor)
+    and only the HTTP victim supports it; observable-shaping mitigations
+    are applied by :func:`repro.oracle.observables.make_oracle` instead.
+    """
+    debreach = mitigation == "debreach"
+    if name == "http":
+        return HttpResponseVictim(debreach=debreach, **params)
+    if name == "memcomp":
+        if debreach:
+            raise ValueError(
+                "debreach guards the HTTP deflate path; the memcomp "
+                "victim has no secret-span metadata to guard"
+            )
+        return MemCompressionVictim(**params)
+    raise ValueError(f"unknown victim {name!r}; choose from {VICTIMS}")

@@ -13,6 +13,9 @@ Section IV-A), reconstruct the plaintext.
 * :mod:`repro.recovery.bzip2_recover` — full input from the ftab trace
   with off-by-one ambiguity resolution and the consecutive-iteration
   redundancy used as error correction (Section V-D).
+* :mod:`repro.recovery.oracle_recover` — the one non-cache decoder:
+  BREACH-style secret recovery from a scalar compression oracle
+  (two-guess probes, divide-and-conquer, charset escalation).
 """
 
 from repro.recovery.observe import observed_lines
@@ -22,6 +25,16 @@ from repro.recovery.zlib_recover import (
 )
 from repro.recovery.lzw_recover import recover_lzw_input
 from repro.recovery.bzip2_recover import RecoveredBlock, recover_bzip2_block
+from repro.recovery.oracle_recover import (
+    CONFIRM_THRESHOLD,
+    DEFAULT_CHARSET_LADDER,
+    ProbeOutcome,
+    RecoveryResult,
+    probe_pair,
+    recover_next_char,
+    recover_secret,
+    score_candidates,
+)
 
 __all__ = [
     "observed_lines",
@@ -30,4 +43,12 @@ __all__ = [
     "recover_lzw_input",
     "recover_bzip2_block",
     "RecoveredBlock",
+    "CONFIRM_THRESHOLD",
+    "DEFAULT_CHARSET_LADDER",
+    "ProbeOutcome",
+    "RecoveryResult",
+    "probe_pair",
+    "recover_next_char",
+    "recover_secret",
+    "score_candidates",
 ]

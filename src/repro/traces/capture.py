@@ -27,8 +27,10 @@ from typing import Optional, Sequence
 from repro import obs
 from repro.traces.format import (
     FingerprintCapture,
+    OracleProbe,
     SPECIES_FINGERPRINT,
     SPECIES_MEMORY,
+    SPECIES_ORACLE,
 )
 from repro.traces.store import TraceEntry, TraceStore
 
@@ -200,6 +202,51 @@ def capture_fingerprint_traces(
                             ),
                         )
                     )
+    assert writer.entry is not None
+    obs.counter_add("trace.records", writer.entry.n_records)
+    return writer.entry
+
+
+def capture_oracle_trace(
+    store: TraceStore,
+    trace_id: str,
+    probes: Sequence[OracleProbe],
+    victim: str,
+    observable: str,
+    mitigation: str = "none",
+    seed: int = 0,
+    overwrite: bool = False,
+    extra_meta: Optional[dict] = None,
+) -> TraceEntry:
+    """Persist one oracle attack's per-guess probe stream.
+
+    Every scored probe of a :class:`~repro.oracle.attacks.BreachAttack`
+    or distinguisher run becomes one
+    :class:`~repro.traces.format.OracleProbe` record; metadata carries
+    the scenario coordinates (victim, observable, mitigation, seed) so
+    a stored trace can be re-scored — e.g. by replaying the recovery
+    decision procedure over recorded deltas — without a live victim.
+    The secret itself is never stored.
+    """
+    meta = {
+        "species": SPECIES_ORACLE,
+        "victim": victim,
+        "observable": observable,
+        "mitigation": mitigation,
+        "seed": seed,
+        "n_probes": len(probes),
+        **(extra_meta or {}),
+    }
+    with obs.span(
+        "trace.capture.oracle",
+        trace_id=trace_id,
+        victim=victim,
+        observable=observable,
+    ):
+        with store.create(
+            trace_id, SPECIES_ORACLE, meta, overwrite=overwrite
+        ) as writer:
+            writer.extend(probes)
     assert writer.entry is not None
     obs.counter_add("trace.records", writer.entry.n_records)
     return writer.entry

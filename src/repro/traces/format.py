@@ -14,6 +14,11 @@ Two trace *species* cover everything the reproduction records:
   :mod:`repro.core.zipchannel.fingerprint`: one
   :class:`FingerprintCapture` per classifier example, run-length coded
   (the 2 x 10,000 boolean tensor is long runs of hits and misses).
+* ``oracle`` — per-guess probe outcomes from the :mod:`repro.oracle`
+  BREACH / memory-compression attacks: one :class:`OracleProbe` per
+  scored probe (step, probe label, probe length, the observed score,
+  and the cumulative oracle-query count), so a recorded attack can be
+  replayed and re-scored without re-running the victim.
 
 Files are written and read in *chunks*: the writer flushes every
 ``chunk_records`` records, the reader yields records chunk by chunk, and
@@ -53,8 +58,9 @@ FORMAT_VERSION = 1
 
 SPECIES_MEMORY = "memory"
 SPECIES_FINGERPRINT = "fingerprint"
+SPECIES_ORACLE = "oracle"
 
-_SPECIES_CODES = {SPECIES_MEMORY: 1, SPECIES_FINGERPRINT: 2}
+_SPECIES_CODES = {SPECIES_MEMORY: 1, SPECIES_FINGERPRINT: 2, SPECIES_ORACLE: 3}
 _SPECIES_NAMES = {code: name for name, code in _SPECIES_CODES.items()}
 
 _HEADER = struct.Struct("<4sHBB")
@@ -91,7 +97,26 @@ class FingerprintCapture:
         )
 
 
-TraceRecord = Union[MemoryAccess, FingerprintCapture]
+@dataclass(frozen=True)
+class OracleProbe:
+    """One scored probe of a sealed compression oracle.
+
+    ``observation`` is the probe's *score* (for BREACH: the two-guess
+    size delta in bytes, negative when the probed guess set contains the
+    secret's next character; for the timing distinguisher: the mean
+    observed latency in ticks).  ``queries`` is the attack's cumulative
+    oracle-query count after this probe, so replay can reconstruct the
+    query-budget curve.
+    """
+
+    step: int
+    label: str
+    probe_len: int
+    observation: float
+    queries: int
+
+
+TraceRecord = Union[MemoryAccess, FingerprintCapture, OracleProbe]
 
 
 # ----------------------------------------------------------------------
@@ -363,9 +388,62 @@ class _FingerprintCodec:
         return FingerprintCapture(label, capture_seed, flat.reshape(rows, cols)), pos
 
 
+class _OracleCodec:
+    """Delta+varint codec for OracleProbe records.
+
+    Steps and query counts are monotone within an attack, so both are
+    delta coded; labels repeat heavily (one per probe shape) and ride
+    the string table; the observation stays an exact IEEE-754 double so
+    replayed scores are bit-identical.
+    """
+
+    _OBSERVATION = struct.Struct("<d")
+
+    def __init__(self, strings: _StringTable) -> None:
+        self.strings = strings
+        self._reset()
+
+    def _reset(self) -> None:
+        self._prev_step = 0
+        self._prev_queries = 0
+
+    def begin_chunk(self) -> None:
+        self._reset()
+
+    def encode(self, out: bytearray, record: OracleProbe) -> None:
+        write_svarint(out, record.step - self._prev_step)
+        self._prev_step = record.step
+        write_uvarint(out, self.strings.intern(record.label))
+        write_uvarint(out, record.probe_len)
+        out.extend(self._OBSERVATION.pack(record.observation))
+        write_svarint(out, record.queries - self._prev_queries)
+        self._prev_queries = record.queries
+
+    def decode(self, buf: memoryview, pos: int) -> tuple[OracleProbe, int]:
+        step_delta, pos = read_svarint(buf, pos)
+        self._prev_step += step_delta
+        label_id, pos = read_uvarint(buf, pos)
+        probe_len, pos = read_uvarint(buf, pos)
+        if pos + self._OBSERVATION.size > len(buf):
+            raise TraceFormatError("truncated oracle observation")
+        (observation,) = self._OBSERVATION.unpack_from(buf, pos)
+        pos += self._OBSERVATION.size
+        queries_delta, pos = read_svarint(buf, pos)
+        self._prev_queries += queries_delta
+        record = OracleProbe(
+            step=self._prev_step,
+            label=self.strings.lookup(label_id),
+            probe_len=probe_len,
+            observation=observation,
+            queries=self._prev_queries,
+        )
+        return record, pos
+
+
 _CODECS = {
     SPECIES_MEMORY: _MemoryCodec,
     SPECIES_FINGERPRINT: _FingerprintCodec,
+    SPECIES_ORACLE: _OracleCodec,
 }
 
 

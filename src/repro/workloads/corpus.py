@@ -49,3 +49,21 @@ def brotli_like_corpus() -> dict[str, bytes]:
     if len(corpus) != 21:
         raise AssertionError(f"corpus must have 21 files, has {len(corpus)}")
     return corpus
+
+
+def http_response_corpus(n: int = 6, seed: int = 0) -> dict[str, bytes]:
+    """``n`` secret-bearing HTTP responses as a named corpus.
+
+    Each member is one :class:`~repro.workloads.generators.
+    HttpResponseGenerator` payload with its own token and session —
+    the web-realistic workload class the :mod:`repro.oracle` BREACH
+    scenario compresses, reusable by fingerprint/classifier pipelines.
+    """
+    from repro.workloads.generators import HttpResponseGenerator, token_secret
+
+    corpus: dict[str, bytes] = {}
+    for i in range(n):
+        secret = token_secret(16, seed=seed + 31 * i)
+        gen = HttpResponseGenerator(secret, seed=seed + 31 * i)
+        corpus[f"response_{i:02d}.http"] = gen.response(b"q=example")
+    return corpus

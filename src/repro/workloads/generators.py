@@ -48,3 +48,89 @@ def dna_like(n: int, seed: int = 0) -> bytes:
     """Four-letter alphabet (E.coli-style corpus member)."""
     rng = random.Random(seed)
     return bytes(rng.choice(b"acgt") for _ in range(n))
+
+
+# -- secret-bearing HTTP responses (the BREACH victim payload) ---------
+
+# Character classes CSRF/session tokens are commonly drawn from.  The
+# oracle attacks start from ``alnum_lower`` and extend to ``alnum`` /
+# ``token68`` when a position fails to confirm (charset extension).
+TOKEN_CHARSETS: dict[str, bytes] = {
+    "hex": b"0123456789abcdef",
+    "alnum_lower": b"abcdefghijklmnopqrstuvwxyz0123456789",
+    "alnum": (
+        b"abcdefghijklmnopqrstuvwxyz"
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+    ),
+    "token68": (
+        b"abcdefghijklmnopqrstuvwxyz"
+        b"ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-._~+/"
+    ),
+}
+
+
+def token_secret(n: int, seed: int = 0, charset: str = "alnum_lower") -> bytes:
+    """A CSRF/session-token-style secret of ``n`` chars from a named
+    :data:`TOKEN_CHARSETS` class."""
+    rng = random.Random(seed)
+    alphabet = TOKEN_CHARSETS[charset]
+    return bytes(rng.choice(alphabet) for _ in range(n))
+
+
+class HttpResponseGenerator:
+    """Secret-bearing HTTP response: headers + CSRF token + reflection.
+
+    The BREACH precondition in one payload (SNIPPETS.md snippet 1): a
+    fixed secret (the ``csrf`` form token) interleaved with
+    attacker-controlled input (the reflected query parameter) in the
+    same compression context.  The token sits *before* the reflection,
+    so its byte span is independent of the attacker input — which is
+    what lets the Debreach-style mitigation guard it — and the
+    reflection sits close enough that every guess lands inside the
+    LZ77 window.
+
+    Deterministic: the same ``(secret, seed)`` always produces the same
+    response for the same query, so the size/timing oracles built on
+    top are pure functions of ``(secret, input, seed)``.
+    """
+
+    #: The known plaintext immediately preceding the secret — the
+    #: attack's guess prefix (BREACH needs >= MIN_MATCH-1 known bytes).
+    SECRET_PREFIX = b'name="csrf" value="'
+
+    def __init__(self, secret: bytes, seed: int = 0, filler_bytes: int = 160):
+        if not secret:
+            raise ValueError("HttpResponseGenerator needs a non-empty secret")
+        self.secret = bytes(secret)
+        self.seed = seed
+        session = token_secret(24, seed=seed ^ 0x5E55, charset="hex")
+        self._head = (
+            b"HTTP/1.1 200 OK\r\n"
+            b"Content-Type: text/html; charset=utf-8\r\n"
+            b"Cache-Control: no-store\r\n"
+            b"Set-Cookie: session=" + session + b"; HttpOnly\r\n"
+            b"\r\n"
+            b"<html><body>\n"
+            b'<form method="POST" action="/transfer">\n'
+            b'<input type="hidden" ' + self.SECRET_PREFIX
+        )
+        self._tail = (
+            b'">\n</form>\n<p>Results for: '
+        )
+        self._foot = (
+            b"</p>\n<div>"
+            + english_like(filler_bytes, seed=seed ^ 0xF111)
+            + b"</div>\n</body></html>\n"
+        )
+
+    def response(self, query: bytes = b"") -> bytes:
+        """The full response with ``query`` reflected into the body."""
+        return self._head + self.secret + self._tail + bytes(query) + self._foot
+
+    def secret_span(self, query: bytes = b"") -> tuple[int, int]:
+        """``(start, end)`` byte span of the secret in :meth:`response`
+        — constant in ``query`` because the token precedes the
+        reflection (the span Debreach guards)."""
+        del query
+        start = len(self._head)
+        return start, start + len(self.secret)
