@@ -28,7 +28,12 @@ from repro.campaign.experiments import (
     get_experiment,
     register_experiment,
 )
-from repro.campaign.report import aggregate_records, render_report
+from repro.campaign.report import (
+    aggregate_records,
+    campaign_status,
+    render_report,
+    render_status,
+)
 from repro.campaign.runner import (
     CampaignResult,
     CampaignRunner,
@@ -37,7 +42,13 @@ from repro.campaign.runner import (
     WorkerCrash,
 )
 from repro.campaign.spec import CampaignSpec, JobSpec, derive_seed
-from repro.campaign.store import JobRecord, ResultStore
+from repro.campaign.store import (
+    JobRecord,
+    ResultStore,
+    SpecMismatchError,
+    dedupe_records,
+    metrics_digest,
+)
 
 __all__ = [
     "CampaignSpec",
@@ -50,8 +61,13 @@ __all__ = [
     "WorkerCrash",
     "ResultStore",
     "JobRecord",
+    "SpecMismatchError",
+    "dedupe_records",
+    "metrics_digest",
     "aggregate_records",
+    "campaign_status",
     "render_report",
+    "render_status",
     "register_experiment",
     "get_experiment",
     "available_experiments",

@@ -1,0 +1,214 @@
+"""One job attempt, executed wherever the work landed.
+
+This is the execution core shared by every way the repo runs campaign
+jobs: the single-host :class:`~repro.campaign.runner.CampaignRunner`
+ships :func:`execute_payload` into ``ProcessPoolExecutor`` workers, and
+the :mod:`repro.cluster` worker protocol calls :func:`run_attempt`
+inside remote worker processes.  Keeping it in one module is what makes
+the determinism contract cheap to state: a job's metrics are a pure
+function of ``(experiment, params, seed)``, so the same payload yields
+bit-identical metrics no matter which executor ran it.
+
+The payload is a plain JSON-able dict (picklable *and* wire-encodable):
+
+``job_id, experiment, params, seed, attempt, timeout_seconds`` plus the
+optional fault-injection fields ``inject_mode``/``allow_hard_crash``.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro import obs
+from repro.campaign.store import (
+    STATUS_CRASHED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+)
+
+
+class JobTimeout(Exception):
+    """A job exceeded its per-job wall-clock budget."""
+
+
+class WorkerCrash(Exception):
+    """Stand-in for a hard worker death when crash isolation is off
+    (the in-process executor cannot survive a real ``os._exit``)."""
+
+
+class InjectedFailure(Exception):
+    """A failure forced by the spec's fault-injection drill."""
+
+
+def alarm_supported() -> bool:
+    """Whether this platform can enforce per-job wall-clock budgets
+    (``SIGALRM`` exists — Windows and some embedded Pythons lack it).
+    Split out so tests can stub the no-SIGALRM path."""
+    return hasattr(signal, "SIGALRM")
+
+
+def execute_payload(payload: dict) -> dict:
+    """Run one job attempt.  Executes inside a worker process (or inline
+    under the in-process executor); everything it touches must be
+    picklable and importable.
+    """
+    inject_mode = payload.get("inject_mode")
+    if inject_mode == "crash":
+        if payload.get("allow_hard_crash"):
+            import os
+
+            os._exit(23)  # simulate a segfaulting worker
+        raise WorkerCrash("injected worker crash")
+    if inject_mode == "exception":
+        raise InjectedFailure(
+            f"injected failure (attempt {payload['attempt']})"
+        )
+
+    from repro.campaign.experiments import get_experiment
+
+    fn = get_experiment(payload["experiment"])
+    timeout = payload.get("timeout_seconds")
+    use_alarm = (
+        timeout is not None
+        and alarm_supported()
+        and threading.current_thread() is threading.main_thread()
+    )
+
+    def _on_alarm(signum, frame):
+        raise JobTimeout(f"job exceeded {timeout}s budget")
+
+    start = time.perf_counter()
+    if use_alarm:
+        previous = signal.signal(signal.SIGALRM, _on_alarm)
+        signal.setitimer(signal.ITIMER_REAL, timeout)
+    try:
+        with obs.span(
+            "campaign.job",
+            job_id=payload.get("job_id"),
+            experiment=payload["experiment"],
+            attempt=payload["attempt"],
+        ):
+            metrics = fn(payload["params"], payload["seed"])
+        if isinstance(metrics, dict):
+            # Stream the job's numeric metrics into the sink so `repro
+            # obs watch` can roll them live and the store's diag.json
+            # timeseries has per-job points.  Reads the dict only —
+            # the non-perturbation invariant holds.
+            obs.publish_metrics(
+                "campaign.job",
+                metrics,
+                job_id=payload.get("job_id"),
+                experiment=payload["experiment"],
+            )
+    finally:
+        if use_alarm:
+            signal.setitimer(signal.ITIMER_REAL, 0.0)
+            signal.signal(signal.SIGALRM, previous)
+        # Pool workers outlive jobs and are torn down without atexit
+        # hooks running reliably; snapshots are cumulative per pid, so
+        # flushing after every job keeps the sink's last-per-pid merge
+        # correct without double counting.
+        obs.flush()
+    if not isinstance(metrics, dict):
+        raise TypeError(
+            f"experiment {payload['experiment']!r} returned "
+            f"{type(metrics).__name__}, expected a metrics dict"
+        )
+    return {
+        "metrics": metrics,
+        "duration": time.perf_counter() - start,
+        # None: no budget requested; False: budget silently unenforceable
+        # on this platform/thread — the runner surfaces it on the record.
+        "timeout_enforced": use_alarm if timeout is not None else None,
+    }
+
+
+def classify_failure(exc: BaseException) -> tuple[str, str]:
+    """Map an attempt's exception to a ``(status, error)`` pair, the
+    same way the single-host runner's future handling does."""
+    if isinstance(exc, JobTimeout):
+        return STATUS_TIMEOUT, str(exc)
+    if isinstance(exc, WorkerCrash):
+        return STATUS_CRASHED, str(exc)
+    return STATUS_FAILED, f"{type(exc).__name__}: {exc}"
+
+
+@dataclass
+class AttemptOutcome:
+    """What one in-worker attempt produced, exception-free.
+
+    ``status`` is one of the store's ``STATUS_*`` constants; ``metrics``
+    is populated only on success.  This is the cluster worker's view of
+    :func:`execute_payload` — the local runner keeps the raw exception
+    flow because its futures already carry it.
+    """
+
+    status: str
+    duration: float
+    metrics: Optional[dict] = None
+    error: Optional[str] = None
+    timeout_enforced: Optional[bool] = None
+
+    @property
+    def ok(self) -> bool:
+        """Whether the attempt produced usable metrics."""
+        return self.status == STATUS_OK
+
+
+def run_attempt(payload: dict) -> AttemptOutcome:
+    """Execute one attempt and fold any failure into the outcome.
+
+    ``KeyboardInterrupt`` and ``SystemExit`` still propagate — a worker
+    being told to die is not a job failure.
+    """
+    start = time.perf_counter()
+    try:
+        out = execute_payload(payload)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:  # noqa: BLE001 — any job error is a job failure
+        status, error = classify_failure(exc)
+        enforced: Optional[bool] = None
+        if payload.get("timeout_seconds") is not None and not alarm_supported():
+            enforced = False
+        return AttemptOutcome(
+            status=status,
+            duration=time.perf_counter() - start,
+            error=error,
+            timeout_enforced=enforced,
+        )
+    return AttemptOutcome(
+        status=STATUS_OK,
+        duration=out["duration"],
+        metrics=out["metrics"],
+        timeout_enforced=out["timeout_enforced"],
+    )
+
+
+class InProcessExecutor:
+    """A drop-in executor that runs submissions synchronously.
+
+    Keeps tests (and debugging sessions) single-process while exercising
+    the runner's full retry/timeout/crash logic.
+    """
+
+    supports_crash_isolation = False
+
+    def submit(self, fn, *args, **kwargs):
+        """Execute immediately; return an already-resolved future."""
+        from concurrent.futures import Future
+
+        future: Future = Future()
+        try:
+            future.set_result(fn(*args, **kwargs))
+        except BaseException as exc:  # noqa: BLE001 — mirrored into the future
+            future.set_exception(exc)
+        return future
+
+    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
+        """Nothing to tear down."""

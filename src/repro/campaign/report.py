@@ -158,6 +158,64 @@ def render_failures(records: Iterable[JobRecord]) -> str:
     return "\n".join(lines)
 
 
+def campaign_status(store: ResultStore) -> dict:
+    """Read-only progress snapshot from the JSONL checkpoint.
+
+    Works identically on a live directory, a finished one, or a
+    cluster run mid-flight (un-merged ``shard-*/`` records are folded
+    in) — this is what ``repro campaign status <dir>`` prints, shared
+    by local and cluster runs.
+    """
+    manifest = store.load_manifest()
+    records = store.load_records(include_shards=True)
+    by_status: dict[str, int] = {}
+    retried = 0
+    for record in records.values():
+        by_status[record.status] = by_status.get(record.status, 0) + 1
+        if record.attempts > 1:
+            retried += 1
+    n_jobs = int(manifest.get("n_jobs", 0))
+    started = manifest.get("started_at")
+    finished = manifest.get("finished_at")
+    wall = None
+    if started is not None:
+        import time as _time
+
+        wall = (finished or _time.time()) - started
+    return {
+        "name": manifest.get("spec", {}).get("name", store.root.name),
+        "spec_hash": manifest.get("spec_hash"),
+        "n_jobs": n_jobs,
+        "recorded": len(records),
+        "by_status": dict(sorted(by_status.items())),
+        "retried": retried,
+        "pending": max(0, n_jobs - len(records)),
+        "finished": finished is not None,
+        "wall_seconds": wall,
+        "shards": len(store.shard_stores()),
+    }
+
+
+def render_status(status: dict) -> str:
+    """One compact human block for :func:`campaign_status`."""
+    done = status["by_status"].get(STATUS_OK, 0)
+    failed = status["recorded"] - done
+    lines = [
+        f"campaign {status['name']} "
+        f"({'finished' if status['finished'] else 'in progress'})",
+        f"  jobs:    {status['recorded']}/{status['n_jobs']} recorded, "
+        f"{status['pending']} pending",
+        f"  done:    {done} ok, {failed} failed "
+        f"({', '.join(f'{v} {k}' for k, v in status['by_status'].items() if k != STATUS_OK) or 'none terminal'})",
+        f"  retried: {status['retried']} jobs needed more than one attempt",
+    ]
+    if status["shards"]:
+        lines.append(f"  shards:  {status['shards']} worker shard dirs")
+    if status["wall_seconds"] is not None:
+        lines.append(f"  wall:    {status['wall_seconds']:.1f}s")
+    return "\n".join(lines)
+
+
 def render_report(store: ResultStore) -> str:
     """Full markdown report for one campaign directory."""
     manifest = store.load_manifest()

@@ -22,9 +22,6 @@ single-process and fast under test.
 
 from __future__ import annotations
 
-import os
-import signal
-import threading
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -37,6 +34,14 @@ from dataclasses import dataclass, field
 from typing import Callable, Optional
 
 from repro import obs
+from repro.campaign import executor as executor_mod
+from repro.campaign.executor import (
+    InjectedFailure,
+    InProcessExecutor,
+    JobTimeout,
+    WorkerCrash,
+    execute_payload,
+)
 from repro.campaign.spec import CampaignSpec, JobSpec
 from repro.campaign.store import (
     STATUS_CRASHED,
@@ -47,121 +52,15 @@ from repro.campaign.store import (
     ResultStore,
 )
 
-
-class JobTimeout(Exception):
-    """A job exceeded its per-job wall-clock budget."""
-
-
-class WorkerCrash(Exception):
-    """Stand-in for a hard worker death when crash isolation is off
-    (the in-process executor cannot survive a real ``os._exit``)."""
-
-
-class InjectedFailure(Exception):
-    """A failure forced by the spec's fault-injection drill."""
-
-
-def _alarm_supported() -> bool:
-    """Whether this platform can enforce per-job wall-clock budgets
-    (``SIGALRM`` exists — Windows and some embedded Pythons lack it).
-    Split out so tests can stub the no-SIGALRM path."""
-    return hasattr(signal, "SIGALRM")
-
-
-def _execute_payload(payload: dict) -> dict:
-    """Run one job attempt.  Executes inside a worker process (or inline
-    under the in-process executor); everything it touches must be
-    picklable and importable.
-    """
-    inject_mode = payload.get("inject_mode")
-    if inject_mode == "crash":
-        if payload.get("allow_hard_crash"):
-            os._exit(23)  # simulate a segfaulting worker
-        raise WorkerCrash("injected worker crash")
-    if inject_mode == "exception":
-        raise InjectedFailure(
-            f"injected failure (attempt {payload['attempt']})"
-        )
-
-    from repro.campaign.experiments import get_experiment
-
-    fn = get_experiment(payload["experiment"])
-    timeout = payload.get("timeout_seconds")
-    use_alarm = (
-        timeout is not None
-        and _alarm_supported()
-        and threading.current_thread() is threading.main_thread()
-    )
-
-    def _on_alarm(signum, frame):
-        raise JobTimeout(f"job exceeded {timeout}s budget")
-
-    start = time.perf_counter()
-    if use_alarm:
-        previous = signal.signal(signal.SIGALRM, _on_alarm)
-        signal.setitimer(signal.ITIMER_REAL, timeout)
-    try:
-        with obs.span(
-            "campaign.job",
-            job_id=payload.get("job_id"),
-            experiment=payload["experiment"],
-            attempt=payload["attempt"],
-        ):
-            metrics = fn(payload["params"], payload["seed"])
-        if isinstance(metrics, dict):
-            # Stream the job's numeric metrics into the sink so `repro
-            # obs watch` can roll them live and the store's diag.json
-            # timeseries has per-job points.  Reads the dict only —
-            # the non-perturbation invariant holds.
-            obs.publish_metrics(
-                "campaign.job",
-                metrics,
-                job_id=payload.get("job_id"),
-                experiment=payload["experiment"],
-            )
-    finally:
-        if use_alarm:
-            signal.setitimer(signal.ITIMER_REAL, 0.0)
-            signal.signal(signal.SIGALRM, previous)
-        # Pool workers outlive jobs and are torn down without atexit
-        # hooks running reliably; snapshots are cumulative per pid, so
-        # flushing after every job keeps the sink's last-per-pid merge
-        # correct without double counting.
-        obs.flush()
-    if not isinstance(metrics, dict):
-        raise TypeError(
-            f"experiment {payload['experiment']!r} returned "
-            f"{type(metrics).__name__}, expected a metrics dict"
-        )
-    return {
-        "metrics": metrics,
-        "duration": time.perf_counter() - start,
-        # None: no budget requested; False: budget silently unenforceable
-        # on this platform/thread — the runner surfaces it on the record.
-        "timeout_enforced": use_alarm if timeout is not None else None,
-    }
-
-
-class InProcessExecutor:
-    """A drop-in executor that runs submissions synchronously.
-
-    Keeps tests (and debugging sessions) single-process while exercising
-    the runner's full retry/timeout/crash logic.
-    """
-
-    supports_crash_isolation = False
-
-    def submit(self, fn, *args, **kwargs) -> Future:
-        """Execute immediately; return an already-resolved future."""
-        future: Future = Future()
-        try:
-            future.set_result(fn(*args, **kwargs))
-        except BaseException as exc:  # noqa: BLE001 — mirrored into the future
-            future.set_exception(exc)
-        return future
-
-    def shutdown(self, wait: bool = True, cancel_futures: bool = False) -> None:
-        """Nothing to tear down."""
+__all__ = [
+    "CampaignResult",
+    "CampaignRunner",
+    "InjectedFailure",
+    "InProcessExecutor",
+    "JobTimeout",
+    "WorkerCrash",
+    "execute_payload",
+]
 
 
 @dataclass
@@ -338,7 +237,10 @@ class CampaignRunner:
         itself could not report it (failure paths): ``False`` when a
         budget was requested but the platform cannot enforce it, else
         ``None`` (unknown / not applicable)."""
-        if self.spec.timeout_seconds is not None and not _alarm_supported():
+        if (
+            self.spec.timeout_seconds is not None
+            and not executor_mod.alarm_supported()
+        ):
             return False
         return None
 
@@ -431,7 +333,10 @@ class CampaignRunner:
             workers=self.workers,
         )
 
-        if self.spec.timeout_seconds is not None and not _alarm_supported():
+        if (
+            self.spec.timeout_seconds is not None
+            and not executor_mod.alarm_supported()
+        ):
             if obs.warn_once(
                 "campaign.timeout-unenforced",
                 "per-job wall-clock budgets are not enforceable here "
@@ -479,7 +384,7 @@ class CampaignRunner:
                     attempt.submitted_at = now
                     try:
                         future = self._executor.submit(
-                            _execute_payload, self._payload(attempt)
+                            execute_payload, self._payload(attempt)
                         )
                     except BrokenExecutor:
                         # The pool was already dead; this attempt never

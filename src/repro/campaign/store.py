@@ -15,6 +15,7 @@ whose id already has a record.
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import subprocess
@@ -30,11 +31,31 @@ MANIFEST_NAME = "manifest.json"
 RESULTS_NAME = "results.jsonl"
 DIAG_NAME = "diag.json"
 DIAG_TIMESERIES_SCHEMA = "repro-diag-timeseries/1"
+SHARD_PREFIX = "shard-"
 
 STATUS_OK = "ok"
 STATUS_FAILED = "failed"
 STATUS_TIMEOUT = "timeout"
 STATUS_CRASHED = "crashed"
+
+
+class SpecMismatchError(ValueError):
+    """A campaign directory holds a different spec than the one offered.
+
+    Raised with both hashes in the message so ``campaign resume`` (and
+    the cluster scheduler, which inherits the check) can tell the user
+    exactly which two campaigns collided instead of surfacing the
+    mismatch late as corrupt aggregates.
+    """
+
+    def __init__(self, root, stored_hash, offered_hash) -> None:
+        self.stored_hash = stored_hash
+        self.offered_hash = offered_hash
+        super().__init__(
+            f"{root} holds campaign spec_hash={stored_hash!r} but the "
+            f"offered spec hashes to {offered_hash!r}; resume must use "
+            f"the original spec — use a fresh directory for a new one"
+        )
 
 
 def git_revision(cwd: Optional[str] = None) -> str:
@@ -135,12 +156,7 @@ class ResultStore:
         self.root.mkdir(parents=True, exist_ok=True)
         if self.exists():
             manifest = self.load_manifest()
-            if manifest.get("spec_hash") != spec.spec_hash():
-                raise ValueError(
-                    f"{self.root} holds campaign "
-                    f"{manifest.get('spec_hash')!r} but the spec hashes to "
-                    f"{spec.spec_hash()!r}; use a fresh directory"
-                )
+            self.check_spec(spec, manifest)
             if not resume:
                 raise FileExistsError(
                     f"{self.root} already holds this campaign; "
@@ -165,10 +181,32 @@ class ResultStore:
         with open(self.manifest_path, "r", encoding="utf-8") as handle:
             return json.load(handle)
 
+    def check_spec(
+        self, spec: CampaignSpec, manifest: Optional[dict] = None
+    ) -> None:
+        """Raise :class:`SpecMismatchError` unless ``spec`` is the
+        campaign this directory already holds."""
+        if manifest is None:
+            manifest = self.load_manifest()
+        stored = manifest.get("spec_hash")
+        offered = spec.spec_hash()
+        if stored != offered:
+            raise SpecMismatchError(self.root, stored, offered)
+
     def load_spec(self) -> CampaignSpec:
         """Rehydrate the campaign's spec from the manifest — what lets
-        ``campaign resume <dir>`` run without the original spec file."""
-        return CampaignSpec.from_dict(self.load_manifest()["spec"])
+        ``campaign resume <dir>`` run without the original spec file.
+
+        Verifies the manifest's recorded ``spec_hash`` still matches the
+        stored spec, so a hand-edited manifest fails loudly here instead
+        of resuming a silently different campaign.
+        """
+        manifest = self.load_manifest()
+        spec = CampaignSpec.from_dict(manifest["spec"])
+        stored = manifest.get("spec_hash")
+        if stored != spec.spec_hash():
+            raise SpecMismatchError(self.root, stored, spec.spec_hash())
+        return spec
 
     def finalize(self, counts: dict) -> None:
         """Stamp completion time and outcome counts into the manifest,
@@ -200,30 +238,82 @@ class ResultStore:
             obs.observe("store.append_seconds", time.perf_counter() - start)
             obs.counter_add("store.appends")
 
-    def load_records(self) -> dict[str, JobRecord]:
+    def load_records(self, include_shards: bool = False) -> dict[str, JobRecord]:
         """All persisted records, last write per job id winning.
 
         A torn final line (the process died mid-append) is skipped
-        rather than poisoning the whole campaign.
+        rather than poisoning the whole campaign.  With
+        ``include_shards`` records still sitting in un-merged
+        ``shard-*/`` sub-stores are folded in via
+        :func:`dedupe_records` (ok beats non-ok, then more attempts).
         """
         records: dict[str, JobRecord] = {}
-        if not self.results_path.exists():
-            return records
-        with open(self.results_path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if not line:
-                    continue
-                try:
-                    record = JobRecord.from_dict(json.loads(line))
-                except (json.JSONDecodeError, KeyError, TypeError, ValueError):
-                    continue  # torn or foreign line
-                records[record.job_id] = record
+        if self.results_path.exists():
+            with open(self.results_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = JobRecord.from_dict(json.loads(line))
+                    except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                        continue  # torn or foreign line
+                    records[record.job_id] = record
+        if include_shards:
+            shard_records = list(records.values())
+            for shard in self.shard_stores():
+                shard_records.extend(shard.load_records().values())
+            records = dedupe_records(shard_records)
         return records
 
-    def completed_ids(self) -> set[str]:
+    def completed_ids(self, include_shards: bool = False) -> set[str]:
         """Job ids that already have a record — what resume skips."""
-        return set(self.load_records())
+        return set(self.load_records(include_shards=include_shards))
+
+    # -- shards ---------------------------------------------------------
+    def shard_store(self, worker_id: str) -> "ResultStore":
+        """The per-worker sub-store ``<root>/shard-<worker_id>/``.
+
+        Workers append only to their own shard, so the main
+        ``results.jsonl`` never sees concurrent writers; the scheduler
+        folds shards back in at :meth:`merge_shards` time.
+        """
+        return ResultStore(self.root / f"{SHARD_PREFIX}{worker_id}")
+
+    def shard_stores(self) -> list["ResultStore"]:
+        """Every shard sub-store present on disk, in sorted name order."""
+        if not self.root.is_dir():
+            return []
+        return [
+            ResultStore(path)
+            for path in sorted(self.root.iterdir())
+            if path.is_dir() and path.name.startswith(SHARD_PREFIX)
+        ]
+
+    def merge_shards(self) -> int:
+        """Fold every ``shard-*/results.jsonl`` into the main log.
+
+        Deduplicates with :func:`dedupe_records` (a stale worker
+        completing an already-rescheduled job is idempotent), appends
+        winners in sorted job-id order for a deterministic merged log,
+        and returns how many records were (re)written.  Shard files are
+        left in place as an audit trail; the main log wins on re-read.
+        """
+        main = self.load_records()
+        combined = list(main.values())
+        for shard in self.shard_stores():
+            combined.extend(shard.load_records().values())
+        merged = dedupe_records(combined)
+        changed = [
+            record
+            for job_id, record in sorted(merged.items())
+            if main.get(job_id) is not record
+        ]
+        for record in changed:
+            self.append(record)
+        if changed:
+            obs.counter_add("store.shard_merged_records", len(changed))
+        return len(changed)
 
     # -- diag timeseries ------------------------------------------------
     @property
@@ -298,3 +388,62 @@ class ResultStore:
         """The spec's jobs that have no record yet, in expansion order."""
         done = self.completed_ids()
         return [job for job in spec.jobs() if job.job_id not in done]
+
+
+# -- pure record algebra (shared by store, scheduler, and tests) --------
+def _dedupe_rank(record: JobRecord) -> tuple:
+    """Total order over duplicate records for one job id.
+
+    The max under this key wins.  Preference: a successful record beats
+    any failure (a stale worker's late ``ok`` for a job the scheduler
+    already wrote off as crashed is the *better* record); then more
+    attempts (the later chain subsumes the earlier); the canonical JSON
+    tail makes the order total so dedupe is independent of input order.
+    """
+    return (
+        1 if record.status == STATUS_OK else 0,
+        record.attempts,
+        record.finished_at,
+        json.dumps(record.to_dict(), sort_keys=True),
+    )
+
+
+def dedupe_records(records) -> dict[str, JobRecord]:
+    """Collapse an iterable of records to one winner per job id.
+
+    Order-independent: any permutation of ``records`` yields the same
+    mapping (pinned by a Hypothesis test), which is what makes duplicate
+    completions and shard merges idempotent.
+    """
+    winners: dict[str, JobRecord] = {}
+    for record in records:
+        held = winners.get(record.job_id)
+        if held is None or _dedupe_rank(record) > _dedupe_rank(held):
+            winners[record.job_id] = record
+    return winners
+
+
+DIGEST_FIELDS = ("job_id", "experiment", "params", "trial", "seed", "status", "metrics")
+
+
+def metrics_digest(records) -> str:
+    """Deterministic sha256 over the *reproducible* part of a record set.
+
+    Covers ``job_id, experiment, params, trial, seed, status, metrics``
+    and deliberately excludes the wall-clock fields (``attempts``,
+    ``duration_seconds``, ``finished_at``, ``timeout_enforced``,
+    ``error``): metrics are a pure function of (experiment, params,
+    seed), so the same spec must digest identically whether it ran on
+    the local pool, one worker, or N workers with a mid-run crash.
+    """
+    if isinstance(records, dict):
+        records = records.values()
+    rows = sorted(
+        (
+            {field: getattr(record, field) for field in DIGEST_FIELDS}
+            for record in records
+        ),
+        key=lambda row: row["job_id"],
+    )
+    payload = json.dumps(rows, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(payload).hexdigest()

@@ -16,8 +16,16 @@ experiment campaign — all from a shell.
     python -m repro campaign run examples/specs/lzw_noise_sweep.json \
         --out runs/lzw --workers 4 --obs runs/lzw/obs.jsonl
     python -m repro campaign resume runs/lzw
+    python -m repro campaign status runs/lzw
     python -m repro campaign report runs/lzw
+    python -m repro cluster run examples/specs/lzw_noise_sweep.json \
+        --out runs/lzw-cluster --workers 4 --obs-shards
+    python -m repro cluster serve --listen unix:/tmp/repro-cluster.sock
+    python -m repro cluster submit examples/specs/lzw_noise_sweep.json \
+        --connect unix:/tmp/repro-cluster.sock --out runs/lzw-svc
+    python -m repro cluster status --connect unix:/tmp/repro-cluster.sock
     python -m repro obs report runs/lzw/obs.jsonl
+    python -m repro obs watch 'runs/lzw-cluster/shard-*/obs.jsonl'
     python -m repro obs tail runs/lzw/obs.jsonl -n 40
 """
 
@@ -358,6 +366,8 @@ def _campaign_exit_code(result) -> int:
 
 def cmd_campaign_run(args: argparse.Namespace) -> int:
     """Expand a spec file into jobs and run them in parallel."""
+    from repro.campaign import SpecMismatchError
+
     spec, store, runner = _campaign_pieces(args)
     print(
         f"campaign {spec.name!r}: {spec.n_jobs()} jobs of "
@@ -366,6 +376,9 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
     )
     try:
         result = runner.run(resume=args.resume)
+    except SpecMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
         print(
             f"interrupted — finished jobs are checkpointed; continue "
@@ -387,16 +400,19 @@ def cmd_campaign_run(args: argparse.Namespace) -> int:
 def cmd_campaign_resume(args: argparse.Namespace) -> int:
     """Continue an interrupted campaign from its result directory: the
     spec is rehydrated from the manifest and recorded jobs are skipped."""
-    from repro.campaign import ResultStore
+    from repro.campaign import ResultStore, SpecMismatchError
 
     store = ResultStore(args.dir)
     if not store.exists():
         print(f"error: no campaign manifest in {args.dir}", file=sys.stderr)
         return 2
     args.out = args.dir
-    spec, store, runner = _campaign_pieces(args, spec=store.load_spec())
     try:
+        spec, store, runner = _campaign_pieces(args, spec=store.load_spec())
         result = runner.run(resume=True)
+    except SpecMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
         print(
             f"interrupted — finished jobs are checkpointed; continue "
@@ -436,14 +452,215 @@ def cmd_campaign_list(args: argparse.Namespace) -> int:
     return 0
 
 
-def _load_obs_events(sink: str):
-    """Read a JSONL obs sink or None (with a stderr message) if absent."""
-    from repro.obs import load_events
+def cmd_campaign_status(args: argparse.Namespace) -> int:
+    """Read-only progress snapshot of a campaign directory (local or
+    cluster; live or finished) from its JSONL checkpoint."""
+    import json as _json
+
+    from repro.campaign import ResultStore, campaign_status, render_status
+
+    store = ResultStore(args.dir)
+    if not store.exists():
+        print(f"error: no campaign manifest in {args.dir}", file=sys.stderr)
+        return 2
+    status = campaign_status(store)
+    if args.json:
+        _json.dump(status, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        print(render_status(status))
+    return 0
+
+
+def _cluster_exit_code(counts: dict) -> int:
+    """Same convention as local campaigns: 0 all ok, 1 all failed,
+    3 partial."""
+    failed = sum(
+        v for k, v in counts.items() if k in ("failed", "timeout", "crashed")
+    )
+    if not failed:
+        return 0
+    return 1 if counts.get("ok", 0) == 0 else 3
+
+
+def cmd_cluster_run(args: argparse.Namespace) -> int:
+    """One-shot distributed run: scheduler + N local worker processes."""
+    from repro.campaign import SpecMismatchError
+    from repro.campaign.spec import CampaignSpec
+    from repro.cluster import parse_endpoint, run_cluster
+
+    spec = CampaignSpec.from_json_file(args.spec)
+    out = args.out or f"runs/{spec.name}"
+    endpoint = parse_endpoint(args.listen) if args.listen else None
+    print(
+        f"cluster campaign {spec.name!r}: {spec.n_jobs()} jobs of "
+        f"{spec.experiment!r} -> {out} ({args.workers} worker "
+        f"process{'es' if args.workers != 1 else ''})"
+    )
+    try:
+        outcome = run_cluster(
+            spec,
+            out,
+            workers=args.workers,
+            endpoint=endpoint,
+            resume=args.resume,
+            lease_seconds=args.lease_seconds,
+            heartbeat_seconds=args.heartbeat_seconds,
+            obs_shards=args.obs_shards,
+            drill_kill_worker=args.drill_kill_worker,
+            on_event=None if args.quiet else print,
+            deadline_seconds=args.deadline,
+        )
+    except SpecMismatchError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except TimeoutError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    counts = outcome["counts"]
+    summary = ", ".join(f"{v} {k}" for k, v in sorted(counts.items()))
+    print(
+        f"cluster campaign: {summary or 'nothing to do'} "
+        f"in {outcome['elapsed_seconds']:.2f}s"
+    )
+    return _cluster_exit_code(counts)
+
+
+def cmd_cluster_worker(args: argparse.Namespace) -> int:
+    """Run one worker process against a scheduler (spawned by
+    ``cluster run``, or started by hand against ``cluster serve``)."""
+    from repro.cluster import ClusterWorker, parse_endpoint
+
+    worker = ClusterWorker(
+        parse_endpoint(args.connect),
+        worker_id=args.worker_id,
+        on_event=None if args.quiet else print,
+        max_jobs=args.max_jobs,
+    )
+    try:
+        worker.run()
+    except (ConnectionRefusedError, FileNotFoundError) as exc:
+        print(f"error: cannot reach scheduler: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_cluster_serve(args: argparse.Namespace) -> int:
+    """Run the scheduler as a long-lived campaign service."""
+    from repro.cluster import parse_endpoint, serve
+
+    serve(
+        parse_endpoint(args.listen),
+        lease_seconds=args.lease_seconds,
+        heartbeat_seconds=args.heartbeat_seconds,
+        on_event=None if args.quiet else print,
+    )
+    return 0
+
+
+def _cluster_control(args: argparse.Namespace, message: dict):
+    """Send one control message; returns the reply or None on error."""
+    from repro.cluster import control_request, parse_endpoint
 
     try:
-        return load_events(sink)
+        return control_request(parse_endpoint(args.connect), message)
+    except (ConnectionRefusedError, FileNotFoundError, OSError) as exc:
+        print(
+            f"error: cannot reach scheduler at {args.connect}: {exc}",
+            file=sys.stderr,
+        )
+        return None
+
+
+def cmd_cluster_submit(args: argparse.Namespace) -> int:
+    """Queue a campaign on a running ``cluster serve`` scheduler."""
+    from repro.campaign.spec import CampaignSpec
+
+    spec = CampaignSpec.from_json_file(args.spec)
+    out = args.out or f"runs/{spec.name}"
+    reply = _cluster_control(
+        args,
+        {
+            "type": "submit",
+            "spec": spec.to_dict(),
+            "store": out,
+            "resume": args.resume,
+        },
+    )
+    if reply is None:
+        return 2
+    if reply.get("type") != "ok":
+        print(f"error: {reply.get('error', reply)}", file=sys.stderr)
+        return 2
+    print(f"submitted {reply['campaign_id']} -> {out}")
+    return 0
+
+
+def cmd_cluster_status(args: argparse.Namespace) -> int:
+    """Show campaigns and workers of a running scheduler."""
+    import json as _json
+
+    reply = _cluster_control(args, {"type": "status"})
+    if reply is None:
+        return 2
+    if args.json:
+        _json.dump(reply, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return 0
+    campaigns = reply.get("campaigns", [])
+    workers = reply.get("workers", [])
+    if not campaigns:
+        print("(no campaigns submitted)")
+    for c in campaigns:
+        counts = ", ".join(
+            f"{v} {k}" for k, v in sorted(c.get("counts", {}).items())
+        )
+        print(
+            f"{c['campaign_id']:<28} {c['state']:<10} "
+            f"pending {c['pending']:>4}  leased {c['leased']:>3}  "
+            f"done {c['done']:>4}  [{counts or 'no outcomes yet'}] "
+            f"{c['elapsed_seconds']:.1f}s -> {c['store']}"
+        )
+    print(
+        f"workers: {sum(1 for w in workers if w.get('connected'))} connected, "
+        f"{len(workers)} seen"
+    )
+    return 0
+
+
+def cmd_cluster_cancel(args: argparse.Namespace) -> int:
+    """Cancel a queued/running campaign on the scheduler."""
+    reply = _cluster_control(
+        args, {"type": "cancel", "campaign_id": args.campaign_id}
+    )
+    if reply is None:
+        return 2
+    if reply.get("type") != "ok":
+        print(f"error: {reply.get('error', reply)}", file=sys.stderr)
+        return 2
+    print(f"cancelled {args.campaign_id}")
+    return 0
+
+
+def cmd_cluster_shutdown(args: argparse.Namespace) -> int:
+    """Ask a serving scheduler to drain and exit."""
+    reply = _cluster_control(args, {"type": "shutdown"})
+    if reply is None:
+        return 2
+    print("shutdown requested (scheduler drains running campaigns first)")
+    return 0
+
+
+def _load_obs_events(sink):
+    """Read one or many JSONL obs sinks (globs allowed) or None (with a
+    stderr message) when nothing matches."""
+    from repro.obs import load_events_multi
+
+    try:
+        return load_events_multi(sink)
     except FileNotFoundError:
-        print(f"error: no obs sink at {sink}", file=sys.stderr)
+        shown = sink if isinstance(sink, str) else " ".join(sink)
+        print(f"error: no obs sink at {shown}", file=sys.stderr)
         return None
 
 
@@ -475,9 +692,9 @@ def cmd_obs_tail(args: argparse.Namespace) -> int:
 
     import time as _time
 
-    from repro.obs.watch import SinkFollower
+    from repro.obs.watch import make_follower
 
-    follower = SinkFollower(args.sink)
+    follower = make_follower(args.sink)
     deadline = (
         None
         if args.duration is None
@@ -1103,8 +1320,111 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument("dir", help="campaign result directory")
     c.set_defaults(func=cmd_campaign_report)
 
+    c = csub.add_parser(
+        "status",
+        help="read-only done/failed/retried/pending snapshot of a "
+             "campaign directory (local or cluster)",
+    )
+    c.add_argument("dir", help="campaign result directory")
+    c.add_argument("--json", action="store_true",
+                   help="machine-readable JSON instead of text")
+    c.set_defaults(func=cmd_campaign_status)
+
     c = csub.add_parser("list", help="list registered experiments")
     c.set_defaults(func=cmd_campaign_list)
+
+    p = sub.add_parser(
+        "cluster",
+        help="distributed campaigns: scheduler, workers, campaign service",
+    )
+    clsub = p.add_subparsers(dest="cluster_command", required=True)
+
+    def add_cluster_tuning(k: argparse.ArgumentParser) -> None:
+        k.add_argument("--lease-seconds", type=float, default=30.0,
+                       help="job lease lifetime; expiry requeues the job")
+        k.add_argument("--heartbeat-seconds", type=float, default=1.0,
+                       help="worker heartbeat interval")
+
+    k = clsub.add_parser(
+        "run",
+        help="one-shot distributed run: scheduler + N local workers",
+    )
+    k.add_argument("spec", help="path to the campaign spec (JSON)")
+    k.add_argument("--out", help="result directory (default runs/<name>)")
+    k.add_argument("--workers", type=int, default=2,
+                   help="worker processes to spawn")
+    k.add_argument("--resume", action="store_true",
+                   help="continue if the directory already holds this campaign")
+    k.add_argument("--listen",
+                   help="scheduler endpoint (unix:/path or tcp:host:port; "
+                        "default: ephemeral localhost TCP)")
+    k.add_argument("--obs-shards", action="store_true",
+                   help="each worker records obs events to "
+                        "<out>/shard-<id>/obs.jsonl (watch with "
+                        "`obs watch '<out>/shard-*/obs.jsonl'`)")
+    k.add_argument("--drill-kill-worker", type=int, metavar="N",
+                   help="crash-recovery drill: SIGKILL the first worker "
+                        "after N jobs have completed")
+    k.add_argument("--deadline", type=float, default=600.0,
+                   help="abort the run after this many seconds")
+    k.add_argument("--quiet", action="store_true")
+    add_cluster_tuning(k)
+    k.set_defaults(func=cmd_cluster_run)
+
+    k = clsub.add_parser(
+        "worker", help="run one worker against a scheduler"
+    )
+    k.add_argument("--connect", required=True,
+                   help="scheduler endpoint (unix:/path or tcp:host:port)")
+    k.add_argument("--worker-id",
+                   help="stable worker name (default: generated); also "
+                        "names the shard directory")
+    k.add_argument("--max-jobs", type=int,
+                   help="exit after executing N jobs (test hook)")
+    k.add_argument("--quiet", action="store_true")
+    k.set_defaults(func=cmd_cluster_worker)
+
+    k = clsub.add_parser(
+        "serve",
+        help="long-lived campaign service (submit/status/cancel against it)",
+    )
+    k.add_argument("--listen", default="tcp:127.0.0.1:7633",
+                   help="endpoint to listen on (default tcp:127.0.0.1:7633)")
+    k.add_argument("--quiet", action="store_true")
+    add_cluster_tuning(k)
+    k.set_defaults(func=cmd_cluster_serve)
+
+    k = clsub.add_parser(
+        "submit", help="queue a campaign on a running scheduler"
+    )
+    k.add_argument("spec", help="path to the campaign spec (JSON)")
+    k.add_argument("--connect", default="tcp:127.0.0.1:7633",
+                   help="scheduler endpoint")
+    k.add_argument("--out", help="result directory (default runs/<name>)")
+    k.add_argument("--resume", action="store_true")
+    k.set_defaults(func=cmd_cluster_submit)
+
+    k = clsub.add_parser(
+        "status", help="campaigns and workers of a running scheduler"
+    )
+    k.add_argument("--connect", default="tcp:127.0.0.1:7633",
+                   help="scheduler endpoint")
+    k.add_argument("--json", action="store_true",
+                   help="raw status payload as JSON")
+    k.set_defaults(func=cmd_cluster_status)
+
+    k = clsub.add_parser("cancel", help="cancel a campaign by id")
+    k.add_argument("campaign_id", help="id from `cluster status`")
+    k.add_argument("--connect", default="tcp:127.0.0.1:7633",
+                   help="scheduler endpoint")
+    k.set_defaults(func=cmd_cluster_cancel)
+
+    k = clsub.add_parser(
+        "shutdown", help="drain and stop a serving scheduler"
+    )
+    k.add_argument("--connect", default="tcp:127.0.0.1:7633",
+                   help="scheduler endpoint")
+    k.set_defaults(func=cmd_cluster_shutdown)
 
     p = sub.add_parser(
         "obs",
@@ -1115,11 +1435,14 @@ def build_parser() -> argparse.ArgumentParser:
     o = osub.add_parser(
         "report", help="counter/histogram tables and span tree from a sink"
     )
-    o.add_argument("sink", help="JSONL sink file (--obs / REPRO_OBS path)")
+    o.add_argument("sink", nargs="+",
+                   help="JSONL sink file(s) or glob, e.g. "
+                        "'runs/x/shard-*/obs.jsonl'")
     o.set_defaults(func=cmd_obs_report)
 
     o = osub.add_parser("tail", help="print the last N events of a sink")
-    o.add_argument("sink", help="JSONL sink file")
+    o.add_argument("sink", nargs="+",
+                   help="JSONL sink file(s) or glob")
     o.add_argument("-n", type=int, default=20, help="events to show")
     o.add_argument("--follow", "-f", action="store_true",
                    help="poll the sink for appended events (tail -f); "
@@ -1135,7 +1458,9 @@ def build_parser() -> argparse.ArgumentParser:
         "watch",
         help="live dashboard over a sink a running campaign is writing",
     )
-    o.add_argument("sink", help="JSONL sink file (--obs SINK of the run)")
+    o.add_argument("sink", nargs="+",
+                   help="JSONL sink file(s) or glob (--obs SINK of the "
+                        "run, or 'out/shard-*/obs.jsonl' for a cluster)")
     o.add_argument("--interval", type=float, default=0.5,
                    help="poll/redraw interval seconds")
     o.add_argument("--duration", type=float,
@@ -1150,7 +1475,8 @@ def build_parser() -> argparse.ArgumentParser:
     o = osub.add_parser(
         "export", help="merge a sink into one JSON summary document"
     )
-    o.add_argument("sink", help="JSONL sink file")
+    o.add_argument("sink", nargs="+",
+                   help="JSONL sink file(s) or glob")
     o.add_argument("--out", help="output file (default: stdout)")
     o.set_defaults(func=cmd_obs_export)
 

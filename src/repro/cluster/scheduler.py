@@ -1,0 +1,490 @@
+"""The cluster scheduler: campaigns in, leases out, records merged.
+
+This is the distributed twin of
+:class:`repro.campaign.runner.CampaignRunner`, split along the
+scheduler/worker seam: the scheduler owns job expansion, the lease
+queue, retry/backoff accounting and finalize, while workers own
+execution (:func:`repro.campaign.executor.run_attempt`) and write
+records to their own ``shard-<worker_id>/`` sub-store.  Crash recovery
+generalizes the runner's broken-pool rebuild: a lease that expires, or
+a worker whose connection drops, charges the job exactly one attempt
+and requeues it with the same exponential backoff.
+
+The class is deliberately synchronous with an injected clock — the
+asyncio service in :mod:`repro.cluster.service` is a thin transport
+shell around it, and every failure path (lease expiry, duplicate
+completion, mid-campaign cancel) unit-tests without sockets or sleeps.
+
+Multiple campaigns queue FIFO and drain through the same worker fleet:
+a lease request scans campaigns in submission order and takes the
+first eligible job, which is what lets ``repro cluster serve`` accept
+a second submission while the first is still running.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from repro import obs
+from repro.campaign import executor as executor_mod
+from repro.campaign.spec import CampaignSpec
+from repro.campaign.store import (
+    STATUS_CRASHED,
+    STATUS_OK,
+    JobRecord,
+    ResultStore,
+)
+from repro.cluster.queue import Lease, LeaseQueue, QueuedJob
+
+STATE_RUNNING = "running"
+STATE_DONE = "done"
+STATE_CANCELLED = "cancelled"
+
+SCHEDULER_SHARD = "scheduler"
+
+
+@dataclass
+class WorkerInfo:
+    """What the scheduler knows about one registered worker."""
+
+    worker_id: str
+    pid: int = 0
+    last_seen: float = 0.0
+    connected: bool = True
+    jobs_done: int = 0
+
+
+@dataclass
+class CampaignExec:
+    """One submitted campaign's execution state."""
+
+    campaign_id: str
+    spec: CampaignSpec
+    store: ResultStore
+    queue: LeaseQueue
+    state: str = STATE_RUNNING
+    counts: dict = field(default_factory=dict)
+    retries: int = 0
+    skipped: int = 0
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+
+    def bump(self, status: str) -> None:
+        self.counts[status] = self.counts.get(status, 0) + 1
+
+
+class ClusterScheduler:
+    """Synchronous scheduler core (transport-free, clock-injected).
+
+    Args:
+        lease_seconds: lease lifetime between heartbeats; expiry charges
+            the leased job one attempt.
+        heartbeat_seconds: interval workers are told to heartbeat at
+            (must be comfortably under ``lease_seconds``).
+        clock: monotonic time source, injected in tests.
+        on_event: optional human-readable progress callback (the CLI
+            prints these lines, mirroring the runner's ``on_event``).
+    """
+
+    def __init__(
+        self,
+        lease_seconds: float = 30.0,
+        heartbeat_seconds: float = 5.0,
+        clock: Callable[[], float] = time.monotonic,
+        on_event: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.lease_seconds = lease_seconds
+        self.heartbeat_seconds = heartbeat_seconds
+        self.clock = clock
+        self.campaigns: dict[str, CampaignExec] = {}
+        self.workers: dict[str, WorkerInfo] = {}
+        self._order: list[str] = []
+        self._submit_seq = 0
+        self._on_event = on_event
+
+    def _emit(self, message: str) -> None:
+        if self._on_event is not None:
+            self._on_event(message)
+
+    # -- campaign lifecycle ---------------------------------------------
+    def submit(
+        self, spec: CampaignSpec, store_root, resume: bool = False
+    ) -> str:
+        """Open (or resume) a campaign and queue its unfinished jobs.
+
+        Inherits the store's spec-hash check: submitting a spec against
+        a directory holding a different campaign raises
+        :class:`repro.campaign.store.SpecMismatchError`.
+        """
+        store = ResultStore(store_root)
+        store.open_campaign(spec, resume=resume)
+        all_jobs = spec.jobs()
+        # Records may still be sitting un-merged in shards from an
+        # earlier scheduler that died before finalize — resume must not
+        # re-run those jobs (and merge will reconcile them).
+        done_ids = store.completed_ids(include_shards=True)
+        pending = [
+            QueuedJob(job=job, position=position)
+            for position, job in enumerate(all_jobs)
+            if job.job_id not in done_ids
+        ]
+        self._submit_seq += 1
+        campaign_id = f"c{self._submit_seq}-{spec.name}"
+        queue = LeaseQueue(
+            jobs=pending,
+            max_retries=spec.max_retries,
+            retry_backoff=spec.retry_backoff,
+            lease_seconds=self.lease_seconds,
+            clock=self.clock,
+        )
+        exec_ = CampaignExec(
+            campaign_id=campaign_id,
+            spec=spec,
+            store=store,
+            queue=queue,
+            skipped=len(all_jobs) - len(pending),
+            started_at=self.clock(),
+        )
+        self.campaigns[campaign_id] = exec_
+        self._order.append(campaign_id)
+        obs.counter_add("cluster.campaigns_submitted")
+        obs.log(
+            "info",
+            "campaign started",
+            campaign=spec.name,
+            campaign_id=campaign_id,
+            experiment=spec.experiment,
+            jobs=len(pending),
+            workers=len([w for w in self.workers.values() if w.connected]),
+        )
+        self._emit(
+            f"submitted {campaign_id}: {len(pending)} jobs "
+            f"({exec_.skipped} already recorded)"
+        )
+        if not pending:
+            self._finalize(exec_)
+        return campaign_id
+
+    def cancel(self, campaign_id: str) -> bool:
+        """Drop a campaign's pending jobs and finalize what it has."""
+        exec_ = self.campaigns.get(campaign_id)
+        if exec_ is None or exec_.state != STATE_RUNNING:
+            return False
+        dropped = exec_.queue.clear_pending()
+        exec_.counts["cancelled"] = dropped + exec_.queue.leased_count
+        exec_.state = STATE_CANCELLED
+        self._finalize(exec_, state=STATE_CANCELLED)
+        obs.counter_add("cluster.campaigns_cancelled")
+        self._emit(f"cancelled {campaign_id} ({dropped} jobs dropped)")
+        return True
+
+    def _finalize(self, exec_: CampaignExec, state: str = STATE_DONE) -> None:
+        """Merge shards into the main store and stamp the manifest —
+        after this, ``campaign report``/``diag``/``obs`` read the merged
+        directory exactly as if the local runner had produced it."""
+        merged = exec_.store.merge_shards()
+        counts = dict(exec_.counts)
+        counts["skipped"] = exec_.skipped
+        exec_.store.finalize(counts)
+        exec_.state = state
+        exec_.finished_at = self.clock()
+        obs.log(
+            "info",
+            "campaign finalized",
+            campaign_id=exec_.campaign_id,
+            state=state,
+            merged_records=merged,
+            **{k: v for k, v in counts.items()},
+        )
+        self._emit(
+            f"finalized {exec_.campaign_id}: "
+            + (", ".join(f"{v} {k}" for k, v in sorted(counts.items())) or "empty")
+        )
+
+    def active(self) -> bool:
+        """Whether any campaign is still running."""
+        return any(
+            e.state == STATE_RUNNING for e in self.campaigns.values()
+        )
+
+    # -- worker lifecycle -----------------------------------------------
+    def register_worker(self, worker_id: str, pid: int = 0) -> dict:
+        """Admit a worker; returns the ``registered`` message body."""
+        self.workers[worker_id] = WorkerInfo(
+            worker_id=worker_id, pid=pid, last_seen=self.clock()
+        )
+        obs.counter_add("cluster.workers_registered")
+        self._emit(f"worker {worker_id} registered (pid {pid})")
+        return {
+            "heartbeat_seconds": self.heartbeat_seconds,
+            "lease_seconds": self.lease_seconds,
+        }
+
+    def heartbeat(self, worker_id: str) -> None:
+        """Refresh every lease the worker holds."""
+        info = self.workers.get(worker_id)
+        if info is not None:
+            info.last_seen = self.clock()
+        for exec_ in self.campaigns.values():
+            if exec_.state == STATE_RUNNING:
+                exec_.queue.heartbeat(worker_id)
+
+    def disconnect_worker(self, worker_id: str) -> None:
+        """A worker's connection dropped: its leases return to the
+        queue *now* (a closed socket is proof of death — no need to
+        wait out the lease)."""
+        info = self.workers.get(worker_id)
+        if info is None or not info.connected:
+            return
+        info.connected = False
+        released = 0
+        for exec_ in self.campaigns.values():
+            if exec_.state != STATE_RUNNING:
+                continue
+            for lease in exec_.queue.release_worker(worker_id):
+                self._charge_crash(
+                    exec_,
+                    lease,
+                    f"worker {worker_id} disconnected mid-job",
+                )
+                released += 1
+            if exec_.queue.drained():
+                self._finalize(exec_)
+        if released:
+            obs.counter_add("cluster.leases_released", released)
+        self._emit(
+            f"worker {worker_id} disconnected ({released} leases released)"
+        )
+
+    # -- the lease/result plane -----------------------------------------
+    def request_lease(self, worker_id: str) -> Optional[dict]:
+        """Hand the next eligible job to ``worker_id`` as a ``job``
+        message body, or ``None`` when nothing is ready."""
+        info = self.workers.get(worker_id)
+        if info is not None:
+            info.last_seen = self.clock()
+        for campaign_id in self._order:
+            exec_ = self.campaigns[campaign_id]
+            if exec_.state != STATE_RUNNING:
+                continue
+            lease = exec_.queue.lease(worker_id)
+            if lease is None:
+                continue
+            return self._job_message(exec_, lease)
+        return None
+
+    def idle_retry_after(self) -> float:
+        """How long an idle worker should wait before re-asking."""
+        waits = [
+            exec_.queue.next_eligible_in()
+            for exec_ in self.campaigns.values()
+            if exec_.state == STATE_RUNNING
+        ]
+        waits = [w for w in waits if w is not None]
+        if not waits:
+            return 0.2
+        return min(0.2, max(0.02, min(waits)))
+
+    def _job_message(self, exec_: CampaignExec, lease: Lease) -> dict:
+        queued = lease.queued
+        job = queued.job
+        payload = {
+            "job_id": job.job_id,
+            "experiment": job.experiment,
+            "params": job.params_dict(),
+            "seed": job.seed,
+            "timeout_seconds": exec_.spec.timeout_seconds,
+            "attempt": queued.attempt,
+        }
+        inject = exec_.spec.inject_failures
+        if inject is not None and inject.applies_to(
+            job, queued.position, queued.attempt
+        ):
+            payload["inject_mode"] = inject.mode
+            # A cluster worker must not hard-exit on an injected crash:
+            # unlike a pool worker there is nothing to respawn it, so
+            # the drill surfaces as WorkerCrash (the in-process
+            # executor's convention).  Real worker death is exercised
+            # by the SIGKILL drill instead.
+            payload["allow_hard_crash"] = False
+        return {
+            "campaign_id": exec_.campaign_id,
+            "lease_id": lease.lease_id,
+            "job_id": job.job_id,
+            "trial": job.trial,
+            "payload": payload,
+            "final": exec_.queue.is_final_attempt(queued),
+            "store_root": str(exec_.store.root),
+        }
+
+    def handle_result(self, worker_id: str, message: dict) -> None:
+        """Consume one worker ``result``; stale completions (lease
+        already rescheduled / campaign gone) are no-ops — the record
+        the worker wrote is reconciled by dedupe at merge time."""
+        exec_ = self.campaigns.get(message.get("campaign_id", ""))
+        if exec_ is None or exec_.state != STATE_RUNNING:
+            obs.counter_add("cluster.results_stale")
+            return
+        job_id = message.get("job_id", "")
+        queued = exec_.queue.resolve(job_id, worker_id)
+        if queued is None:
+            obs.counter_add("cluster.results_stale")
+            return
+        obs.counter_add("cluster.attempts")
+        status = message.get("status", "")
+        if status == STATUS_OK:
+            exec_.queue.mark_done(job_id)
+            exec_.bump(STATUS_OK)
+            info = self.workers.get(worker_id)
+            if info is not None:
+                info.jobs_done += 1
+            obs.counter_add("campaign.ok")
+            obs.observe(
+                "campaign.job_seconds", float(message.get("duration", 0.0))
+            )
+            self._emit(
+                f"ok {job_id} via {worker_id} "
+                f"({float(message.get('duration', 0.0)):.2f}s, "
+                f"attempt {queued.attempt + 1})"
+            )
+        elif exec_.queue.is_final_attempt(queued):
+            # The worker already wrote the terminal failure record to
+            # its shard (it was told final=true on the lease).
+            exec_.queue.mark_done(job_id)
+            exec_.bump(status)
+            obs.counter_add(f"campaign.{status}")
+            obs.log(
+                "warning",
+                "job gave up",
+                job_id=job_id,
+                status=status,
+                attempts=queued.attempt + 1,
+                error=message.get("error"),
+            )
+            self._emit(
+                f"gave up on {job_id} after {queued.attempt + 1} attempts: "
+                f"{message.get('error')}"
+            )
+        else:
+            delay = exec_.queue.retry(queued)
+            exec_.retries += 1
+            obs.counter_add("campaign.retries")
+            self._emit(
+                f"retry {job_id} (attempt {queued.attempt + 1}, "
+                f"after {delay:.2f}s): {message.get('error')}"
+            )
+        if exec_.queue.drained():
+            self._finalize(exec_)
+
+    # -- crash recovery --------------------------------------------------
+    def _timeout_enforced_hint(self, exec_: CampaignExec) -> Optional[bool]:
+        if (
+            exec_.spec.timeout_seconds is not None
+            and not executor_mod.alarm_supported()
+        ):
+            return False
+        return None
+
+    def _charge_crash(
+        self, exec_: CampaignExec, lease: Lease, error: str
+    ) -> None:
+        """Charge a dead lease one attempt — retry with backoff or
+        record the terminal crash, mirroring the runner's broken-pool
+        accounting (in-flight jobs are charged exactly once)."""
+        queued = lease.queued
+        if not exec_.queue.is_final_attempt(queued):
+            delay = exec_.queue.retry(queued)
+            exec_.retries += 1
+            obs.counter_add("campaign.retries")
+            self._emit(
+                f"retry {queued.job.job_id} (attempt {queued.attempt + 1}, "
+                f"after {delay:.2f}s): {error}"
+            )
+            return
+        job = queued.job
+        record = JobRecord(
+            job_id=job.job_id,
+            experiment=job.experiment,
+            params=job.params_dict(),
+            trial=job.trial,
+            seed=job.seed,
+            status=STATUS_CRASHED,
+            attempts=queued.attempt + 1,
+            duration_seconds=max(0.0, self.clock() - lease.issued_at),
+            error=error,
+            timeout_enforced=self._timeout_enforced_hint(exec_),
+        )
+        shard = exec_.store.shard_store(SCHEDULER_SHARD)
+        shard.root.mkdir(parents=True, exist_ok=True)
+        shard.append(record)
+        exec_.queue.mark_done(job.job_id)
+        exec_.bump(STATUS_CRASHED)
+        obs.counter_add("campaign.crashed")
+        obs.log(
+            "warning",
+            "job gave up",
+            job_id=job.job_id,
+            status=STATUS_CRASHED,
+            attempts=queued.attempt + 1,
+            error=error,
+        )
+        self._emit(
+            f"gave up on {job.job_id} after {queued.attempt + 1} "
+            f"attempts: {error}"
+        )
+
+    def tick(self) -> None:
+        """Periodic housekeeping: expire overdue leases (heartbeat
+        loss ⇒ crash recovery) and finalize drained campaigns."""
+        for exec_ in list(self.campaigns.values()):
+            if exec_.state != STATE_RUNNING:
+                continue
+            for lease in exec_.queue.expire():
+                obs.counter_add("cluster.leases_expired")
+                self._charge_crash(
+                    exec_,
+                    lease,
+                    f"lease expired (worker {lease.worker_id} "
+                    f"missed heartbeats)",
+                )
+            if exec_.queue.drained():
+                self._finalize(exec_)
+
+    # -- introspection ---------------------------------------------------
+    def status_payload(self) -> dict:
+        """The ``cluster status`` wire payload."""
+        now = self.clock()
+        return {
+            "campaigns": [
+                {
+                    "campaign_id": e.campaign_id,
+                    "name": e.spec.name,
+                    "experiment": e.spec.experiment,
+                    "state": e.state,
+                    "store": str(e.store.root),
+                    "pending": e.queue.pending_count,
+                    "leased": e.queue.leased_count,
+                    "done": e.queue.done_count,
+                    "skipped": e.skipped,
+                    "retries": e.retries,
+                    "counts": dict(e.counts),
+                    "elapsed_seconds": (
+                        (e.finished_at or now) - e.started_at
+                    ),
+                }
+                for cid in self._order
+                for e in (self.campaigns[cid],)
+            ],
+            "workers": [
+                {
+                    "worker_id": w.worker_id,
+                    "pid": w.pid,
+                    "connected": w.connected,
+                    "jobs_done": w.jobs_done,
+                    "last_seen_seconds_ago": max(0.0, now - w.last_seen),
+                }
+                for w in self.workers.values()
+            ],
+        }

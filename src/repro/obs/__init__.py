@@ -48,8 +48,10 @@ from repro.obs.core import (
     warn_once,
 )
 from repro.obs.report import (
+    expand_sinks,
     format_event,
     load_events,
+    load_events_multi,
     merge_events,
     merge_warnings,
     render_report,
@@ -57,8 +59,10 @@ from repro.obs.report import (
     render_tail,
 )
 from repro.obs.watch import (
+    MultiSinkFollower,
     SinkFollower,
     WatchState,
+    make_follower,
     render_watch,
     sparkline,
 )
@@ -74,12 +78,16 @@ __all__ = [
     "disable",
     "enable",
     "enabled",
+    "expand_sinks",
     "flush",
     "format_event",
     "get_logger",
     "histograms_snapshot",
     "load_events",
+    "load_events_multi",
     "log",
+    "make_follower",
+    "MultiSinkFollower",
     "merge_events",
     "merge_warnings",
     "observe",

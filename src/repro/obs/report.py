@@ -38,6 +38,58 @@ def load_events(path: str) -> list[dict]:
     return events
 
 
+def expand_sinks(patterns) -> list[str]:
+    """Expand sink paths and globs into a sorted, deduplicated list.
+
+    ``patterns`` is one path/glob or a sequence of them — this is what
+    lets ``obs report 'runs/x/shard-*/obs.jsonl'`` cover a sharded
+    cluster campaign with one argument.
+    """
+    import glob as _glob
+
+    if isinstance(patterns, (str, bytes)):
+        patterns = [patterns]
+    paths: list[str] = []
+    for pattern in patterns:
+        pattern = str(pattern)
+        if any(ch in pattern for ch in "*?["):
+            paths.extend(_glob.glob(pattern))
+        else:
+            paths.append(pattern)
+    seen: set[str] = set()
+    unique = []
+    for path in sorted(paths):
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def load_events_multi(patterns) -> list[dict]:
+    """Read one or many sinks (globs allowed) into one event stream.
+
+    Events from a multi-sink read are tagged with their source path in
+    ``"_src"`` so :func:`merge_events` keeps counter snapshots
+    last-per-``(sink, pid)`` and then sums — two shard sinks written by
+    workers that happen to share a pid namespace still merge correctly.
+    A single concrete path behaves exactly like :func:`load_events`.
+    """
+    paths = expand_sinks(patterns)
+    if not paths:
+        raise FileNotFoundError(
+            f"no obs sink matches {patterns!r}"
+        )
+    if len(paths) == 1:
+        return load_events(paths[0])
+    events: list[dict] = []
+    for path in paths:
+        for event in load_events(path):
+            event["_src"] = path
+            events.append(event)
+    events.sort(key=lambda e: float(e.get("ts", 0.0)))
+    return events
+
+
 def merge_warnings(events: list[dict]) -> list[dict]:
     """Deduplicate warning logs by ``warn_key``.
 
@@ -72,11 +124,14 @@ def merge_warnings(events: list[dict]) -> list[dict]:
 def merge_events(events: list[dict]) -> dict:
     """Aggregate a sink's events into one JSON-ready summary:
     ``{"counters", "histograms", "spans", "metrics", "warnings", ...}``."""
-    # Last cumulative snapshot per pid, then summed across pids.
+    # Last cumulative snapshot per (sink, pid), then summed.  The sink
+    # half of the key is None for single-sink reads (identical to the
+    # historical per-pid merge) and the source path for multi-sink
+    # reads, so shard sinks with colliding pids still sum correctly.
     last_per_pid: dict = {}
     for event in events:
         if event.get("kind") == "counters":
-            last_per_pid[event.get("pid", 0)] = event
+            last_per_pid[(event.get("_src"), event.get("pid", 0))] = event
     counters: dict[str, float] = {}
     histograms: dict[str, Histogram] = {}
     for snapshot in last_per_pid.values():

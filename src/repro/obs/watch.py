@@ -103,6 +103,52 @@ class SinkFollower:
         return events
 
 
+class MultiSinkFollower:
+    """Follow many sinks (or a glob) as one merged event stream.
+
+    Re-expands the glob on every poll, so shard sinks that appear
+    mid-campaign (a worker registering late) are picked up live.  Each
+    delivered event is tagged with its source path in ``"_src"``, which
+    :class:`WatchState` uses to key counter snapshots per
+    ``(sink, pid)`` — the shard-aware version of last-per-pid-then-sum.
+    """
+
+    def __init__(self, patterns) -> None:
+        if isinstance(patterns, (str, bytes)):
+            patterns = [patterns]
+        self.patterns = [str(p) for p in patterns]
+        self._followers: dict[str, SinkFollower] = {}
+
+    @property
+    def corrupt(self) -> int:
+        return sum(f.corrupt for f in self._followers.values())
+
+    def poll(self) -> list[dict]:
+        """Newly appended complete events across every matching sink."""
+        from repro.obs.report import expand_sinks
+
+        for path in expand_sinks(self.patterns):
+            if path not in self._followers:
+                self._followers[path] = SinkFollower(path)
+        events: list[dict] = []
+        for path in sorted(self._followers):
+            for event in self._followers[path].poll():
+                event["_src"] = path
+                events.append(event)
+        events.sort(key=lambda e: float(e.get("ts", 0.0)))
+        return events
+
+
+def make_follower(sink):
+    """The right follower for one path, many paths, or a glob."""
+    patterns = [sink] if isinstance(sink, (str, bytes)) else list(sink)
+    if len(patterns) == 1 and not any(
+        ch in str(patterns[0]) for ch in "*?["
+    ):
+        return SinkFollower(str(patterns[0]))
+    return MultiSinkFollower(patterns)
+
+
 class WatchState:
     """Incrementally aggregated view of a sink's event stream."""
 
@@ -138,7 +184,10 @@ class WatchState:
                 self.pids.add(pid)
             kind = event.get("kind")
             if kind == "counters":
-                key = event.get("pid", 0)
+                # Keyed (sink, pid): None-sink for single-sink watches
+                # (the historical behavior), the shard path for merged
+                # watches — same pid in two shard sinks must sum.
+                key = (event.get("_src"), event.get("pid", 0))
                 self._counters_per_pid[key] = event.get("counters", {})
                 self._histograms_per_pid[key] = event.get("histograms", {})
             elif kind == "metrics":
@@ -279,7 +328,7 @@ def render_watch(state: WatchState, sink: str = "", width: int = 78) -> str:
 
 
 def watch_loop(
-    sink: str,
+    sink,
     interval: float = 0.5,
     duration: Optional[float] = None,
     clear: bool = True,
@@ -288,21 +337,25 @@ def watch_loop(
 ) -> WatchState:
     """Poll ``sink`` and re-render the dashboard until interrupted.
 
-    ``duration`` bounds the loop (None = until Ctrl-C); ``once`` renders
-    a single frame and returns — both exist so CI and tests can drive
-    the watch without killing a process.  Returns the final state.
+    ``sink`` may be one path, a list of paths, or a glob pattern (a
+    sharded cluster campaign is watched with
+    ``--obs 'runs/x/shard-*/obs.jsonl'``).  ``duration`` bounds the
+    loop (None = until Ctrl-C); ``once`` renders a single frame and
+    returns — both exist so CI and tests can drive the watch without
+    killing a process.  Returns the final state.
     """
     if emit is None:  # pragma: no cover - exercised via CLI
         def emit(text: str) -> None:
             sys.stdout.write(text + "\n")
             sys.stdout.flush()
-    follower = SinkFollower(sink)
+    follower = make_follower(sink)
+    title = sink if isinstance(sink, str) else " ".join(str(s) for s in sink)
     state = WatchState()
     deadline = None if duration is None else time.monotonic() + duration
     try:
         while True:
             state.ingest(follower.poll())
-            frame = render_watch(state, sink=sink)
+            frame = render_watch(state, sink=title)
             if clear and not once:
                 frame = "\x1b[2J\x1b[H" + frame
             emit(frame)

@@ -334,9 +334,9 @@ class TestTimeoutEnforcement:
     def test_unenforceable_budget_flagged_and_warned_once(
         self, tmp_path, monkeypatch
     ):
-        import repro.campaign.runner as runner_mod
+        import repro.campaign.executor as executor_mod
 
-        monkeypatch.setattr(runner_mod, "_alarm_supported", lambda: False)
+        monkeypatch.setattr(executor_mod, "alarm_supported", lambda: False)
         spec = CampaignSpec(
             name="noalarm",
             experiment="test_echo",

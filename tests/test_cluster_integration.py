@@ -1,0 +1,211 @@
+"""End-to-end cluster runs with real worker subprocesses.
+
+Two drills, both deadline-polled (no fixed sleeps):
+
+* the one-shot ``run_cluster`` path with a worker SIGKILLed mid-run —
+  every job must still complete and the merged store must be
+  digest-identical to a single-host run of the same spec;
+* service mode — a ``cluster serve`` scheduler accepting a second
+  campaign while the first drains through the same worker fleet, with
+  ``cluster status`` reflecting both.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import obs
+from repro.campaign import (
+    CampaignRunner,
+    CampaignSpec,
+    ResultStore,
+    metrics_digest,
+)
+from repro.campaign.spec import FaultInjection
+from repro.cluster import run_cluster
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.reset()
+    yield
+    obs.reset()
+
+
+@pytest.fixture(autouse=True)
+def worker_pythonpath(monkeypatch):
+    """Worker subprocesses import repro via PYTHONPATH."""
+    monkeypatch.setenv("PYTHONPATH", str(REPO / "src"))
+
+
+def drill_spec(name="int-drill"):
+    # Importable by worker subprocesses, fast, with injected failures
+    # so the retry plane is exercised too.
+    return CampaignSpec(
+        name=name,
+        experiment="lzw_recovery",
+        grid={"size": [30, 40, 50]},
+        trials=2,
+        max_retries=2,
+        retry_backoff=0.0,
+        inject_failures=FaultInjection(count=2, attempts=1),
+    )
+
+
+class TestKillDrill:
+    def test_two_workers_one_killed_digest_matches_single_host(
+        self, tmp_path
+    ):
+        """The acceptance drill: 2 workers, w0 SIGKILLed mid-run; all
+        jobs complete and the metrics digest equals the single-host
+        run's — crash recovery must not change a single metric byte."""
+        result = run_cluster(
+            drill_spec(),
+            tmp_path / "cluster",
+            workers=2,
+            lease_seconds=10.0,
+            heartbeat_seconds=0.3,
+            drill_kill_worker=2,
+            deadline_seconds=120.0,
+        )
+        assert result["state"] == "done"
+        assert result["counts"]["ok"] == 6
+        assert result["counts"].get("crashed", 0) == 0
+        assert result["counts"].get("failed", 0) == 0
+
+        cluster_store = ResultStore(tmp_path / "cluster")
+        records = cluster_store.load_records()
+        assert len(records) == 6
+        assert all(record.ok for record in records.values())
+        # The kill and the injected failures left retry fingerprints in
+        # the wall-clock fields only.
+        assert max(record.attempts for record in records.values()) >= 2
+
+        single_store = ResultStore(tmp_path / "single")
+        single = CampaignRunner(drill_spec(), single_store).run()
+        assert single.counts == {"ok": 6}
+        assert metrics_digest(records) == metrics_digest(
+            single_store.load_records()
+        )
+
+
+def popen_repro(*argv, **kwargs):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-u", "-m", "repro", *argv],
+        env=env,
+        text=True,
+        **kwargs,
+    )
+
+
+def run_repro(*argv, timeout=60):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+
+
+class TestServiceMode:
+    def test_serve_accepts_second_campaign_while_first_drains(
+        self, tmp_path
+    ):
+        spec_paths = []
+        for index in (1, 2):
+            spec = dict(
+                name=f"svc{index}",
+                experiment="lzw_recovery",
+                grid={"size": [30, 40]},
+                trials=2,
+            )
+            path = tmp_path / f"spec{index}.json"
+            path.write_text(json.dumps(spec))
+            spec_paths.append(path)
+
+        serve = popen_repro(
+            "cluster", "serve", "--listen", "tcp:127.0.0.1:0",
+            "--heartbeat-seconds", "0.3", "--lease-seconds", "10",
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+        )
+        workers = []
+        try:
+            line = serve.stdout.readline()
+            assert "serving on " in line, line
+            endpoint = line.strip().rsplit("serving on ", 1)[1]
+
+            workers = [
+                popen_repro(
+                    "cluster", "worker", "--connect", endpoint,
+                    "--worker-id", f"svc-w{i}", "--quiet",
+                    stdout=subprocess.DEVNULL,
+                    stderr=subprocess.DEVNULL,
+                )
+                for i in range(2)
+            ]
+
+            # Submit both campaigns back to back: the second queues
+            # while the first is still draining through the fleet.
+            for index, path in enumerate(spec_paths, start=1):
+                proc = run_repro(
+                    "cluster", "submit", str(path),
+                    "--connect", endpoint,
+                    "--out", str(tmp_path / f"out{index}"),
+                )
+                assert proc.returncode == 0, proc.stderr
+                assert f"svc{index}" in proc.stdout
+
+            deadline = time.monotonic() + 120.0
+            while time.monotonic() < deadline:
+                proc = run_repro(
+                    "cluster", "status", "--connect", endpoint, "--json"
+                )
+                assert proc.returncode == 0, proc.stderr
+                status = json.loads(proc.stdout)
+                names = [c["name"] for c in status["campaigns"]]
+                assert names == ["svc1", "svc2"]  # both visible at once
+                if all(
+                    c["state"] == "done" for c in status["campaigns"]
+                ):
+                    break
+                time.sleep(0.2)
+            else:
+                pytest.fail(f"campaigns never drained: {status}")
+
+            assert status["campaigns"][0]["counts"] == {"ok": 4}
+            assert status["campaigns"][1]["counts"] == {"ok": 4}
+            connected = [
+                w for w in status["workers"] if w["connected"]
+            ]
+            assert len(connected) == 2
+
+            proc = run_repro("cluster", "shutdown", "--connect", endpoint)
+            assert proc.returncode == 0, proc.stderr
+            assert serve.wait(timeout=30) == 0
+            for worker in workers:
+                assert worker.wait(timeout=30) == 0
+        finally:
+            for proc in [serve, *workers]:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+
+        for index in (1, 2):
+            store = ResultStore(tmp_path / f"out{index}")
+            records = store.load_records()
+            assert len(records) == 4
+            assert all(record.ok for record in records.values())
+            assert store.load_manifest()["outcomes"]["ok"] == 4
