@@ -8,7 +8,12 @@ two features the paper's attack innovations target: the sliced LLC
 way partitioning (the paper's first offensive use of CAT).
 """
 
-from repro.cache.model import Cache, CacheConfig, AccessResult
+from repro.cache.model import (
+    AccessResult,
+    BatchAccessResult,
+    Cache,
+    CacheConfig,
+)
 from repro.cache.cat import CatController
 from repro.cache.noise import BackgroundNoise, OsPollution
 
@@ -16,6 +21,7 @@ __all__ = [
     "Cache",
     "CacheConfig",
     "AccessResult",
+    "BatchAccessResult",
     "CatController",
     "BackgroundNoise",
     "OsPollution",

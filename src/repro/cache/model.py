@@ -85,7 +85,6 @@ _SLICE_MASKS = (
 # Parity of every 16-bit value; _parity folds wider words onto it.
 _PARITY16 = bytes(bin(i).count("1") & 1 for i in range(1 << 16))
 
-
 def _parity(x: int) -> int:
     """XOR-parity of an address-sized (< 2**64) integer."""
     x ^= x >> 32
@@ -100,6 +99,21 @@ class AccessResult:
     hit: bool
     latency: float
     evicted: Optional[int] = None  # line address pushed out, if any
+
+
+@dataclass(slots=True)
+class BatchAccessResult:
+    """Outcome of one :meth:`Cache.access_many` call: per-access columns
+    in input order, equal to what a scalar :meth:`Cache.access` loop
+    would have produced access by access."""
+
+    hits: "np.ndarray"  # bool, per access
+    latencies: "np.ndarray"  # float64, per access
+    evicted: list[Optional[int]]  # per access, line address or None
+
+    @property
+    def n_hits(self) -> int:
+        return int(self.hits.sum())
 
 
 class PlruTree:
@@ -470,6 +484,117 @@ class Cache:
             return
         self._stamps[idx] = stamp
         self._hits += 1
+
+    # -- the batch access path -------------------------------------------
+    #
+    # Accesses are stateful (an eviction changes what the next access
+    # hits), so the hit scans and fills stay sequential; what batching
+    # buys is doing the *stateless* work — address -> (slice, set, way
+    # base) mapping and the Box-Muller noise stream — for the whole
+    # vector at once, plus hoisting the per-call attribute traffic out
+    # of the loop.  Every method consumes RNG state, counters, stamps,
+    # and PLRU bits exactly as the equivalent scalar loop would
+    # (tests/test_cache_batch.py pins the equivalence).
+
+    def _take_z(self, n: int):
+        """Consume the next ``n`` standard-normal variates — the exact
+        subsequence ``n`` :meth:`_next_z` calls would return."""
+        import numpy as np
+
+        out = np.empty(n)
+        i = self._zi
+        buf = self._zbuf
+        filled = 0
+        while filled < n:
+            if i >= len(buf):
+                buf = self._refill_z()
+                i = 0
+            take = min(n - filled, len(buf) - i)
+            out[filled : filled + take] = buf[i : i + take]
+            i += take
+            filled += take
+        self._zi = i
+        return out
+
+    def _batch_walk(self, paddrs, cos: int, hits_out, evicted_out):
+        """The shared sequential core: one fused pass per address — the
+        scalar hit scan with the memoised mapping and every hot
+        attribute hoisted out of the loop.  Repeated sweeps (prime and
+        probe rounds, eviction trials) hit the ``_locate`` memo for
+        every tag, so the mapping costs one dict get per access."""
+        if hasattr(paddrs, "tolist"):
+            paddrs = paddrs.tolist()
+        get = self._loc.get
+        locate = self._locate
+        tags = self._tags
+        stamps = self._stamps
+        ways = self._ways
+        stamp = self._stamp
+        plru_on = self._plru_on
+        plru_for = self._plru_for
+        fill = self._fill
+        n_hits = 0
+        n_misses = 0
+        for k, paddr in enumerate(paddrs):
+            tag = paddr >> LINE_BITS
+            entry = get(tag)
+            base = (entry or locate(tag))[2]
+            stamp += 1
+            plru = plru_for(base) if plru_on else None
+            try:
+                idx = tags.index(tag, base, base + ways)
+            except ValueError:
+                n_misses += 1
+                self._stamp = stamp  # _fill stamps the installed line
+                evicted = fill(tag, base, cos, plru)
+                if evicted_out is not None:
+                    evicted_out.append(evicted)
+            else:
+                stamps[idx] = stamp
+                if plru is not None:
+                    plru.touch(idx - base)
+                n_hits += 1
+                if hits_out is not None:
+                    hits_out[k] = True
+                if evicted_out is not None:
+                    evicted_out.append(None)
+        self._stamp = stamp
+        self._hits += n_hits
+        self._misses += n_misses
+
+    def access_many(self, paddrs, cos: int = 0) -> BatchAccessResult:
+        """:meth:`access` over a whole address vector; same state
+        mutations, RNG consumption, and latencies as the scalar loop."""
+        import numpy as np
+
+        n = len(paddrs)
+        hits = np.zeros(n, dtype=bool)
+        evicted: list[Optional[int]] = []
+        self._batch_walk(paddrs, cos, hits, evicted)
+        zs = self._take_z(n)
+        lats = np.where(hits, self._hit_lat, self._miss_lat) + zs * self._sigma
+        np.maximum(lats, 1.0, out=lats)
+        return BatchAccessResult(hits, lats, evicted)
+
+    def access_many_timed(self, paddrs, cos: int = 0):
+        """:meth:`access_timed` over a whole address vector — the probe
+        loop entry point.  Returns the float64 latency array."""
+        import numpy as np
+
+        n = len(paddrs)
+        hits = np.zeros(n, dtype=bool)
+        # access_timed draws z before its hit scan; drawing the whole
+        # stream before the walk consumes the identical subsequence.
+        zs = self._take_z(n)
+        self._batch_walk(paddrs, cos, hits, None)
+        lats = np.where(hits, self._hit_lat, self._miss_lat) + zs * self._sigma
+        np.maximum(lats, 1.0, out=lats)
+        return lats
+
+    def access_many_silent(self, paddrs, cos: int = 0) -> None:
+        """:meth:`access_silent` over a whole address vector: line-state
+        updates only, no latency draws."""
+        self._batch_walk(paddrs, cos, None, None)
 
     def flush(self, paddr: int) -> None:
         """clflush: remove the line from the cache entirely."""

@@ -42,12 +42,17 @@ class BackgroundNoise:
         self._rng = random.Random(seed)
 
     def step(self) -> None:
-        """Touch ``rate`` random lines (call once per victim step)."""
+        """Touch ``rate`` random lines (call once per victim step).
+
+        The addresses are drawn first (same RNG stream as the scalar
+        loop), then pushed through the batch cache path in one call.
+        """
         randrange = self._rng.randrange
-        access = self._cache.access_silent
-        base, lines, cos = self._base, self._lines, self.cos
-        for _ in range(self.rate):
-            access(base + randrange(lines) * LINE_SIZE, cos)
+        base, lines = self._base, self._lines
+        addrs = [
+            base + randrange(lines) * LINE_SIZE for _ in range(self.rate)
+        ]
+        self._cache.access_many_silent(addrs, self.cos)
 
 
 class OsPollution:
@@ -72,10 +77,7 @@ class OsPollution:
 
     def fault_entry(self) -> None:
         """The cache cost of delivering one page fault."""
-        access = self._cache.access_silent
-        cos = self.cos
-        for addr in self._addrs:
-            access(addr, cos)
+        self._cache.access_many_silent(self._addrs, self.cos)
 
     def polluted_locations(self) -> set[tuple[int, int]]:
         """(slice, set) pairs this pollution lands on — what frame

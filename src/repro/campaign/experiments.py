@@ -370,6 +370,201 @@ def fingerprint_from_store(params: dict, seed: int) -> dict:
     )
 
 
+# Process-level store cache for the replay benches: capture once per
+# (kind, pin) per process, then every timed repeat measures replay
+# alone.  Keyed by the full capture pin so distinct bench params never
+# share a store; the scratch directories are removed at process exit.
+_BENCH_STORES: Dict[tuple, object] = {}
+
+
+def _bench_store(key: tuple, capture) -> object:
+    store = _BENCH_STORES.get(key)
+    if store is None:
+        import atexit
+        import shutil
+        import tempfile
+
+        from repro.traces import TraceStore
+
+        scratch = tempfile.mkdtemp(prefix="repro-bench-store-")
+        atexit.register(shutil.rmtree, scratch, True)
+        store = TraceStore(scratch).open()
+        capture(store)
+        _BENCH_STORES[key] = store
+    return store
+
+
+def _survey_replay_store(params: dict, size: int, sweep_seed: int):
+    from repro.traces.capture import capture_survey_traces
+
+    path = params.get("store")
+    if path is not None:
+        from repro.traces import TraceStore
+
+        store = TraceStore(path).open()
+        ids = {e.trace_id for e in store.list()}
+        if f"survey-zlib-n{size}-s{sweep_seed}" not in ids:
+            capture_survey_traces(store, size=size, seed=sweep_seed,
+                                  overwrite=True)
+        return store
+    return _bench_store(
+        ("survey", size, sweep_seed),
+        lambda store: capture_survey_traces(
+            store, size=size, seed=sweep_seed, overwrite=True
+        ),
+    )
+
+
+@register_experiment("survey_replay")
+def survey_replay(params: dict, seed: int) -> dict:
+    """Replay the three survey line streams from a stored sweep.
+
+    The from-store analysis hot path in isolation: store read, chunk
+    decode, site/kind filter, ``>> 6``.  ``mode`` selects the columnar
+    (``array``) or per-record-object (``object``) decoder; the metrics
+    fingerprint the line streams and deliberately exclude ``mode``, so
+    the perf harness flags any divergence between the two decoders as a
+    digest mismatch.
+
+    Params: ``size``, ``sweep_seed`` (defaults to the job seed),
+    ``mode`` (``array`` | ``object``), optional ``store`` path (default:
+    a per-process scratch store, captured on first use).
+    """
+    import hashlib
+
+    from repro.traces.replay import target_lines
+
+    size = int(params.get("size", 600))
+    sweep_seed = int(params.get("sweep_seed", seed))
+    mode = params.get("mode", "array")
+    if mode not in ("array", "object"):
+        raise ValueError(f"unknown replay mode {mode!r}")
+    store = _survey_replay_store(params, size, sweep_seed)
+    digest = hashlib.sha256()
+    out: dict = {}
+    for target in ("zlib", "lzw", "bzip2"):
+        lines = target_lines(
+            store,
+            f"survey-{target}-n{size}-s{sweep_seed}",
+            target,
+            use_columns=(mode == "array"),
+        )
+        out[f"{target}_lines"] = int(lines.shape[0])
+        digest.update(lines.astype("<i8").tobytes())
+    out["lines_sha256"] = digest.hexdigest()
+    return out
+
+
+@register_experiment("fig7_replay")
+def fig7_replay(params: dict, seed: int) -> dict:
+    """Reassemble the Fig. 7 classifier dataset from a stored trace.
+
+    The from-store counterpart of ``fingerprint_dataset``: pooling and
+    flattening only, no victim, no classifier.  Same ``mode`` contract
+    as ``survey_replay`` — the dataset digest excludes it, pinning the
+    columnar path to the object path.
+
+    Params: ``corpus``, ``traces``, ``sweep_seed`` (defaults to the job
+    seed), ``work_factor``, ``max_file_bytes``, ``mode``, optional
+    ``store`` path.
+    """
+    import hashlib
+
+    from repro.traces.capture import capture_fingerprint_traces
+    from repro.traces.replay import dataset_from_store
+
+    corpus = params.get("corpus", "lipsum")
+    traces = int(params.get("traces", 10))
+    sweep_seed = int(params.get("sweep_seed", seed))
+    mode = params.get("mode", "array")
+    if mode not in ("array", "object"):
+        raise ValueError(f"unknown replay mode {mode!r}")
+    work_factor = params.get("work_factor")
+    max_file_bytes = params.get("max_file_bytes")
+    trace_id = f"fingerprint-{corpus}-t{traces}-s{sweep_seed}"
+
+    def capture(store) -> None:
+        capture_fingerprint_traces(
+            store,
+            trace_id,
+            corpus=corpus,
+            traces_per_file=traces,
+            seed=sweep_seed,
+            work_factor=work_factor,
+            overwrite=True,
+            max_file_bytes=max_file_bytes,
+        )
+
+    path = params.get("store")
+    if path is not None:
+        from repro.traces import TraceStore
+
+        store = TraceStore(path).open()
+        if trace_id not in {e.trace_id for e in store.list()}:
+            capture(store)
+    else:
+        store = _bench_store(
+            ("fig7", corpus, traces, sweep_seed, work_factor, max_file_bytes),
+            capture,
+        )
+    x, y = dataset_from_store(store, trace_id, use_columns=(mode == "array"))
+    digest = hashlib.sha256()
+    digest.update(x.tobytes())
+    digest.update(y.astype("<i8").tobytes())
+    return {
+        "n_samples": int(x.shape[0]),
+        "n_features": int(x.shape[1]),
+        "dataset_sha256": digest.hexdigest(),
+    }
+
+
+@register_experiment("probe_sweep")
+def probe_sweep(params: dict, seed: int) -> dict:
+    """Prime+Probe measurement rounds against background noise — the
+    batched cache API (`access_many_silent` / `access_many_timed`) hot
+    path, with no victim in the loop.
+
+    Params: ``rounds``, ``locations`` (monitored set size), ``ways``
+    (primed lines per location), ``noise_rate`` (noise lines per round),
+    plus the cache geometry (``n_slices``, ``sets_per_slice``,
+    ``cache_ways`` — default small enough that the noise actually
+    contends with the primed lines).
+    """
+    from repro.cache import BackgroundNoise, Cache, CacheConfig
+    from repro.sidechannel.prime_probe import AttackerMemory, PrimeProbe
+
+    rounds = int(params.get("rounds", 200))
+    n_locations = int(params.get("locations", 256))
+    ways = int(params.get("ways", 1))
+    noise_rate = int(params.get("noise_rate", 64))
+    cache = Cache(
+        CacheConfig(
+            n_slices=int(params.get("n_slices", 2)),
+            sets_per_slice=int(params.get("sets_per_slice", 128)),
+            ways=int(params.get("cache_ways", 4)),
+            seed=seed,
+        )
+    )
+    memory = AttackerMemory(cache, n_lines=1 << 15)
+    probe = PrimeProbe(cache, memory, ways=ways)
+    locations = memory.locations_with(ways)[:n_locations]
+    noise = BackgroundNoise(cache, rate=noise_rate, seed=seed ^ 0x5EED)
+    active_total = 0
+    for _ in range(rounds):
+        probe.prime(locations)
+        noise.step()
+        active_total += len(probe.probe(locations))
+    stats = cache.stats
+    return {
+        "rounds": rounds,
+        "locations": len(locations),
+        "active_total": active_total,
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "evictions": stats["evictions"],
+    }
+
+
 @register_experiment("mitigation_overhead")
 def mitigation_overhead(params: dict, seed: int) -> dict:
     """Section VIII costing: the full attack against the vulnerable and

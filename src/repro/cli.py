@@ -274,7 +274,11 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
     """Export one trace to JSON for external tooling."""
     import json
 
-    from repro.traces import FingerprintCapture, OracleProbe, TraceStore
+    from repro.traces import (
+        SPECIES_FINGERPRINT,
+        SPECIES_MEMORY,
+        TraceStore,
+    )
 
     store = TraceStore(args.store)
     try:
@@ -283,16 +287,38 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
         print(f"error: no trace {args.id!r} in {args.store}", file=sys.stderr)
         return 2
     records = []
-    for record in store.iter_records(args.id):
-        if isinstance(record, FingerprintCapture):
+    if entry.species == SPECIES_MEMORY:
+        cols = store.read_columns(args.id)
+        kinds = cols.lookup(cols.kind_id)
+        arrays = cols.lookup(cols.array_id)
+        sites = cols.lookup(cols.site_id)
+        lines = cols.lines()
+        for i in range(cols.n):
             records.append(
                 {
-                    "label": record.label,
-                    "capture_seed": record.capture_seed,
-                    "trace": record.trace.tolist(),
+                    "seq": int(cols.seq[i]),
+                    "kind": kinds[i],
+                    "array": arrays[i],
+                    "index": int(cols.index[i]),
+                    "elem_size": int(cols.elem_size[i]),
+                    "address": int(cols.address[i]),
+                    "cache_line": int(lines[i]),
+                    "site": sites[i],
+                    "tainted": bool(cols.addr_tainted[i]),
                 }
             )
-        elif isinstance(record, OracleProbe):
+    elif entry.species == SPECIES_FINGERPRINT:
+        cols = store.read_columns(args.id)
+        for i in range(cols.n):
+            records.append(
+                {
+                    "label": int(cols.labels[i]),
+                    "capture_seed": int(cols.capture_seeds[i]),
+                    "trace": cols.traces[i].tolist(),
+                }
+            )
+    else:
+        for record in store.iter_records(args.id):
             records.append(
                 {
                     "step": record.step,
@@ -300,20 +326,6 @@ def cmd_trace_export(args: argparse.Namespace) -> int:
                     "probe_len": record.probe_len,
                     "observation": record.observation,
                     "queries": record.queries,
-                }
-            )
-        else:
-            records.append(
-                {
-                    "seq": record.seq,
-                    "kind": record.kind,
-                    "array": record.array,
-                    "index": record.index,
-                    "elem_size": record.elem_size,
-                    "address": record.address,
-                    "cache_line": record.cache_line,
-                    "site": record.site,
-                    "tainted": bool(record.addr_taint),
                 }
             )
     payload = {"entry": entry.to_dict(), "records": records}

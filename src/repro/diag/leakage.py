@@ -261,27 +261,20 @@ def _live_lines(ctx, target: str) -> list[int]:
 
 
 def _stored_lines(store, trace_id: str, target: str) -> list[int]:
-    """The stored-trace counterpart of :func:`_live_lines`."""
-    from repro.traces.replay import replay_lines
+    """The stored-trace counterpart of :func:`_live_lines`.
 
-    records = store.iter_records(trace_id)
-    if target == "zlib":
-        from repro.compression.lz77 import SITE_HEAD
+    Decodes columnar (no per-record objects) via the same
+    :func:`~repro.traces.replay._target_filter` the replay path uses, so
+    the meter sees the identical line stream as live observation.
+    """
+    from repro.traces.replay import _target_filter, replay_lines_array
 
-        return replay_lines(records, sites=(SITE_HEAD,), kind="write")
-    if target == "lzw":
-        from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY
-
-        return replay_lines(
-            records, sites=(SITE_PRIMARY, SITE_SECONDARY), kind="read"
+    if target not in GADGET_TARGETS:
+        raise ValueError(
+            f"unknown gadget target {target!r}; choose from {GADGET_TARGETS}"
         )
-    if target == "bzip2":
-        from repro.compression.bzip2 import SITE_FTAB
-
-        return replay_lines(records, sites=(SITE_FTAB,))
-    raise ValueError(
-        f"unknown gadget target {target!r}; choose from {GADGET_TARGETS}"
-    )
+    sites, kind = _target_filter(target)
+    return replay_lines_array(store.read_columns(trace_id), sites, kind).tolist()
 
 
 def measure_gadget_live(

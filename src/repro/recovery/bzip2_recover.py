@@ -21,6 +21,7 @@ possibly empty on missed probes or polluted by false positives).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Iterable, Optional, Sequence
 
 Observation = Optional[Sequence[int]]  # candidate cache lines, or None
@@ -52,16 +53,20 @@ class RecoveredBlock:
         return [i for i, c in enumerate(self.candidates) if len(c) != 1]
 
 
-def _pairs_for_line(line: int, ftab_base: int) -> set[tuple[int, int]]:
-    """All (hi, lo) byte pairs whose ftab access falls in ``line``."""
+@lru_cache(maxsize=None)
+def _pairs_for_line(line: int, ftab_base: int) -> frozenset[tuple[int, int]]:
+    """All (hi, lo) byte pairs whose ftab access falls in ``line``.
+
+    ``4j + base in [lo_addr, lo_addr+63]`` pins ``j`` to the closed
+    interval ``[ceil((lo_addr-base)/4), floor((lo_addr+63-base)/4)]``
+    (16 consecutive values, clamped to the valid 16-bit range).  Traces
+    revisit the same few thousand lines constantly, so the result is
+    memoised per ``(line, ftab_base)``.
+    """
     lo_addr = line << 6
-    out: set[tuple[int, int]] = set()
-    # 4j + base in [lo_addr, lo_addr+63]  ->  16 consecutive j values.
-    j_min = -(-(lo_addr - ftab_base) // 4)
-    for j in range(j_min, j_min + 16):
-        if 0 <= j <= 0xFFFF and lo_addr <= ftab_base + 4 * j < lo_addr + 64:
-            out.add((j >> 8, j & 0xFF))
-    return out
+    j_lo = max(0, -(-(lo_addr - ftab_base) // 4))
+    j_hi = min(0xFFFF, (lo_addr + 63 - ftab_base) // 4)
+    return frozenset((j >> 8, j & 0xFF) for j in range(j_lo, j_hi + 1))
 
 
 def recover_bzip2_block(
@@ -139,7 +144,13 @@ def recover_bzip2_block(
 
 def observations_from_lines(lines: Iterable[int], n: int) -> list[Observation]:
     """Adapt a noise-free trace (loop order: i = n-1 .. 0) into the
-    per-index observation layout ``recover_bzip2_block`` expects."""
+    per-index observation layout ``recover_bzip2_block`` expects.
+
+    Accepts the line stream as any iterable of ints, including the
+    int64 arrays :func:`repro.traces.replay.replay_lines_array` emits.
+    """
+    if hasattr(lines, "tolist"):
+        lines = lines.tolist()
     per_index: list[Observation] = [None] * n
     for step, line in enumerate(lines):
         i = n - 1 - step

@@ -41,13 +41,9 @@ def _replay_step(state: _ReplayState, c: int, observations: list[int],
     """
     fc = (state.ent << 8) | c
     hp = (c << HSHIFT) ^ state.ent
+    n_obs = len(observations)
 
-    def check(expected_hp: int, cursor: int) -> bool:
-        if cursor >= len(observations):
-            return False
-        return (base + expected_hp * 8) >> 6 == observations[cursor]
-
-    if not check(hp, pos):
+    if pos >= n_obs or (base + hp * 8) >> 6 != observations[pos]:
         return None
     pos += 1
     slot = state.htab.get(hp, -1)
@@ -57,7 +53,7 @@ def _replay_step(state: _ReplayState, c: int, observations: list[int],
         disp = HSIZE - (hp | 1)
         while True:
             hp = (hp + (HSIZE - disp)) % HSIZE
-            if not check(hp, pos):
+            if pos >= n_obs or (base + hp * 8) >> 6 != observations[pos]:
                 return None
             pos += 1
             slot = state.htab.get(hp, -1)
@@ -97,6 +93,8 @@ def recover_lzw_input(
     """
     if htab_base % 64 != 0:
         raise ValueError("recovery assumes a cache-line-aligned htab")
+    if hasattr(observations, "tolist"):
+        observations = observations.tolist()
     if n == 0:
         return [b""]
     if not observations and n == 1:

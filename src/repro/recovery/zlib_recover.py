@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
 HASH_MASK = 0x7FFF
 LINE_MASK_BITS = 5  # head is aligned; elem size 2 hides ins_h bits 0..4
 
@@ -74,19 +76,34 @@ def recover_known_high_bits(
     """
     known = high_bits << 5
     out: list[Optional[int]] = [None] * n
-    if n < 3 or not observations:
+    if n < 3 or len(observations) == 0:
         return out
 
-    for i, line in enumerate(observations):
-        h = _ins_h_high(line, head_base)
-        # w[i+1] bits 3-4 directly (ins_h bits 8-9):
+    if isinstance(observations, np.ndarray):
+        # Array fast path: the per-observation bit algebra is pure
+        # elementwise integer math, so one vector expression recovers
+        # every interior byte at once.
+        if head_base % 64 != 0:
+            raise ValueError("recovery assumes a cache-line-aligned head array")
+        end = 1 + observations.shape[0]
+        if end > n:
+            raise IndexError("more observations than plaintext positions")
+        h = ((observations.astype(np.int64) << 6) - head_base) >> 1
         b34 = (h >> 8) & 0b11
-        # w[i+1] bits 0-2 = h bits 5-7 xor w[i+2] bits 5-7 (known):
         b02 = ((h >> 5) ^ (known >> 5)) & 0b111
-        out[i + 1] = known | (b34 << 3) | b02
+        out[1:end] = (known | (b34 << 3) | b02).tolist()
+        h0 = int(h[0])
+    else:
+        for i, line in enumerate(observations):
+            h = _ins_h_high(line, head_base)
+            # w[i+1] bits 3-4 directly (ins_h bits 8-9):
+            b34 = (h >> 8) & 0b11
+            # w[i+1] bits 0-2 = h bits 5-7 xor w[i+2] bits 5-7 (known):
+            b02 = ((h >> 5) ^ (known >> 5)) & 0b111
+            out[i + 1] = known | (b34 << 3) | b02
+        h0 = _ins_h_high(observations[0], head_base)
 
     # Byte 0: obs_0 bits 10-14 = w0 bits 0-4 xor (w1 bits 5-7 at 10-12).
-    h0 = _ins_h_high(observations[0], head_base)
     w1_high = (out[1] or known) >> 5
     low5 = ((h0 >> 10) ^ w1_high) & 0b11111
     out[0] = known | low5

@@ -64,8 +64,7 @@ class EvictionSetBuilder:
         """
         self.tests_performed += 1
         self.cache.access(target, cos=self.cos)
-        for addr in candidates:
-            self.cache.access(addr, cos=self.cos)
+        self.cache.access_many(candidates, cos=self.cos)
         result = self.cache.access(target, cos=self.cos)
         return result.latency > self.threshold
 

@@ -61,6 +61,15 @@ class AttackerMemory:
     def coverage(self) -> int:
         return len(self._by_location)
 
+    def locations_with(self, count: int) -> list[Location]:
+        """Locations where the pool holds at least ``count`` lines, in
+        pool order — the monitorable universe for ``ways=count``."""
+        return [
+            loc
+            for loc, lines in self._by_location.items()
+            if len(lines) >= count
+        ]
+
 
 class PrimeProbe:
     """The measurement loop of the Section V attack."""
@@ -85,30 +94,36 @@ class PrimeProbe:
         )
         # The monitored location set is stable across many consecutive
         # sweeps, so the flattened (location, line) visit order is
-        # cached per distinct set.
-        self._sweep_cache: dict[tuple[Location, ...], list[tuple[Location, int]]] = {}
+        # cached per distinct set — as an address vector ready for the
+        # batch cache API, plus the parallel location column.
+        self._sweep_cache: dict[
+            tuple[Location, ...], tuple["np.ndarray", list[Location]]
+        ] = {}
 
-    def _sweep_pairs(
+    def _sweep_arrays(
         self, locations: list[Location]
-    ) -> list[tuple[Location, int]]:
+    ) -> tuple["np.ndarray", list[Location]]:
         key = tuple(locations)
-        pairs = self._sweep_cache.get(key)
-        if pairs is None:
+        cached = self._sweep_cache.get(key)
+        if cached is None:
+            import numpy as np
+
             lines_for = self.memory.lines_for
             ways = self.ways
-            pairs = self._sweep_cache[key] = [
+            pairs = [
                 (loc, paddr)
                 for loc in locations
                 for paddr in lines_for(loc, ways)
             ]
-        return pairs
+            addrs = np.array([p for _, p in pairs], dtype=np.int64)
+            locs = [loc for loc, _ in pairs]
+            cached = self._sweep_cache[key] = (addrs, locs)
+        return cached
 
     def prime(self, locations: list[Location]) -> None:
         """Fill each location's attack-partition ways with own lines."""
-        access = self.cache.access_silent
-        cos = self.cos
-        for _, paddr in self._sweep_pairs(locations):
-            access(paddr, cos)
+        addrs, _ = self._sweep_arrays(locations)
+        self.cache.access_many_silent(addrs, self.cos)
 
     def probe(self, locations: list[Location]) -> set[Location]:
         """Re-time the primed lines; return locations showing a miss.
@@ -116,11 +131,8 @@ class PrimeProbe:
         A miss means *someone* filled the location since the prime —
         the victim's secret-dependent access, or noise.
         """
-        active: set[Location] = set()
-        access = self.cache.access_timed
-        cos, threshold = self.cos, self.threshold
-        add = active.add
-        for loc, paddr in self._sweep_pairs(locations):
-            if access(paddr, cos) > threshold:
-                add(loc)
-        return active
+        import numpy as np
+
+        addrs, locs = self._sweep_arrays(locations)
+        lats = self.cache.access_many_timed(addrs, self.cos)
+        return {locs[i] for i in np.flatnonzero(lats > self.threshold)}

@@ -25,6 +25,11 @@ integration: the ``trace_capture_*`` / ``*_from_store`` experiments in
 analysis jobs out over it in another.
 """
 
+from repro.traces.columns import (
+    FingerprintColumns,
+    MemoryColumns,
+    read_trace_columns,
+)
 from repro.traces.format import (
     FORMAT_VERSION,
     FingerprintCapture,
@@ -36,6 +41,7 @@ from repro.traces.format import (
     TraceReader,
     TraceSummary,
     TraceWriter,
+    count_trace_records,
     deserialize_records,
     iter_trace,
     read_trace,
@@ -54,12 +60,16 @@ from repro.traces.replay import (
     fingerprint_experiment_from_store,
     recover_from_trace,
     replay_lines,
+    replay_lines_array,
     survey_from_store,
+    target_lines,
 )
 
 __all__ = [
     "FORMAT_VERSION",
     "FingerprintCapture",
+    "FingerprintColumns",
+    "MemoryColumns",
     "OracleProbe",
     "SPECIES_FINGERPRINT",
     "SPECIES_MEMORY",
@@ -75,15 +85,19 @@ __all__ = [
     "capture_memory_trace",
     "capture_oracle_trace",
     "capture_survey_traces",
+    "count_trace_records",
     "dataset_from_store",
     "deserialize_records",
     "file_sha256",
     "fingerprint_experiment_from_store",
     "iter_trace",
     "read_trace",
+    "read_trace_columns",
     "recover_from_trace",
     "replay_lines",
+    "replay_lines_array",
     "serialize_records",
     "survey_from_store",
+    "target_lines",
     "write_trace",
 ]

@@ -147,6 +147,7 @@ def capture_fingerprint_traces(
     work_factor: Optional[int] = None,
     overwrite: bool = False,
     extra_meta: Optional[dict] = None,
+    max_file_bytes: Optional[int] = None,
 ) -> TraceEntry:
     """Capture a whole fingerprint dataset into one stored trace.
 
@@ -164,6 +165,8 @@ def capture_fingerprint_traces(
     )
 
     files = fingerprint_corpus(corpus)
+    if max_file_bytes is not None:
+        files = [f[: int(max_file_bytes)] for f in files]
     channel = FingerprintChannel(**(channel_params or {}))
     meta = {
         "species": SPECIES_FINGERPRINT,
@@ -178,6 +181,7 @@ def capture_fingerprint_traces(
             "speed_jitter": channel.speed_jitter,
         },
         "work_factor": work_factor,
+        "max_file_bytes": max_file_bytes,
         **(extra_meta or {}),
     }
     with obs.span(

@@ -31,7 +31,17 @@ Layout of one ``.trc`` file::
     header   magic "ZTRC" | version u16 LE | species u8 | reserved u8
     chunk*   payload_len u32 LE | crc32(payload) u32 LE | payload
 
-    payload  new-strings prelude | record count varint | records
+    payload  new-strings prelude | record count varint
+             | record directory (v2+) | records
+
+    directory  total-bytes varint, then one varint per record:
+               (record_byte_len << 2) | addr_tainted << 1 | value_tainted
+
+The version-2 record directory costs ~1 byte per record and is what
+makes the columnar fast path (:mod:`repro.traces.columns`) possible:
+record boundaries become a cumulative sum instead of a sequential
+decode, so replay analyses read whole chunks straight into numpy
+arrays.  Version-1 files (no directory) remain fully readable.
 
 Taint is preserved bit-exactly (the per-bit tag sets of
 :class:`~repro.taint.bittaint.BitTaint`), so replayed traces drive the
@@ -54,7 +64,8 @@ from repro.exec.events import MemoryAccess
 from repro.taint.bittaint import BitTaint
 
 MAGIC = b"ZTRC"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_VERSIONS = (1, 2)
 
 SPECIES_MEMORY = "memory"
 SPECIES_FINGERPRINT = "fingerprint"
@@ -283,6 +294,11 @@ class _MemoryCodec:
     def begin_chunk(self) -> None:
         self._reset()
 
+    def flags(self, record: MemoryAccess) -> int:
+        # Directory bits: the per-record taint booleans the columnar
+        # reader serves without decoding the taint-run payloads.
+        return (bool(record.addr_taint) << 1) | bool(record.value_taint)
+
     def encode(self, out: bytearray, record: MemoryAccess) -> None:
         write_svarint(out, record.seq - self._prev_seq)
         self._prev_seq = record.seq
@@ -332,6 +348,10 @@ class _FingerprintCodec:
 
     def begin_chunk(self) -> None:
         pass
+
+    def flags(self, record: FingerprintCapture) -> int:
+        del record
+        return 0
 
     def encode(self, out: bytearray, record: FingerprintCapture) -> None:
         trace = np.ascontiguousarray(record.trace, dtype=np.int8)
@@ -410,6 +430,10 @@ class _OracleCodec:
     def begin_chunk(self) -> None:
         self._reset()
 
+    def flags(self, record: OracleProbe) -> int:
+        del record
+        return 0
+
     def encode(self, out: bytearray, record: OracleProbe) -> None:
         write_svarint(out, record.step - self._prev_step)
         self._prev_step = record.step
@@ -473,20 +497,24 @@ class TraceWriter:
         stream: BinaryIO,
         species: str,
         chunk_records: int = DEFAULT_CHUNK_RECORDS,
+        version: int = FORMAT_VERSION,
     ) -> None:
         if species not in _SPECIES_CODES:
             raise ValueError(f"unknown trace species {species!r}")
         if chunk_records < 1:
             raise ValueError("chunk_records must be >= 1")
+        if version not in SUPPORTED_VERSIONS:
+            raise ValueError(f"unsupported trace format version {version}")
         self.species = species
         self.chunk_records = chunk_records
+        self.version = version
         self._stream = stream
         self._strings = _StringTable()
         self._codec = _CODECS[species](self._strings)
         self._buffer: list[TraceRecord] = []
         self._closed = False
         self.summary = TraceSummary(species=species)
-        header = _HEADER.pack(MAGIC, FORMAT_VERSION, _SPECIES_CODES[species], 0)
+        header = _HEADER.pack(MAGIC, version, _SPECIES_CODES[species], 0)
         self._stream.write(header)
         self.summary.size_bytes = len(header)
 
@@ -507,10 +535,23 @@ class TraceWriter:
             return
         payload = bytearray()
         self._codec.begin_chunk()
+        records_block = bytearray()
+        lengths: list[int] = []
+        flags: list[int] = []
+        for record in self._buffer:
+            before = len(records_block)
+            self._codec.encode(records_block, record)
+            lengths.append(len(records_block) - before)
+            flags.append(self._codec.flags(record))
         body = bytearray()
         write_uvarint(body, len(self._buffer))
-        for record in self._buffer:
-            self._codec.encode(body, record)
+        if self.version >= 2:
+            directory = bytearray()
+            for length, flag in zip(lengths, flags):
+                write_uvarint(directory, (length << 2) | flag)
+            write_uvarint(body, len(directory))
+            body.extend(directory)
+        body.extend(records_block)
         # String-table prelude goes first, but interning happens during
         # record encoding — so build the body first, then the prelude.
         self._strings.flush_prelude(payload)
@@ -556,10 +597,10 @@ class TraceReader:
         magic, version, species_code, _ = _HEADER.unpack(header)
         if magic != MAGIC:
             raise TraceFormatError(f"bad magic {magic!r}: not a trace file")
-        if version != FORMAT_VERSION:
+        if version not in SUPPORTED_VERSIONS:
             raise TraceFormatError(
                 f"unsupported trace format version {version} "
-                f"(this reader speaks {FORMAT_VERSION})"
+                f"(this reader speaks {SUPPORTED_VERSIONS})"
             )
         species = _SPECIES_NAMES.get(species_code)
         if species is None:
@@ -591,6 +632,13 @@ class TraceReader:
             buf = memoryview(raw)
             pos = self._strings.read_prelude(buf, 0)
             n_records, pos = read_uvarint(buf, pos)
+            if self.version >= 2:
+                # The record directory serves the columnar reader; the
+                # object path decodes records sequentially and skips it.
+                dir_nbytes, pos = read_uvarint(buf, pos)
+                if pos + dir_nbytes > len(buf):
+                    raise TraceFormatError("truncated record directory")
+                pos += dir_nbytes
             self._codec.begin_chunk()
             for _ in range(n_records):
                 record, pos = self._codec.decode(buf, pos)
@@ -632,6 +680,36 @@ def trace_species(path) -> str:
     """Peek at a file's species without decoding any records."""
     with open(path, "rb") as handle:
         return TraceReader(handle).species
+
+
+def count_trace_records(path) -> int:
+    """Count records from chunk headers alone, without decoding them.
+
+    Each chunk's CRC is still verified and its record-count varint read,
+    so a corrupted file raises exactly as full decoding would — but the
+    cost is one CRC pass over the bytes, not one decode per record.
+    """
+    with open(path, "rb") as handle:
+        reader = TraceReader(handle)  # validates magic/version/species
+        total = 0
+        while True:
+            chunk_header = handle.read(_CHUNK_HEADER.size)
+            if not chunk_header:
+                return total
+            if len(chunk_header) != _CHUNK_HEADER.size:
+                raise TraceFormatError("truncated chunk header")
+            length, crc = _CHUNK_HEADER.unpack(chunk_header)
+            raw = handle.read(length)
+            if len(raw) != length:
+                raise TraceFormatError("truncated chunk payload")
+            if zlib.crc32(raw) != crc:
+                raise TraceFormatError(
+                    "chunk CRC mismatch: trace file is corrupted"
+                )
+            buf = memoryview(raw)
+            pos = reader._strings.read_prelude(buf, 0)
+            n_records, _ = read_uvarint(buf, pos)
+            total += n_records
 
 
 def serialize_records(

@@ -48,6 +48,52 @@ def replay_lines(
     ]
 
 
+def replay_lines_array(
+    columns,
+    sites: Optional[Iterable[str]] = None,
+    kind: Optional[str] = None,
+) -> np.ndarray:
+    """Array-native :func:`replay_lines`: same filters, same ``>> 6``
+    attacker view, but over :class:`~repro.traces.columns.MemoryColumns`
+    so the whole observation stream is one masked shift."""
+    return columns.address[columns.mask(sites, kind)] >> 6
+
+
+def _target_filter(target: str) -> tuple[tuple[str, ...], Optional[str]]:
+    """The (sites, kind) observation filter each survey target uses —
+    one definition shared by live observation, object replay, columnar
+    replay, and the diag leakage meter."""
+    if target == "zlib":
+        from repro.compression.lz77 import SITE_HEAD
+
+        return (SITE_HEAD,), "write"
+    if target == "lzw":
+        from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY
+
+        return (SITE_PRIMARY, SITE_SECONDARY), "read"
+    if target == "bzip2":
+        from repro.compression.bzip2 import SITE_FTAB
+
+        return (SITE_FTAB,), None
+    raise ValueError(f"no observation filter for target {target!r}")
+
+
+def target_lines(
+    store: TraceStore,
+    trace_id: str,
+    target: Optional[str] = None,
+    use_columns: bool = True,
+) -> np.ndarray:
+    """One stored trace's attacker-observed line stream for a survey
+    target (defaults to the trace's own ``target`` metadata)."""
+    meta = _require_species(store, trace_id, SPECIES_MEMORY)
+    sites, kind = _target_filter(target or meta["target"])
+    if use_columns:
+        return replay_lines_array(store.read_columns(trace_id), sites, kind)
+    lines = replay_lines(store.iter_records(trace_id), sites=sites, kind=kind)
+    return np.asarray(lines, dtype=np.int64)
+
+
 def _require_species(store: TraceStore, trace_id: str, species: str) -> dict:
     entry = store.get(trace_id)
     if entry.species != species:
@@ -65,33 +111,32 @@ def _truth(meta: dict) -> bytes:
     return make_input(meta["input_kind"], int(meta["size"]), int(meta["input_seed"]))
 
 
-def recover_from_trace(store: TraceStore, trace_id: str) -> dict:
+def recover_from_trace(
+    store: TraceStore, trace_id: str, use_columns: bool = True
+) -> dict:
     """Run the matching Section IV recovery on one stored memory trace.
 
     Dispatches on the trace's ``target`` metadata and returns the same
-    metric names the live survey produces for that target.
+    metric names the live survey produces for that target.  The default
+    columnar path feeds the recovery decoders the identical line stream
+    (``tests/test_traces_columns.py`` pins the metric equality); pass
+    ``use_columns=False`` to force the object decode.
     """
     meta = _require_species(store, trace_id, SPECIES_MEMORY)
     target = meta["target"]
     n = int(meta["size"])
     truth = _truth(meta)
-    records = store.iter_records(trace_id)
+    lines = target_lines(store, trace_id, target, use_columns=use_columns)
 
     if target == "zlib":
-        from repro.compression.lz77 import SITE_HEAD
         from repro.recovery.zlib_recover import accuracy, recover_known_high_bits
 
-        lines = replay_lines(records, sites=(SITE_HEAD,), kind="write")
         recovered = recover_known_high_bits(lines, meta["bases"]["head"], n)
         return {"target": target, "zlib_accuracy": accuracy(recovered, truth)}
 
     if target == "lzw":
-        from repro.compression.lzw import SITE_PRIMARY, SITE_SECONDARY
         from repro.recovery import recover_lzw_input
 
-        lines = replay_lines(
-            records, sites=(SITE_PRIMARY, SITE_SECONDARY), kind="read"
-        )
         candidates = recover_lzw_input(lines, meta["bases"]["htab"], n)
         return {
             "target": target,
@@ -100,13 +145,11 @@ def recover_from_trace(store: TraceStore, trace_id: str) -> dict:
         }
 
     if target == "bzip2":
-        from repro.compression.bzip2 import SITE_FTAB
         from repro.recovery.bzip2_recover import (
             observations_from_lines,
             recover_bzip2_block,
         )
 
-        lines = replay_lines(records, sites=(SITE_FTAB,))
         obs = observations_from_lines(lines, n)
         result = recover_bzip2_block(obs, meta["bases"]["ftab"], n)
         return {
@@ -118,7 +161,7 @@ def recover_from_trace(store: TraceStore, trace_id: str) -> dict:
 
 
 def survey_from_store(store: TraceStore, size: int, sweep_seed: int,
-                      prefix: str = "survey") -> dict:
+                      prefix: str = "survey", use_columns: bool = True) -> dict:
     """Assemble the Section IV survey metrics from a captured sweep.
 
     Reads the three traces :func:`repro.traces.capture.capture_survey_traces`
@@ -128,7 +171,8 @@ def survey_from_store(store: TraceStore, size: int, sweep_seed: int,
     out: dict = {}
     for target in ("zlib", "lzw", "bzip2"):
         metrics = recover_from_trace(
-            store, f"{prefix}-{target}-n{size}-s{sweep_seed}"
+            store, f"{prefix}-{target}-n{size}-s{sweep_seed}",
+            use_columns=use_columns,
         )
         metrics.pop("target")
         out.update(metrics)
@@ -136,14 +180,24 @@ def survey_from_store(store: TraceStore, size: int, sweep_seed: int,
 
 
 def dataset_from_store(
-    store: TraceStore, trace_id: str
+    store: TraceStore, trace_id: str, use_columns: bool = True
 ) -> tuple[np.ndarray, np.ndarray]:
     """Reassemble the classifier dataset from one stored fingerprint
     trace: ``(X, y)`` exactly as live ``build_dataset`` returns them
     (pooled, flattened, float32, same ordering)."""
-    from repro.core.zipchannel.fingerprint import pool_trace
+    from repro.core.zipchannel.fingerprint import TENSOR_WIDTH, pool_trace
 
     _require_species(store, trace_id, SPECIES_FINGERPRINT)
+    if use_columns:
+        cols = store.read_columns(trace_id)
+        pooled = cols.pooled(TENSOR_WIDTH)
+        if pooled is not None:
+            # Pooling happened in the run domain — no tensor was ever
+            # materialised; bit-identical to pool_trace per capture.
+            x = pooled.reshape(cols.n, -1).astype(np.float32)
+            return x, np.array(cols.labels.tolist())
+        xs = [pool_trace(trace).reshape(-1) for trace in cols.traces]
+        return np.array(xs, dtype=np.float32), np.array(cols.labels.tolist())
     xs, ys = [], []
     for capture in store.iter_records(trace_id):
         assert isinstance(capture, FingerprintCapture)
@@ -158,6 +212,7 @@ def fingerprint_experiment_from_store(
     epochs: int = 20,
     seed: int = 0,
     hidden: int = 96,
+    use_columns: bool = True,
 ) -> dict:
     """Train and score the Section VI classifier from stored traces.
 
@@ -169,7 +224,7 @@ def fingerprint_experiment_from_store(
     from repro.classify import MLPClassifier, split_dataset
 
     meta = store.get(trace_id).meta
-    x, y = dataset_from_store(store, trace_id)
+    x, y = dataset_from_store(store, trace_id, use_columns=use_columns)
     n_files = int(meta.get("n_files", len(set(y.tolist()))))
     train, val, test = split_dataset(x, y, seed=seed + 1)
     clf = MLPClassifier(x.shape[1], n_files, hidden=hidden, seed=seed + 2)

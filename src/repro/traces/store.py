@@ -38,6 +38,7 @@ from repro.traces.format import (
     TraceWriter,
     TraceRecord,
     DEFAULT_CHUNK_RECORDS,
+    count_trace_records,
 )
 
 MANIFEST_NAME = "manifest.json"
@@ -315,9 +316,38 @@ class TraceStore:
         """Materialise one trace (small traces / tests)."""
         return list(self.iter_records(trace_id))
 
+    def read_columns(self, trace_id: str):
+        """Decode one trace straight into numpy columns.
+
+        Returns :class:`repro.traces.columns.MemoryColumns` or
+        :class:`~repro.traces.columns.FingerprintColumns` — the
+        array-native view replay analyses run on, 1–2 orders of
+        magnitude faster than materialising records.  Raises
+        ``ValueError`` for oracle traces (no columnar layout).
+        """
+        from repro.traces.columns import read_trace_columns
+
+        entry = self.get(trace_id)
+        columns = read_trace_columns(self.trace_path(trace_id))
+        if columns.species != entry.species:
+            raise TraceFormatError(
+                f"trace {trace_id!r}: file says species "
+                f"{columns.species!r} but the index says "
+                f"{entry.species!r}"
+            )
+        return columns
+
+    def count_records(self, trace_id: str) -> int:
+        """Record count from chunk headers alone (CRC-checked, no
+        per-record decode) — what ``verify`` uses to cross-check the
+        sidecar's ``n_records``."""
+        self.get(trace_id)  # surface KeyError for unknown ids
+        return count_trace_records(self.trace_path(trace_id))
+
     # -- integrity ------------------------------------------------------
     def verify(self, trace_id: Optional[str] = None) -> list[VerifyReport]:
-        """Recompute hashes and decode every chunk of one or all traces.
+        """Recompute hashes and CRC-check every chunk of one or all
+        traces, cross-checking record counts against the sidecars.
 
         Also flags orphan ``.trc`` files that have no sidecar (a capture
         that died before committing).
@@ -352,7 +382,7 @@ class TraceStore:
                 f"file {actual_sha[:12]}…",
             )
         try:
-            n = sum(1 for _ in self.iter_records(trace_id))
+            n = count_trace_records(path)
         except TraceFormatError as exc:
             return VerifyReport(trace_id, False, f"decode failed: {exc}")
         if n != entry.n_records:

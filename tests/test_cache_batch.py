@@ -1,0 +1,149 @@
+"""Batched cache API ≡ scalar loop, access for access.
+
+``access_many`` / ``access_many_timed`` / ``access_many_silent`` promise
+the *identical* state mutations, RNG consumption, and latencies a scalar
+loop over the same addresses would produce.  The Hypothesis program here
+interleaves scalar and batch calls on one cache while a reference cache
+replays everything scalar-wise, then demands bit-equal latencies,
+identical line/stamp/PLRU state, and an identical noise-stream
+continuation afterwards.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache import BackgroundNoise, Cache, CacheConfig, OsPollution
+from repro.cache.model import LINE_SIZE
+
+
+def _addr(i: int) -> int:
+    return 0x1_0000_0000 + i * LINE_SIZE
+
+
+def configs() -> st.SearchStrategy[CacheConfig]:
+    return st.builds(
+        CacheConfig,
+        n_slices=st.sampled_from([1, 2, 4]),
+        sets_per_slice=st.sampled_from([4, 8]),
+        ways=st.sampled_from([1, 2, 4]),
+        noise_sigma=st.sampled_from([0.0, 6.0]),
+        seed=st.integers(min_value=0, max_value=1 << 16),
+        replacement=st.sampled_from(["lru", "plru"]),
+    )
+
+
+def programs() -> st.SearchStrategy[list]:
+    # A small line pool keeps set contention (hits, evictions) frequent.
+    addrs = st.lists(
+        st.integers(min_value=0, max_value=40), min_size=0, max_size=12
+    )
+    op = st.tuples(
+        st.sampled_from(["access", "timed", "silent", "many", "many_timed",
+                         "many_silent"]),
+        addrs,
+        st.sampled_from([0, 1]),
+    )
+    return st.lists(op, min_size=1, max_size=12)
+
+
+def _run_scalar(cache: Cache, op: str, paddrs: list, cos: int) -> list:
+    if op in ("access", "many"):
+        return [
+            (r.hit, r.latency, r.evicted)
+            for r in (cache.access(p, cos=cos) for p in paddrs)
+        ]
+    if op in ("timed", "many_timed"):
+        return [cache.access_timed(p, cos=cos) for p in paddrs]
+    for p in paddrs:
+        cache.access_silent(p, cos=cos)
+    return []
+
+
+def _run_batch(cache: Cache, op: str, paddrs: list, cos: int) -> list:
+    if op == "many":
+        r = cache.access_many(paddrs, cos=cos)
+        assert r.n_hits == int(np.count_nonzero(r.hits))
+        return [
+            (bool(h), float(lat), ev)
+            for h, lat, ev in zip(r.hits, r.latencies, r.evicted)
+        ]
+    if op == "many_timed":
+        return [float(lat) for lat in cache.access_many_timed(paddrs, cos=cos)]
+    if op == "many_silent":
+        cache.access_many_silent(paddrs, cos=cos)
+        return []
+    return _run_scalar(cache, op, paddrs, cos)
+
+
+def _assert_same_state(batch: Cache, ref: Cache) -> None:
+    assert batch._tags == ref._tags
+    assert batch._stamps == ref._stamps
+    assert batch._stamp == ref._stamp
+    assert batch.stats == ref.stats
+    assert set(batch._plru) == set(ref._plru)
+    for base, tree in batch._plru.items():
+        assert tree.bits == ref._plru[base].bits
+
+
+class TestBatchEquivalence:
+    @settings(max_examples=60, deadline=None)
+    @given(config=configs(), program=programs())
+    def test_interleaved_program_matches_scalar_loop(self, config, program):
+        batch = Cache(config)
+        ref = Cache(config)
+        for op, lines, cos in program:
+            paddrs = [_addr(i) for i in lines]
+            got = _run_batch(batch, op, paddrs, cos)
+            want = _run_scalar(ref, op, paddrs, cos)
+            assert got == want  # latencies bit-equal, hits/evictions too
+        _assert_same_state(batch, ref)
+        # The noise stream must have advanced identically: the next
+        # scalar draws on both caches are from the same subsequence.
+        tail = [batch.access_timed(_addr(i)) for i in range(8)]
+        assert tail == [ref.access_timed(_addr(i)) for i in range(8)]
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        config=configs(),
+        lines=st.lists(st.integers(min_value=0, max_value=40), max_size=30),
+    )
+    def test_access_many_on_one_call(self, config, lines):
+        paddrs = [_addr(i) for i in lines]
+        batch, ref = Cache(config), Cache(config)
+        result = batch.access_many(paddrs, cos=1)
+        expected = [ref.access(p, cos=1) for p in paddrs]
+        assert result.hits.tolist() == [r.hit for r in expected]
+        assert result.latencies.tolist() == [r.latency for r in expected]
+        assert result.evicted == [r.evicted for r in expected]
+        _assert_same_state(batch, ref)
+
+
+class TestNoiseAdoption:
+    def test_background_noise_step_matches_scalar_replay(self):
+        import random
+
+        config = CacheConfig(n_slices=2, sets_per_slice=8, ways=2, seed=5)
+        cache, ref = Cache(config), Cache(config)
+        noise = BackgroundNoise(cache, rate=50, seed=99)
+        for _ in range(4):
+            noise.step()
+        # Scalar replay of the identical RNG stream.
+        rng = random.Random(99)
+        for _ in range(4):
+            addrs = [
+                0x2_0000_0000 + rng.randrange(1 << 16) * LINE_SIZE
+                for _ in range(50)
+            ]
+            for a in addrs:
+                ref.access_silent(a, cos=1)
+        _assert_same_state(cache, ref)
+
+    def test_os_pollution_fault_matches_scalar_replay(self):
+        config = CacheConfig(n_slices=1, sets_per_slice=8, ways=2, seed=5)
+        cache, ref = Cache(config), Cache(config)
+        pollution = OsPollution(cache, n_lines=24, seed=3)
+        pollution.fault_entry()
+        for a in OsPollution(ref, n_lines=24, seed=3)._addrs:
+            ref.access_silent(a, cos=0)
+        _assert_same_state(cache, ref)

@@ -1,0 +1,203 @@
+"""Equivalence proofs for the columnar ZTRC decoder.
+
+The columnar decoder (:mod:`repro.traces.columns`) has no authority of
+its own: every column must equal, field for field, what the object
+reader produces from the same bytes, for both format versions and any
+chunking.  The Hypothesis suites here pin exactly that, including the
+object-path fallback for varints past int64 and the run-domain pooling
+against ``pool_trace``.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.zipchannel.fingerprint import pool_trace
+from repro.exec.events import MemoryAccess
+from repro.taint.bittaint import BitTaint
+from repro.traces import (
+    FingerprintCapture,
+    OracleProbe,
+    SPECIES_FINGERPRINT,
+    SPECIES_MEMORY,
+    SPECIES_ORACLE,
+    TraceStore,
+    TraceWriter,
+    count_trace_records,
+    read_trace,
+    read_trace_columns,
+    replay_lines,
+    replay_lines_array,
+)
+from tests.test_traces_format import fingerprint_captures, memory_accesses
+
+
+def _write(path, species, records, chunk_records=7, version=2):
+    with open(path, "wb") as handle:
+        with TraceWriter(
+            handle, species, chunk_records=chunk_records, version=version
+        ) as writer:
+            writer.extend(records)
+
+
+def _roundtrip(species, records, chunk_records, version):
+    with tempfile.TemporaryDirectory() as scratch:
+        path = Path(scratch) / "t.trc"
+        _write(path, species, records, chunk_records, version)
+        return read_trace_columns(path), read_trace(path), count_trace_records(path)
+
+
+# ----------------------------------------------------------------------
+# memory species
+# ----------------------------------------------------------------------
+class TestMemoryColumns:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        records=st.lists(memory_accesses(), max_size=40),
+        chunk_records=st.sampled_from([1, 3, 7, 64]),
+        version=st.sampled_from([1, 2]),
+    )
+    def test_columns_match_objects(self, records, chunk_records, version):
+        cols, objs, counted = _roundtrip(
+            SPECIES_MEMORY, records, chunk_records, version
+        )
+        assert counted == len(objs) == cols.n == len(records)
+        for i, r in enumerate(objs):
+            assert int(cols.seq[i]) == r.seq
+            assert cols.strings[int(cols.kind_id[i])] == r.kind
+            assert cols.strings[int(cols.array_id[i])] == r.array
+            assert int(cols.index[i]) == r.index
+            assert int(cols.elem_size[i]) == r.elem_size
+            assert int(cols.address[i]) == r.address
+            assert cols.strings[int(cols.site_id[i])] == r.site
+            assert bool(cols.addr_tainted[i]) == bool(r.addr_taint)
+            assert bool(cols.value_tainted[i]) == bool(r.value_taint)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        records=st.lists(memory_accesses(), max_size=40),
+        sites=st.one_of(
+            st.none(),
+            st.sets(
+                st.sampled_from(
+                    ["deflate_slow/head[ins_h]", "lzw/htab[hp]",
+                     "mainSort/ftab", ""]
+                ),
+                max_size=3,
+            ),
+        ),
+        kind=st.one_of(st.none(), st.sampled_from(["read", "write", "update"])),
+        version=st.sampled_from([1, 2]),
+    )
+    def test_replay_lines_array_matches_objects(
+        self, records, sites, kind, version
+    ):
+        cols, objs, _ = _roundtrip(SPECIES_MEMORY, records, 7, version)
+        expected = replay_lines(objs, sites=sites, kind=kind)
+        got = replay_lines_array(cols, sites=sites, kind=kind)
+        assert got.tolist() == expected
+
+    def test_huge_address_falls_back_to_objects(self):
+        # A 70-bit address overflows the int64 fast path; the decode
+        # must transparently route through the object reader and keep
+        # the exact value in an object-dtype column.
+        record = MemoryAccess(
+            seq=1, kind="read", array="head", index=2, elem_size=2,
+            address=1 << 70, addr_taint=BitTaint.byte(0), site="s",
+        )
+        with tempfile.TemporaryDirectory() as scratch:
+            path = Path(scratch) / "t.trc"
+            _write(path, SPECIES_MEMORY, [record])
+            cols = read_trace_columns(path)
+        assert cols.address.dtype == object
+        assert cols.address[0] == 1 << 70
+        assert bool(cols.addr_tainted[0])
+
+    def test_empty_trace(self):
+        cols, objs, counted = _roundtrip(SPECIES_MEMORY, [], 7, 2)
+        assert cols.n == 0 and objs == [] and counted == 0
+
+
+# ----------------------------------------------------------------------
+# fingerprint species
+# ----------------------------------------------------------------------
+class TestFingerprintColumns:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        captures=st.lists(fingerprint_captures(), max_size=8),
+        chunk_records=st.sampled_from([1, 3, 64]),
+        version=st.sampled_from([1, 2]),
+    )
+    def test_columns_match_objects(self, captures, chunk_records, version):
+        cols, objs, counted = _roundtrip(
+            SPECIES_FINGERPRINT, captures, chunk_records, version
+        )
+        assert counted == len(objs) == cols.n
+        assert cols.labels.tolist() == [c.label for c in objs]
+        assert cols.capture_seeds.tolist() == [c.capture_seed for c in objs]
+        for got, ref in zip(cols.traces, objs):
+            assert got.shape == ref.trace.shape
+            assert np.array_equal(got, ref.trace)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        captures=st.lists(fingerprint_captures(), min_size=1, max_size=6),
+        width=st.integers(min_value=1, max_value=500),
+        version=st.sampled_from([1, 2]),
+    )
+    def test_pooled_matches_pool_trace(self, captures, width, version):
+        cols, objs, _ = _roundtrip(SPECIES_FINGERPRINT, captures, 3, version)
+        shapes = {c.trace.shape for c in objs}
+        pooled = cols.pooled(width)
+        if len(shapes) != 1 or next(iter(shapes))[1] // width < 1:
+            assert pooled is None
+            return
+        assert pooled is not None
+        ref = np.stack([pool_trace(c.trace, width) for c in objs])
+        assert pooled.dtype == np.int8
+        assert np.array_equal(pooled, ref)
+
+    def test_pooled_constant_tensors(self):
+        captures = [
+            FingerprintCapture(0, 1, np.zeros((2, 40), dtype=np.int8)),
+            FingerprintCapture(1, 2, np.ones((2, 40), dtype=np.int8)),
+        ]
+        cols, objs, _ = _roundtrip(SPECIES_FINGERPRINT, captures, 3, 2)
+        for width in (1, 3, 10, 40):
+            ref = np.stack([pool_trace(c.trace, width) for c in objs])
+            assert np.array_equal(cols.pooled(width), ref)
+
+
+# ----------------------------------------------------------------------
+# species coverage and store integration
+# ----------------------------------------------------------------------
+class TestEntryPoints:
+    def test_oracle_species_is_refused(self):
+        probes = [OracleProbe(0, "a", 3, -1.0, 7)]
+        with tempfile.TemporaryDirectory() as scratch:
+            path = Path(scratch) / "t.trc"
+            _write(path, SPECIES_ORACLE, probes)
+            with pytest.raises(ValueError, match="no columnar decoder"):
+                read_trace_columns(path)
+
+    def test_store_count_and_verify_use_chunk_headers(self):
+        records = [
+            MemoryAccess(seq=i, kind="read", array="head", index=i,
+                         elem_size=2, address=(1 << 44) + 64 * i, site="s")
+            for i in range(25)
+        ]
+        with tempfile.TemporaryDirectory() as scratch:
+            store = TraceStore(scratch).open()
+            with store.create("t", SPECIES_MEMORY, chunk_records=4) as writer:
+                writer.extend(records)
+            assert store.count_records("t") == 25
+            assert store.get("t").n_records == 25
+            report = store.verify("t")[0]
+            assert report.ok, report
+            cols = store.read_columns("t")
+            assert cols.n == 25
+            assert cols.address.tolist() == [r.address for r in records]
