@@ -24,6 +24,8 @@ experiment campaign — all from a shell.
     python -m repro cluster submit examples/specs/lzw_noise_sweep.json \
         --connect unix:/tmp/repro-cluster.sock --out runs/lzw-svc
     python -m repro cluster status --connect unix:/tmp/repro-cluster.sock
+    python -m repro mitigate survey lzw --random 150
+    python -m repro mitigate report lzw --size 120
     python -m repro obs report runs/lzw/obs.jsonl
     python -m repro obs watch 'runs/lzw-cluster/shard-*/obs.jsonl'
     python -m repro obs tail runs/lzw/obs.jsonl -n 40
@@ -897,6 +899,120 @@ def cmd_diag_compare(args: argparse.Namespace) -> int:
     return 0 if result.ok else 1
 
 
+def _parse_spans(raw_spans: Optional[list]) -> list:
+    """``--secret-span LO:HI`` values -> [(lo, hi), ...]."""
+    spans = []
+    for raw in raw_spans or []:
+        lo, sep, hi = raw.partition(":")
+        if not sep:
+            raise ValueError(f"bad span {raw!r}; expected LO:HI")
+        spans.append((int(lo), int(hi)))
+    return spans
+
+
+def cmd_mitigate_survey(args: argparse.Namespace) -> int:
+    """Scan the vulnerable kernel and print/write its mitigation plan."""
+    from repro.mitigations.verify import survey_plan
+
+    data = _load_input(args)
+    try:
+        spans = _parse_spans(args.secret_span)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    plan, result = survey_plan(args.target, data, secret_spans=spans or None)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(plan.to_json())
+            handle.write("\n")
+        print(f"wrote plan ({len(plan.sites)} sites) to {args.out}")
+        return 0
+    if args.json:
+        print(plan.to_json())
+        return 0
+    print(result.summary())
+    print()
+    print(plan.summary())
+    return 0
+
+
+def cmd_mitigate_apply(args: argparse.Namespace) -> int:
+    """Instantiate the patched kernel and compress the input with it."""
+    from repro.core.taintchannel.tool import target_for
+    from repro.exec.context import NativeContext
+    from repro.mitigations.apply import build_kernel
+    from repro.mitigations.plan import MitigationPlan
+    from repro.mitigations.verify import survey_plan
+
+    data = _load_input(args)
+    try:
+        spans = _parse_spans(args.secret_span)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.plan:
+        with open(args.plan, "r", encoding="utf-8") as handle:
+            plan = MitigationPlan.from_json(handle.read())
+        if plan.target != args.target:
+            print(
+                f"error: plan targets {plan.target!r}, not {args.target!r}",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        plan, _ = survey_plan(args.target, data, secret_spans=spans or None)
+    kernel = build_kernel(args.target, plan, hash_bits=args.hash_bits)
+    blob = kernel.run_native(data)
+    vuln = target_for(args.target, data)(NativeContext())
+    print(plan.summary())
+    print()
+    print(
+        f"mitigated output: {len(blob)} bytes "
+        f"(byte-identical to vulnerable kernel: {blob == vuln})"
+    )
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(blob)
+        print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_mitigate_report(args: argparse.Namespace) -> int:
+    """The full loop: scan, plan, apply, re-meter; before/after verdict.
+
+    Exits 1 when a mitigated site still shows tainted accesses or the
+    patched output diverges (outside of guard mode, where it may)."""
+    import json as _json
+
+    from repro.mitigations.verify import verify_mitigation
+
+    try:
+        spans = _parse_spans(args.secret_span)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = verify_mitigation(
+        args.target,
+        size=args.size,
+        input_kind=args.input_kind,
+        seed=args.seed,
+        hash_bits=args.hash_bits,
+        secret_spans=spans or None,
+    )
+    if args.json:
+        _json.dump(
+            report.metric_dict(), sys.stdout, indent=2, sort_keys=True
+        )
+        print()
+    else:
+        print(report.summary())
+    ok = not report.residual_sites and (
+        (report.output_equal and report.decodable)
+        or (report.guarded and report.guard_ok)
+    )
+    return 0 if ok else 1
+
+
 def _oracle_params(args: argparse.Namespace) -> dict:
     """Shared experiment params from parsed oracle-command arguments."""
     import json as _json
@@ -1558,6 +1674,65 @@ def build_parser() -> argparse.ArgumentParser:
                    help="override the cache noise σ for the fresh "
                         "collection (regression-injection drills)")
     d.set_defaults(func=cmd_diag_compare)
+
+    p = sub.add_parser(
+        "mitigate",
+        help="gadget-report-driven mitigation synthesis: survey, apply, "
+             "verify",
+    )
+    msub = p.add_subparsers(dest="mitigate_command", required=True)
+
+    def add_span_args(m: argparse.ArgumentParser) -> None:
+        m.add_argument(
+            "--secret-span", action="append", metavar="LO:HI",
+            help="secret input byte range (repeatable); switches the "
+                 "zlib match-finder sites to Debreach-style guarding",
+        )
+
+    m = msub.add_parser(
+        "survey",
+        help="scan the vulnerable kernel and derive its mitigation plan",
+    )
+    m.add_argument("target", choices=["zlib", "lzw", "bzip2"])
+    add_input_args(m)
+    add_span_args(m)
+    m.add_argument("--json", action="store_true",
+                   help="print the plan as JSON instead of a summary")
+    m.add_argument("--out", help="write the plan JSON here (feed back "
+                                 "to `mitigate apply --plan`)")
+    m.set_defaults(func=cmd_mitigate_survey)
+
+    m = msub.add_parser(
+        "apply",
+        help="instantiate the patched kernel and compress the input",
+    )
+    m.add_argument("target", choices=["zlib", "lzw", "bzip2"])
+    add_input_args(m)
+    add_span_args(m)
+    m.add_argument("--plan", help="plan JSON from `mitigate survey` "
+                                  "(default: survey this input now)")
+    m.add_argument("--hash-bits", type=int, default=12,
+                   help="reduced LZW hash-table bits (covered table)")
+    m.add_argument("--out", help="write the mitigated compressed blob")
+    m.set_defaults(func=cmd_mitigate_apply)
+
+    m = msub.add_parser(
+        "report",
+        help="full loop: scan, plan, apply, re-meter; before/after "
+             "leakage and the overhead bill",
+    )
+    m.add_argument("target", choices=["zlib", "lzw", "bzip2"])
+    m.add_argument("--size", type=int, default=120, help="input bytes")
+    m.add_argument("--seed", type=int, default=7)
+    m.add_argument("--input-kind", choices=["random", "lowercase", "text"],
+                   help="input distribution (default: the target's "
+                        "survey default)")
+    m.add_argument("--hash-bits", type=int, default=12,
+                   help="reduced LZW hash-table bits (covered table)")
+    add_span_args(m)
+    m.add_argument("--json", action="store_true",
+                   help="emit the flat metric dict as JSON")
+    m.set_defaults(func=cmd_mitigate_report)
 
     p = sub.add_parser(
         "perf",

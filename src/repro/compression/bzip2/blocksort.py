@@ -19,11 +19,14 @@ from __future__ import annotations
 
 from functools import cmp_to_key
 from itertools import accumulate
-from typing import Optional
+from typing import Callable, Optional
 
 from repro.exec.arrays import TArray
 from repro.exec.context import ExecutionContext
 from repro.taint.value import value_of
+
+#: Signature shared by :func:`histogram` and its hardened replacements.
+HistogramFn = Callable[..., TArray]
 
 FTAB_LEN = 65537
 # Work budget per input byte.  Bzip2 uses workFactor=30 on top of its
@@ -84,19 +87,24 @@ def main_sort(
     budget: int,
     ftab: Optional[TArray] = None,
     quadrant: Optional[TArray] = None,
+    histogram_fn: Optional[HistogramFn] = None,
 ) -> list[int]:
     """Sort all rotations of ``block`` (mainSort).
 
     ``ftab``/``quadrant`` may be supplied by the caller (the SGX attack
     pre-allocates them so it can revoke their page permissions before
-    the victim runs).
+    the victim runs).  ``histogram_fn`` swaps the Listing 3 histogram for
+    a signature-compatible replacement (e.g.
+    :func:`repro.mitigations.oblivious.oblivious_histogram`), the seam
+    the mitigation apply layer patches.
 
     Raises:
         BudgetExhausted: the comparison budget ran out; the caller must
             retry with :func:`fallback_sort`.
     """
+    build_histogram = histogram if histogram_fn is None else histogram_fn
     with ctx.func("mainSort"):
-        ftab = histogram(ctx, block, nblock, ftab=ftab, quadrant=quadrant)
+        ftab = build_histogram(ctx, block, nblock, ftab=ftab, quadrant=quadrant)
 
         # Cumulative counts: ftab[j] = first ptr slot after bucket j.
         values = block.snapshot()
@@ -207,6 +215,7 @@ def block_sort(
     nblock: int,
     full_block_size: int,
     work_factor: int = DEFAULT_WORK_FACTOR,
+    histogram_fn: Optional[HistogramFn] = None,
 ) -> tuple[list[int], str]:
     """Bzip2's sorting dispatch (Fig. 6).
 
@@ -223,6 +232,13 @@ def block_sort(
     if nblock < full_block_size:
         return fallback_sort(ctx, block, nblock), "fallbackSort"
     try:
-        return main_sort(ctx, block, nblock, budget=work_factor * nblock), "mainSort"
+        ptr = main_sort(
+            ctx,
+            block,
+            nblock,
+            budget=work_factor * nblock,
+            histogram_fn=histogram_fn,
+        )
+        return ptr, "mainSort"
     except BudgetExhausted:
         return fallback_sort(ctx, block, nblock), "mainSort+fallbackSort"

@@ -15,7 +15,11 @@ import struct
 from typing import Optional
 
 from repro.compression.bitio import MSBBitReader, MSBBitWriter
-from repro.compression.bzip2.blocksort import DEFAULT_WORK_FACTOR, block_sort
+from repro.compression.bzip2.blocksort import (
+    DEFAULT_WORK_FACTOR,
+    HistogramFn,
+    block_sort,
+)
 from repro.compression.bzip2.huffman import HuffmanTable
 from repro.compression.bzip2.multihuffman import decode_stream, encode_stream
 from repro.compression.bzip2.mtf import mtf_rle2_decode, mtf_rle2_encode
@@ -36,6 +40,7 @@ def _compress_block(
     work_factor: int,
     full_block_size: int,
     multi_huffman: bool,
+    histogram_fn: Optional[HistogramFn] = None,
 ) -> tuple[bytes, str]:
     """BWT + MTF + Huffman for one block; returns (payload, sort path)."""
     n = len(chunk)
@@ -43,7 +48,9 @@ def _compress_block(
     for i, v in enumerate(chunk):
         block.set(i, v)
 
-    ptr, path = block_sort(ctx, block, n, full_block_size, work_factor)
+    ptr, path = block_sort(
+        ctx, block, n, full_block_size, work_factor, histogram_fn=histogram_fn
+    )
     values = block.snapshot()
     last = [values[(p + n - 1) % n] for p in ptr]
     orig_ptr = ptr.index(0)
@@ -79,12 +86,15 @@ def bzip2_compress_with_paths(
     work_factor: int = DEFAULT_WORK_FACTOR,
     block_size: int = BLOCK_SIZE,
     multi_huffman: bool = True,
+    histogram_fn: Optional[HistogramFn] = None,
 ) -> tuple[bytes, list[str]]:
     """Compress and also report the per-block sorting path (Fig. 6).
 
     ``multi_huffman`` selects bzip2's six-table switched coding
     (default) vs the simpler single-table coder; both decode with
-    :func:`bzip2_decompress`.
+    :func:`bzip2_decompress`.  ``histogram_fn`` replaces the Listing 3
+    histogram inside mainSort (the mitigation seam); the output is
+    unchanged because the frequency table it builds is identical.
     """
     if ctx is None:
         ctx = NativeContext()
@@ -96,7 +106,13 @@ def bzip2_compress_with_paths(
         for block_index, start in enumerate(range(0, len(rle), block_size)):
             chunk = rle[start : start + block_size]
             payload, path = _compress_block(
-                ctx, chunk, block_index, work_factor, block_size, multi_huffman
+                ctx,
+                chunk,
+                block_index,
+                work_factor,
+                block_size,
+                multi_huffman,
+                histogram_fn=histogram_fn,
             )
             paths.append(path)
             body.append(BLOCK_MARKER)
@@ -112,10 +128,11 @@ def bzip2_compress(
     work_factor: int = DEFAULT_WORK_FACTOR,
     block_size: int = BLOCK_SIZE,
     multi_huffman: bool = True,
+    histogram_fn: Optional[HistogramFn] = None,
 ) -> bytes:
     """Compress ``data`` with the Bzip2-style pipeline."""
     blob, _ = bzip2_compress_with_paths(
-        data, ctx, work_factor, block_size, multi_huffman
+        data, ctx, work_factor, block_size, multi_huffman, histogram_fn
     )
     return blob
 

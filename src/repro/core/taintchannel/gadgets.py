@@ -54,8 +54,28 @@ class Gadget:
         return frozenset(tags)
 
     def is_data_flow(self) -> bool:
-        """True: addresses computed from input data (vs control flow)."""
-        return True
+        """True when addresses are *computed from* input data.
+
+        A data-flow gadget's address provenance reaches back to at least
+        one :class:`~repro.taint.value.InputRecord` through arithmetic
+        (``OpRecord`` operands).  A control-flow gadget carries taint on
+        its address bits but the backward slice never reaches an input
+        root — e.g. the index was picked by a tainted branch, so the
+        chain dead-ends in a :class:`~repro.taint.value.CompareRecord`.
+        Traces captured without provenance (``TraceTier.ADDRESS_ONLY``
+        leaves ``addr_origin`` empty) cannot distinguish the two; they
+        keep the historical data-flow default.
+        """
+        from repro.core.taintchannel.provenance import input_roots
+
+        saw_provenance = False
+        for acc in self.accesses:
+            if acc.addr_origin is None:
+                continue
+            saw_provenance = True
+            if input_roots(acc.addr_origin):
+                return True
+        return not saw_provenance
 
     def describe(self) -> str:
         return (
@@ -76,6 +96,10 @@ class AnalysisResult:
     n_events: int
     n_compares: int
     n_plain_accesses: int
+    #: array name -> (length, elem_size, base address); lets downstream
+    #: consumers (the mitigation planner) reason about table geometry
+    #: without re-running the trace.
+    geometry: dict[str, tuple[int, int, int]] = field(default_factory=dict)
 
     def gadget(self, site: str) -> Gadget:
         """Look up a gadget by its site label; KeyError if absent."""

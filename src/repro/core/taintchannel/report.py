@@ -73,5 +73,5 @@ def render_gadget(
     header = gadget.describe()
     if not gadget.accesses:
         return header
-    sample = gadget.accesses[min(sample_index, len(gadget.accesses) - 1)]
+    sample = gadget.accesses[max(0, min(sample_index, len(gadget.accesses) - 1))]
     return header + "\n" + render_access(sample, registry, with_slice)

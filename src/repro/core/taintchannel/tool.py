@@ -92,7 +92,11 @@ def run_gadget_scan(
                 "site": g.site,
                 "array": g.array,
                 "accesses": g.count,
-                "leaked_input_bytes": len(g.leaked_tags()),
+                "leaked_input_bytes": sum(
+                    1
+                    for t in g.leaked_tags()
+                    if result.tags.info(t).source == "input"
+                ),
             }
             for g in sorted(result.gadgets, key=lambda g: -g.count)
         ],
@@ -150,6 +154,10 @@ class TaintChannel:
                 n_events=len(ctx.events),
                 n_compares=len(ctx.compares()),
                 n_plain_accesses=ctx.plain_accesses,
+                geometry={
+                    name: (arr.length, arr.elem_size, arr.base)
+                    for name, arr in ctx.arrays.items()
+                },
             )
         ctx.publish_stats()
         obs.counter_add("taintchannel.gadgets", len(result.gadgets))

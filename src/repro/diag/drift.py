@@ -2,8 +2,9 @@
 
 Modeled on the ``repro perf compare`` gate (PR 3) but for *leakage*
 metrics instead of timings: :func:`collect_diag_metrics` runs the
-deterministic diagnostics suite — the three gadgets' leakage meters
-plus the channel-health probes — into one flat ``{metric: value}``
+deterministic diagnostics suite — the three gadgets' leakage meters,
+the mitigation before/after loop, and the channel-health probes — into
+one flat ``{metric: value}``
 dict, and :func:`compare_diag` checks it against a committed
 ``benchmarks/diag_baseline.json`` with a per-metric *direction*:
 
@@ -62,10 +63,16 @@ _HIGHER = (
     "single_step.page_accuracy",
     "confusion.test_accuracy",
     "confusion.diagonal_accuracy",
+    "output_equal",
+    "decodable",
+    "guard_ok",
 )
-# Mitigated-oracle rows are checked first: under an effective
-# mitigation the channel must stay *closed*, so leakage going up is
-# the regression (e.g. ``oracle.size.padding.mi_bits``).
+# Mitigated rows are checked first: under an effective mitigation the
+# channel must stay *closed*, so leakage going up is the regression
+# (e.g. ``oracle.size.padding.mi_bits``, or every ``after.*`` leakage
+# metric of the ``repro mitigate`` loop — those must stay ~0 even
+# though their un-prefixed suffixes are higher-is-better on the
+# vulnerable kernel).
 _LOWER = (
     "timing.misclassified_rate",
     "padding.mi_bits",
@@ -76,6 +83,15 @@ _LOWER = (
     "jitter.recovered_fraction",
     "debreach.mi_bits",
     "debreach.recovered_fraction",
+    "after.byte_accuracy",
+    "after.bit_accuracy",
+    "after.bit_accuracy_min",
+    "after.mi_bits_per_byte",
+    "after.bits_per_observation",
+    "after.recovered_fraction",
+    "after.exact_found",
+    "residual_gadgets",
+    "leftover_gadgets",
 )
 
 
@@ -113,6 +129,15 @@ def collect_diag_metrics(
     metrics: dict[str, float] = {}
     for target, diag in survey_leakage(size, seed).items():
         metrics.update(diag.metric_dict(prefix=f"{target}."))
+
+    # The mitigation loop on the cheapest target: the gate pins that
+    # the synthesised patch keeps closing the channel (``after.*``
+    # leakage ~0, zero residual gadgets) and stays output-preserving.
+    from repro.mitigations.verify import verify_mitigation
+
+    mit = verify_mitigation("lzw", size=size, seed=seed)
+    for key, value in mit.metric_dict().items():
+        metrics[f"mitigate.lzw.{key}"] = float(value)
 
     health = channel_health(
         samples=samples,

@@ -27,11 +27,26 @@ measure recovery-rate-vs-overhead curves, which is why such mitigations
 are rarely deployed — the paper's point.
 """
 
+from repro.mitigations.apply import MitigatedKernel, build_kernel
+from repro.mitigations.masking import MaskedTable
 from repro.mitigations.oblivious import (
     ObliviousTable,
     oblivious_histogram,
     oblivious_lzw_compress,
 )
+from repro.mitigations.plan import (
+    MITIGATION_KINDS,
+    MitigationPlan,
+    SitePlan,
+    build_plan,
+)
+from repro.mitigations.preload import PreloadedTable
+from repro.mitigations.registry import (
+    MitigationRegistry,
+    ObliviousSiteTable,
+    make_wrapper,
+)
+from repro.mitigations.verify import MitigationReport, verify_mitigation
 from repro.mitigations.padding import (
     LatencyJitter,
     ORACLE_MITIGATIONS,
@@ -47,6 +62,19 @@ from repro.mitigations.debreach import (
 )
 
 __all__ = [
+    "MITIGATION_KINDS",
+    "MaskedTable",
+    "MitigatedKernel",
+    "MitigationPlan",
+    "MitigationRegistry",
+    "MitigationReport",
+    "ObliviousSiteTable",
+    "PreloadedTable",
+    "SitePlan",
+    "build_kernel",
+    "build_plan",
+    "make_wrapper",
+    "verify_mitigation",
     "ObliviousTable",
     "oblivious_histogram",
     "oblivious_lzw_compress",

@@ -1,0 +1,79 @@
+"""Preloading: pull the whole table through the cache around each access.
+
+The classic "preload the S-box" defence (also the paper's suggestion for
+small lookup tables): perform the real access, then touch one element in
+every *other* cache line of the table.  After the burst, every line of
+the table is equally fresh, so an attacker probing at access granularity
+sees the identical line multiset no matter which element was wanted.
+
+Compared with :class:`~repro.mitigations.oblivious.ObliviousTable` this
+keeps the real access's read-your-write semantics trivially (the real
+element is accessed directly) and costs the same one-touch-per-line; the
+difference is intent and applicability: preloading only *reads* the
+cover lines, so it is selected for read-only gadget sites — a write-kind
+observer would still see the lone real write of a ``set``.
+"""
+
+from __future__ import annotations
+
+from repro.exec.arrays import TArray
+from repro.taint.value import value_of
+
+
+class PreloadedTable:
+    """Surround each access of a :class:`TArray` with a full-table read
+    sweep (one element per cache line, ascending line order)."""
+
+    def __init__(self, array: TArray, site: str = "") -> None:
+        self.array = array
+        self.site = site
+        self._line_starts: list[int] = []
+        self._lines: list[int] = []
+        prev_line = None
+        for k in range(array.length):
+            line = array.address_of(k) >> 6
+            if line != prev_line:
+                self._line_starts.append(k)
+                self._lines.append(line)
+                prev_line = line
+
+    def _cover(self, skip_line: int, site: str) -> None:
+        """Read one element from every line except ``skip_line``."""
+        for line, start in zip(self._lines, self._line_starts):
+            if line != skip_line:
+                self.array.get(start, site=site)
+
+    def get(self, index, site: str = ""):
+        i = value_of(index)
+        value = self.array.get(i, site=site or self.site)
+        self._cover(self.array.address_of(i) >> 6, site or self.site)
+        return value
+
+    def set(self, index, new_value, site: str = "") -> None:
+        i = value_of(index)
+        self.array.set(i, new_value, site=site or self.site)
+        self._cover(self.array.address_of(i) >> 6, site or self.site)
+
+    def add(self, index, delta, site: str = "") -> None:
+        i = value_of(index)
+        value = self.array.get(i, site=site or self.site)
+        self.array.set(i, value + delta, site=site or self.site)
+        self._cover(self.array.address_of(i) >> 6, site or self.site)
+
+    @property
+    def cover_count(self) -> int:
+        """Distinct lines of the table (touches per ``get``)."""
+        return len(self._lines)
+
+    # -- TArray passthroughs --------------------------------------------
+    def snapshot(self) -> list:
+        return self.array.snapshot()
+
+    def fill(self, value) -> None:
+        self.array.fill(value)
+
+    def address_of(self, index: int) -> int:
+        return self.array.address_of(index)
+
+    def __len__(self) -> int:
+        return self.array.length

@@ -102,6 +102,14 @@ BENCHES: tuple[PerfBench, ...] = (
         note="TaintChannel gadget scan of LZW (taint algebra hot path)",
     ),
     PerfBench(
+        name="mitigate_lzw",
+        experiment="mitigation_synthesis",
+        params={"target": "lzw", "size": 150},
+        quick_params={"size": 80},
+        seed=7,
+        note="mitigation synthesis loop: scan, plan, apply, re-meter (LZW)",
+    ),
+    PerfBench(
         name="lzw_recovery",
         experiment="lzw_recovery",
         params={"size": 400, "noise": 0.02},

@@ -50,6 +50,18 @@ class TestReportEdges:
         # Way out of range: must clamp, not raise.
         assert render_gadget(gadget, result.tags, sample_index=10_000)
 
+    def test_sample_index_negative_clamps_to_first(self):
+        tc = TaintChannel()
+        from repro.compression.lzw import lzw_compress
+
+        result = tc.analyze("lzw", lambda ctx: lzw_compress(b"abcabc", ctx))
+        gadget = result.gadgets[0]
+        # A negative index must clamp to the first access, not wrap
+        # around to a sample from the tail of the list.
+        assert render_gadget(
+            gadget, result.tags, sample_index=-5
+        ) == render_gadget(gadget, result.tags, sample_index=0)
+
     def test_analyze_with_existing_trace(self):
         from repro.compression.lzw import lzw_compress
 
@@ -59,8 +71,66 @@ class TestReportEdges:
         assert result.input_len == 6
         assert result.gadgets
 
-    def test_gadget_is_data_flow(self):
+    def test_gadget_data_flow_reaches_input_root(self):
+        from repro.taint.value import InputRecord, Operand, OpRecord
+
+        registry = TagRegistry()
+        tag = registry.new_tag("input", 0)
+        taint = BitTaint.of_bits(tag, [6, 7])
+        root = InputRecord(seq=1, source="input", index=0, value=7, tag=tag)
+        op = OpRecord(
+            seq=2,
+            op="shl",
+            operands=(Operand(value=7, taint=taint, origin=root),),
+            result_value=448,
+            result_taint=taint,
+        )
+        access = MemoryAccess(
+            seq=3, kind="read", array="t", index=448, elem_size=1,
+            address=0x1000, addr_taint=taint, addr_origin=op,
+        )
+        assert Gadget(site="s", array="t", accesses=[access]).is_data_flow()
+
+    def test_gadget_control_flow_dead_ends_in_compare(self):
+        from repro.taint.value import CompareRecord, Operand, OpRecord
+
+        registry = TagRegistry()
+        tag = registry.new_tag("input", 0)
+        taint = BitTaint.of_bits(tag, [6])
+        # The index was picked by a tainted branch: the slice stops at
+        # the CompareRecord and never reaches an InputRecord.
+        branch = CompareRecord(
+            seq=1,
+            op="eq",
+            operands=(Operand(value=7, taint=taint, origin=None),),
+            outcome=True,
+        )
+        op = OpRecord(
+            seq=2,
+            op="add",
+            operands=(Operand(value=1, taint=taint, origin=branch),),
+            result_value=64,
+            result_taint=taint,
+        )
+        access = MemoryAccess(
+            seq=3, kind="read", array="t", index=64, elem_size=1,
+            address=0x1000, addr_taint=taint, addr_origin=op,
+        )
+        gadget = Gadget(site="s", array="t", accesses=[access])
+        assert not gadget.is_data_flow()
+
+    def test_gadget_without_provenance_defaults_to_data_flow(self):
+        # ADDRESS_ONLY traces record no addr_origin: keep the
+        # historical data-flow default rather than calling them control
+        # flow.
+        registry = TagRegistry()
+        tag = registry.new_tag("input", 0)
+        access = MemoryAccess(
+            seq=1, kind="read", array="a", index=0, elem_size=1,
+            address=0, addr_taint=BitTaint.of_bits(tag, [6]),
+        )
         assert Gadget(site="s", array="a").is_data_flow()
+        assert Gadget(site="s", array="a", accesses=[access]).is_data_flow()
 
 
 class TestMetricsEdges:
