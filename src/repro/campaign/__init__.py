@@ -21,8 +21,12 @@ ingredients, which this package provides once:
 
 The registered experiments live in :mod:`repro.campaign.experiments`;
 the CLI front end is ``python -m repro campaign run|resume|report``.
+:mod:`repro.campaign.dossier` folds the report, the ``diag.json``
+timeseries, and the campaign's obs sinks into one markdown document
+(``python -m repro report <campaign-dir>``).
 """
 
+from repro.campaign.dossier import build_dossier, discover_sinks
 from repro.campaign.experiments import (
     available_experiments,
     get_experiment,
@@ -65,7 +69,9 @@ __all__ = [
     "dedupe_records",
     "metrics_digest",
     "aggregate_records",
+    "build_dossier",
     "campaign_status",
+    "discover_sinks",
     "render_report",
     "render_status",
     "register_experiment",

@@ -1,0 +1,178 @@
+"""One campaign, one document: the ``repro report`` dossier.
+
+A finished campaign leaves several artefacts on disk — the manifest and
+JSONL result log, the ``diag.json`` metrics timeseries, and (when run
+with observability on) one or more obs sinks holding counters,
+histograms, warnings and the cross-process span tree.  Each has its own
+viewer (``campaign report``, ``obs watch``, ``obs report --trace``);
+:func:`build_dossier` merges all of them into one static markdown
+document, so "what happened in this campaign" is a single file you can
+commit, attach to a CI run, or diff against a previous campaign.
+
+Sections, in order:
+
+1. the campaign report proper (identity, outcome counts, per-cell
+   results, failed jobs) — verbatim from
+   :func:`repro.campaign.report.render_report`;
+2. the ``diag.json`` per-metric timeseries, one row per metric with
+   summary stats and a unicode sparkline of the per-job series;
+3. the obs sink summary — merged counters, histogram tails, and
+   deduplicated warnings;
+4. the trace view — the stitched span tree and critical-path
+   breakdown from :func:`repro.obs.report.render_trace`, fenced as
+   preformatted text.
+
+Sinks are auto-discovered under the campaign directory
+(:func:`discover_sinks`: ``obs.jsonl`` beside the manifest plus
+per-worker ``shard-*/obs.jsonl``, rotated generations included) or can
+be passed explicitly for sinks that live elsewhere.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Optional, Sequence
+
+from repro.campaign.report import render_report
+from repro.campaign.store import ResultStore
+
+
+def discover_sinks(root) -> list[str]:
+    """The obs sinks a campaign run conventionally leaves in its store:
+    ``<root>/obs.jsonl`` plus per-worker ``shard-*/obs.jsonl``.
+    Rotated ``.1`` generations ride along via ``expand_sinks``."""
+    from repro.obs.report import expand_sinks
+
+    root = Path(root)
+    candidates = [
+        str(root / "obs.jsonl"),
+        str(root / "shard-*" / "obs.jsonl"),
+    ]
+    return [p for p in expand_sinks(candidates) if Path(p).exists()]
+
+
+def _num(value: float) -> str:
+    if value == int(value) and abs(value) < 1e9:
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def _diag_lines(diag: dict) -> list[str]:
+    from repro.obs.watch import sparkline
+
+    summary = diag.get("summary") or {}
+    series = diag.get("series") or {}
+    n_points = diag.get("n_points", 0)
+    if not summary:
+        return ["(no successful jobs — no metric series to plot)"]
+    lines = [
+        f"{n_points} job points, {len(summary)} metric series.",
+        "",
+        "| metric | n | mean | min | max | last | trend |",
+        "|---|---|---|---|---|---|---|",
+    ]
+    for name, stats in sorted(summary.items()):
+        values = [float(v) for v in series.get(name, [])]
+        spark = sparkline(values) if values else ""
+        lines.append(
+            f"| {name} | {stats['n']} | {_num(stats['mean'])} "
+            f"| {_num(stats['min'])} | {_num(stats['max'])} "
+            f"| {_num(stats['last'])} | `{spark}` |"
+        )
+    return lines
+
+
+def _obs_lines(merged: dict) -> list[str]:
+    lines = [
+        f"{merged['n_events']} events merged "
+        f"({merged['n_logs']} log lines)."
+    ]
+    if merged["counters"]:
+        lines += [
+            "",
+            "| counter | value |",
+            "|---|---|",
+        ]
+        for name, value in merged["counters"].items():
+            lines.append(f"| {name} | {_num(float(value))} |")
+    if merged["histograms"]:
+        lines += [
+            "",
+            "| histogram | count | mean | p95 | max | total |",
+            "|---|---|---|---|---|---|",
+        ]
+        for name, h in merged["histograms"].items():
+            p95 = h.get("p95")
+            lines.append(
+                f"| {name} | {h['count']} | {h['mean']:.6g} "
+                f"| {p95:.6g} | {h['max']:.6g} | {h['total']:.6g} |"
+                if p95 is not None and h.get("max") is not None
+                else f"| {name} | {h['count']} | {h['mean']:.6g} "
+                f"| — | — | {h['total']:.6g} |"
+            )
+    if merged["warnings"]:
+        lines += ["", "Warnings (deduplicated):", ""]
+        for row in merged["warnings"]:
+            pids = len(row["pids"])
+            lines.append(
+                f"- `{row['msg']}` — {row['count']}× across "
+                f"{pids} pid{'s' if pids != 1 else ''}"
+            )
+    return lines
+
+
+def build_dossier(
+    store: ResultStore, sinks: Optional[Sequence[str]] = None
+) -> str:
+    """The full markdown dossier for one campaign directory.
+
+    Degrades gracefully: a campaign without ``diag.json`` gets it
+    derived on the fly (when records exist), and one run without
+    observability simply notes the missing sinks — every section that
+    *can* be produced is.
+    """
+    lines = [render_report(store).rstrip()]
+
+    try:
+        diag = store.load_diag()
+    except FileNotFoundError:
+        diag = None
+        try:
+            if store.write_diag() is not None:
+                diag = store.load_diag()
+        except OSError:
+            diag = None
+    lines += ["", "## Diagnostics timeseries", ""]
+    if diag is None:
+        lines.append("(no diag.json and no records to derive one from)")
+    else:
+        lines += _diag_lines(diag)
+
+    if sinks is None:
+        sinks = discover_sinks(store.root)
+    events: list[dict] = []
+    if sinks:
+        from repro.obs.report import load_events_multi
+
+        try:
+            events = load_events_multi(list(sinks))
+        except (FileNotFoundError, OSError):
+            events = []
+    lines += ["", "## Observability", ""]
+    if not events:
+        lines.append(
+            "(no obs sinks under the campaign directory — run with "
+            "`--obs`/`--obs-shards` to collect one)"
+        )
+    else:
+        from repro.obs.report import merge_events, render_trace
+
+        sink_list = ", ".join(f"`{s}`" for s in sinks)
+        lines.append(f"Sinks: {sink_list}")
+        lines.append("")
+        lines += _obs_lines(merge_events(events))
+        lines += ["", "## Trace", "", "```"]
+        lines.append(render_trace(events))
+        lines.append("```")
+    lines.append("")
+    return "\n".join(lines)

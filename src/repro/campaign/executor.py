@@ -12,7 +12,13 @@ bit-identical metrics no matter which executor ran it.
 The payload is a plain JSON-able dict (picklable *and* wire-encodable):
 
 ``job_id, experiment, params, seed, attempt, timeout_seconds`` plus the
-optional fault-injection fields ``inject_mode``/``allow_hard_crash``.
+optional fault-injection fields ``inject_mode``/``allow_hard_crash``
+and an optional ``trace`` field — an obs trace context
+(:func:`repro.obs.tracectx.wire_context`) adopted for the duration of
+the attempt, so the job's spans parent to the campaign span of
+whichever process scheduled it.  ``trace`` never reaches the
+experiment function: metrics stay a pure function of
+``(experiment, params, seed)``.
 """
 
 from __future__ import annotations
@@ -82,12 +88,14 @@ def execute_payload(payload: dict) -> dict:
     def _on_alarm(signum, frame):
         raise JobTimeout(f"job exceeded {timeout}s budget")
 
+    from repro.obs import tracectx
+
     start = time.perf_counter()
     if use_alarm:
         previous = signal.signal(signal.SIGALRM, _on_alarm)
         signal.setitimer(signal.ITIMER_REAL, timeout)
     try:
-        with obs.span(
+        with tracectx.adopted(payload.get("trace")), obs.span(
             "campaign.job",
             job_id=payload.get("job_id"),
             experiment=payload["experiment"],

@@ -22,6 +22,7 @@ single-process and fast under test.
 
 from __future__ import annotations
 
+import os
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -43,6 +44,7 @@ from repro.campaign.executor import (
     execute_payload,
 )
 from repro.campaign.spec import CampaignSpec, JobSpec
+from repro.obs import tracectx
 from repro.campaign.store import (
     STATUS_CRASHED,
     STATUS_FAILED,
@@ -197,6 +199,7 @@ class CampaignRunner:
             attempt.eligible_at = time.monotonic() + delay
             pending.append(attempt)
             obs.counter_add("campaign.retries")
+            obs.observe("campaign.backoff_seconds", delay)
             self._emit(
                 f"retry {job.job_id} (attempt {attempt.attempt + 1}, "
                 f"after {delay:.2f}s): {error}"
@@ -358,8 +361,18 @@ class CampaignRunner:
         self._executor = self._factory()
         in_flight: dict[Future, _Attempt] = {}
         observing = obs.enabled()
+        trace_env_set = False
         try:
             run_span.__enter__()
+            if observing:
+                # Pool worker processes spawn lazily at first submit,
+                # so exporting REPRO_OBS_TRACE here (trace id plus this
+                # run span as the remote parent) is early enough for
+                # every worker's spans to join this campaign's tree.
+                trace_id = tracectx.begin_trace()
+                trace_env_set = tracectx.export_to_env(
+                    trace_id, run_span.span_id
+                )
             while pending or in_flight:
                 if observing:
                     obs.observe(
@@ -441,6 +454,8 @@ class CampaignRunner:
             raise
         finally:
             run_span.__exit__(None, None, None)
+            if trace_env_set:
+                os.environ.pop(tracectx.ENV_TRACE, None)
             self._executor.shutdown(wait=True)
             obs.flush()
 

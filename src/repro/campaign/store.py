@@ -299,18 +299,20 @@ class ResultStore:
         and returns how many records were (re)written.  Shard files are
         left in place as an audit trail; the main log wins on re-read.
         """
-        main = self.load_records()
-        combined = list(main.values())
-        for shard in self.shard_stores():
-            combined.extend(shard.load_records().values())
-        merged = dedupe_records(combined)
-        changed = [
-            record
-            for job_id, record in sorted(merged.items())
-            if main.get(job_id) is not record
-        ]
-        for record in changed:
-            self.append(record)
+        shards = self.shard_stores()
+        with obs.span("store.merge", store=str(self.root), shards=len(shards)):
+            main = self.load_records()
+            combined = list(main.values())
+            for shard in shards:
+                combined.extend(shard.load_records().values())
+            merged = dedupe_records(combined)
+            changed = [
+                record
+                for job_id, record in sorted(merged.items())
+                if main.get(job_id) is not record
+            ]
+            for record in changed:
+                self.append(record)
         if changed:
             obs.counter_add("store.shard_merged_records", len(changed))
         return len(changed)

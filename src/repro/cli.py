@@ -506,6 +506,12 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
     spec = CampaignSpec.from_json_file(args.spec)
     out = args.out or f"runs/{spec.name}"
     endpoint = parse_endpoint(args.listen) if args.listen else None
+    if args.obs:
+        from repro import obs
+
+        # The scheduler runs in this process; workers append to the
+        # same file, so one sink holds the whole trace tree.
+        obs.enable(sink_path=args.obs)
     print(
         f"cluster campaign {spec.name!r}: {spec.n_jobs()} jobs of "
         f"{spec.experiment!r} -> {out} ({args.workers} worker "
@@ -521,6 +527,7 @@ def cmd_cluster_run(args: argparse.Namespace) -> int:
             lease_seconds=args.lease_seconds,
             heartbeat_seconds=args.heartbeat_seconds,
             obs_shards=args.obs_shards,
+            obs_sink=args.obs,
             drill_kill_worker=args.drill_kill_worker,
             on_event=None if args.quiet else print,
             deadline_seconds=args.deadline,
@@ -563,6 +570,12 @@ def cmd_cluster_serve(args: argparse.Namespace) -> int:
     """Run the scheduler as a long-lived campaign service."""
     from repro.cluster import parse_endpoint, serve
 
+    if args.obs:
+        from repro import obs
+
+        # A service scheduler runs for days; cap the sink so it rotates
+        # (sink.jsonl -> sink.jsonl.1) instead of growing without bound.
+        obs.enable(sink_path=args.obs, max_sink_bytes=args.obs_max_bytes)
     serve(
         parse_endpoint(args.listen),
         lease_seconds=args.lease_seconds,
@@ -679,13 +692,17 @@ def _load_obs_events(sink):
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
-    """Render counters, histograms, and span timings from a JSONL sink."""
-    from repro.obs import render_report
+    """Render counters, histograms, and span timings from a JSONL sink.
+
+    With ``--trace``: the cross-process trace view instead — the
+    stitched span tree over all given sinks plus the critical-path
+    breakdown of campaign wall-clock."""
+    from repro.obs import render_report, render_trace
 
     events = _load_obs_events(args.sink)
     if events is None:
         return 2
-    print(render_report(events))
+    print(render_trace(events) if args.trace else render_report(events))
     return 0
 
 
@@ -749,23 +766,50 @@ def cmd_obs_watch(args: argparse.Namespace) -> int:
 
 
 def cmd_obs_export(args: argparse.Namespace) -> int:
-    """Merge a JSONL sink into one machine-readable JSON summary."""
+    """Merge a JSONL sink into one machine-readable document.
+
+    ``--format summary`` (default) is the merged counter/histogram/span
+    JSON; ``--format chrome-trace`` converts spans, logs and metric
+    points into Chrome Trace Event JSON loadable in ``chrome://tracing``
+    and Perfetto."""
     import json
 
-    from repro.obs import merge_events
+    from repro.obs import merge_events, render_chrome_trace
 
     events = _load_obs_events(args.sink)
     if events is None:
         return 2
-    payload = merge_events(events)
+    if args.format == "chrome-trace":
+        shown = args.sink if isinstance(args.sink, str) else " ".join(args.sink)
+        text = render_chrome_trace(events, origin=shown)
+    else:
+        text = json.dumps(merge_events(events), indent=2, sort_keys=True)
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
-            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write(text)
             handle.write("\n")
         print(f"wrote {args.out}")
     else:
-        json.dump(payload, sys.stdout, indent=2, sort_keys=True)
-        print()
+        print(text)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Write the unified campaign dossier: campaign report + diag
+    timeseries + obs summary + trace critical path, one markdown doc."""
+    from repro.campaign import ResultStore, build_dossier
+
+    store = ResultStore(args.dir)
+    if not store.exists():
+        print(f"error: no campaign manifest in {args.dir}", file=sys.stderr)
+        return 2
+    text = build_dossier(store, sinks=args.obs or None)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(text)
+        print(f"wrote {args.out}")
+    else:
+        print(text, end="")
     return 0
 
 
@@ -1224,11 +1268,29 @@ def cmd_perf_compare(args: argparse.Namespace) -> int:
 
 
 def cmd_perf_profile(args: argparse.Namespace) -> int:
-    """cProfile one bench (or any experiment id) and print the stats."""
+    """cProfile one bench (or any experiment id) and print the stats.
+
+    With ``--sites TARGET``: a per-site access-count profile instead —
+    one ADDRESS_ONLY traced run of the named analysis target, hottest
+    sites first, keyed by the same site labels the gadget reports and
+    ``repro mitigate`` plans use."""
     import json as _json
 
     from repro.perf import profile_bench
 
+    if args.sites:
+        from repro.perf import render_site_profile, site_access_profile
+
+        data = random_bytes(args.size, seed=args.seed)
+        try:
+            rows = site_access_profile(args.sites, data)
+        except ValueError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            render_site_profile(rows, args.sites, len(data), top=args.top)
+        )
+        return 0
     try:
         text = profile_bench(
             args.name if not args.experiment else "",
@@ -1462,6 +1524,20 @@ def build_parser() -> argparse.ArgumentParser:
     c.set_defaults(func=cmd_campaign_list)
 
     p = sub.add_parser(
+        "report",
+        help="unified campaign dossier: results, diag timeseries, obs "
+             "summary, and the trace critical path in one markdown doc",
+    )
+    p.add_argument("dir", help="campaign result directory")
+    p.add_argument("--obs", nargs="+", metavar="SINK",
+                   help="obs sink file(s)/glob(s) to merge (default: "
+                        "auto-discover obs.jsonl and shard-*/obs.jsonl "
+                        "under the campaign directory)")
+    p.add_argument("--out", help="write the dossier here "
+                                 "(default: stdout)")
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser(
         "cluster",
         help="distributed campaigns: scheduler, workers, campaign service",
     )
@@ -1486,6 +1562,11 @@ def build_parser() -> argparse.ArgumentParser:
     k.add_argument("--listen",
                    help="scheduler endpoint (unix:/path or tcp:host:port; "
                         "default: ephemeral localhost TCP)")
+    k.add_argument("--obs", metavar="SINK",
+                   help="record scheduler and worker obs events "
+                        "(spans, counters, trace context) to this one "
+                        "JSONL file; `obs report --trace SINK` then "
+                        "shows the full campaign span tree")
     k.add_argument("--obs-shards", action="store_true",
                    help="each worker records obs events to "
                         "<out>/shard-<id>/obs.jsonl (watch with "
@@ -1518,6 +1599,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     k.add_argument("--listen", default="tcp:127.0.0.1:7633",
                    help="endpoint to listen on (default tcp:127.0.0.1:7633)")
+    k.add_argument("--obs", metavar="SINK",
+                   help="record scheduler obs events to this JSONL file")
+    k.add_argument("--obs-max-bytes", type=int, metavar="N",
+                   help="rotate the sink (SINK -> SINK.1) when it "
+                        "would exceed N bytes — bounds disk use for a "
+                        "long-running service")
     k.add_argument("--quiet", action="store_true")
     add_cluster_tuning(k)
     k.set_defaults(func=cmd_cluster_serve)
@@ -1566,6 +1653,9 @@ def build_parser() -> argparse.ArgumentParser:
     o.add_argument("sink", nargs="+",
                    help="JSONL sink file(s) or glob, e.g. "
                         "'runs/x/shard-*/obs.jsonl'")
+    o.add_argument("--trace", action="store_true",
+                   help="cross-process trace view: stitched span tree "
+                        "over all sinks + critical-path breakdown")
     o.set_defaults(func=cmd_obs_report)
 
     o = osub.add_parser("tail", help="print the last N events of a sink")
@@ -1605,6 +1695,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     o.add_argument("sink", nargs="+",
                    help="JSONL sink file(s) or glob")
+    o.add_argument("--format", choices=["summary", "chrome-trace"],
+                   default="summary",
+                   help="summary: merged counters/histograms/spans; "
+                        "chrome-trace: Chrome Trace Event JSON for "
+                        "chrome://tracing / Perfetto")
     o.add_argument("--out", help="output file (default: stdout)")
     o.set_defaults(func=cmd_obs_export)
 
@@ -1775,6 +1870,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="bench name from `perf list`")
     q.add_argument("--experiment",
                    help="profile a raw experiment id instead")
+    q.add_argument("--sites", metavar="TARGET",
+                   choices=["zlib", "lzw", "bzip2", "aes"],
+                   help="per-site access-count profile of an analysis "
+                        "target instead (same site ids as the gadget "
+                        "reports)")
+    q.add_argument("--size", type=int, default=500,
+                   help="input bytes for --sites (default 500)")
     q.add_argument("--params", help="JSON params for --experiment")
     q.add_argument("--seed", type=int, default=0)
     q.add_argument("--quick", action="store_true")

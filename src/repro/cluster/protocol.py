@@ -13,16 +13,25 @@ Worker → scheduler::
     lease      {worker_id}                     -> job | idle | drain
     heartbeat  {worker_id}                     (one-way)
     result     {worker_id, campaign_id, lease_id, job_id, status,
-                duration, metrics?, error?, timeout_enforced?}  (one-way)
+                duration, metrics?, error?, timeout_enforced?,
+                trace?}                        (one-way)
     goodbye    {worker_id}                     (one-way, then close)
 
 Scheduler → worker::
 
     registered {heartbeat_seconds, lease_seconds}
     job        {campaign_id, lease_id, job_id, payload, final,
-                store_root, trial}
+                store_root, trial, trace?}
     idle       {retry_after}
     drain      {}
+
+The optional ``trace`` field is the campaign's observability trace
+context, ``{trace: <trace_id>, parent: <scheduler campaign span id>}``
+(:func:`repro.obs.tracectx.wire_context`).  A worker adopts it for the
+duration of the leased job — so the job's spans join the scheduler's
+span tree — and echoes it verbatim on the ``result``.  It is absent
+when the scheduler runs without observability, keeping those messages
+byte-identical to protocol version 1 without it.
 
 Control client → scheduler (the ``repro cluster submit|status|cancel``
 commands use the same stream)::

@@ -30,6 +30,12 @@ class QueuedJob:
     position: int  # index in spec expansion order (fault-injection anchor)
     attempt: int = 0  # 0-based, same convention as the runner
     eligible_at: float = 0.0  # clock time before which it is held back
+    # Clock time the job (re-)became eligible to run: submission time
+    # initially, the end of the backoff hold after a retry.  Lease time
+    # minus this is the enqueue→lease wait the scheduler feeds into the
+    # ``cluster.lease_wait_seconds`` histogram — deliberately excluding
+    # deliberate backoff delay, which is accounted separately.
+    enqueued_at: float = 0.0
 
 
 @dataclass
@@ -156,6 +162,7 @@ class LeaseQueue:
         delay = self.retry_backoff * (2**queued.attempt)
         queued.attempt += 1
         queued.eligible_at = self.clock() + delay
+        queued.enqueued_at = queued.eligible_at
         self._pending.append(queued)
         return delay
 

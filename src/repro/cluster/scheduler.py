@@ -29,6 +29,7 @@ from typing import Callable, Optional
 
 from repro import obs
 from repro.campaign import executor as executor_mod
+from repro.obs import tracectx
 from repro.campaign.spec import CampaignSpec
 from repro.campaign.store import (
     STATUS_CRASHED,
@@ -70,9 +71,23 @@ class CampaignExec:
     skipped: int = 0
     started_at: float = 0.0
     finished_at: Optional[float] = None
+    # Trace context: the campaign's trace id and the id reserved for
+    # its root span.  The span event itself is emitted at finalize
+    # (duration known); reserving the id at submit lets every job
+    # message carry it, so worker spans parent to a span that does not
+    # exist in any sink yet.
+    trace_id: str = ""
+    span_id: str = ""
+    span_wall: float = 0.0
 
     def bump(self, status: str) -> None:
         self.counts[status] = self.counts.get(status, 0) + 1
+
+    def wire_trace(self) -> Optional[dict]:
+        """The ``trace`` payload for this campaign's lease messages."""
+        if not self.trace_id:
+            return None
+        return {"trace": self.trace_id, "parent": self.span_id or None}
 
 
 class ClusterScheduler:
@@ -125,8 +140,9 @@ class ClusterScheduler:
         # earlier scheduler that died before finalize — resume must not
         # re-run those jobs (and merge will reconcile them).
         done_ids = store.completed_ids(include_shards=True)
+        now = self.clock()
         pending = [
-            QueuedJob(job=job, position=position)
+            QueuedJob(job=job, position=position, enqueued_at=now)
             for position, job in enumerate(all_jobs)
             if job.job_id not in done_ids
         ]
@@ -147,9 +163,18 @@ class ClusterScheduler:
             skipped=len(all_jobs) - len(pending),
             started_at=self.clock(),
         )
+        if obs.enabled():
+            # One trace per campaign; join an inherited process trace
+            # (REPRO_OBS_TRACE) if the scheduler itself runs inside one.
+            exec_.trace_id = (
+                tracectx.current_trace_id() or tracectx.new_trace_id()
+            )
+            exec_.span_id = obs.new_span_id()
+            exec_.span_wall = time.time()
         self.campaigns[campaign_id] = exec_
         self._order.append(campaign_id)
         obs.counter_add("cluster.campaigns_submitted")
+        obs.observe("cluster.queue_depth", len(pending))
         obs.log(
             "info",
             "campaign started",
@@ -184,12 +209,27 @@ class ClusterScheduler:
         """Merge shards into the main store and stamp the manifest —
         after this, ``campaign report``/``diag``/``obs`` read the merged
         directory exactly as if the local runner had produced it."""
-        merged = exec_.store.merge_shards()
-        counts = dict(exec_.counts)
-        counts["skipped"] = exec_.skipped
-        exec_.store.finalize(counts)
+        # Merge/finalize spans attach under the campaign span (managed
+        # manually, so it is never on this thread's stack).
+        with tracectx.adopted(exec_.wire_trace()):
+            merged = exec_.store.merge_shards()
+            counts = dict(exec_.counts)
+            counts["skipped"] = exec_.skipped
+            exec_.store.finalize(counts)
         exec_.state = state
         exec_.finished_at = self.clock()
+        if exec_.span_id:
+            obs.emit_span_event(
+                "cluster.campaign",
+                ts=exec_.span_wall,
+                dur=max(0.0, exec_.finished_at - exec_.started_at),
+                span_id=exec_.span_id,
+                trace=exec_.trace_id,
+                status="ok" if state == STATE_DONE else state,
+                campaign=exec_.spec.name,
+                campaign_id=exec_.campaign_id,
+                experiment=exec_.spec.experiment,
+            )
         obs.log(
             "info",
             "campaign finalized",
@@ -198,6 +238,7 @@ class ClusterScheduler:
             merged_records=merged,
             **{k: v for k, v in counts.items()},
         )
+        obs.flush()
         self._emit(
             f"finalized {exec_.campaign_id}: "
             + (", ".join(f"{v} {k}" for k, v in sorted(counts.items())) or "empty")
@@ -272,6 +313,16 @@ class ClusterScheduler:
             lease = exec_.queue.lease(worker_id)
             if lease is None:
                 continue
+            if obs.enabled():
+                if lease.queued.enqueued_at:
+                    obs.observe(
+                        "cluster.lease_wait_seconds",
+                        max(0.0, lease.issued_at - lease.queued.enqueued_at),
+                    )
+                obs.observe(
+                    "cluster.queue_depth",
+                    exec_.queue.pending_count + exec_.queue.leased_count,
+                )
             return self._job_message(exec_, lease)
         return None
 
@@ -309,7 +360,7 @@ class ClusterScheduler:
             # executor's convention).  Real worker death is exercised
             # by the SIGKILL drill instead.
             payload["allow_hard_crash"] = False
-        return {
+        message = {
             "campaign_id": exec_.campaign_id,
             "lease_id": lease.lease_id,
             "job_id": job.job_id,
@@ -318,6 +369,10 @@ class ClusterScheduler:
             "final": exec_.queue.is_final_attempt(queued),
             "store_root": str(exec_.store.root),
         }
+        trace = exec_.wire_trace()
+        if trace is not None:
+            message["trace"] = trace
+        return message
 
     def handle_result(self, worker_id: str, message: dict) -> None:
         """Consume one worker ``result``; stale completions (lease
@@ -371,6 +426,7 @@ class ClusterScheduler:
             delay = exec_.queue.retry(queued)
             exec_.retries += 1
             obs.counter_add("campaign.retries")
+            obs.observe("cluster.backoff_seconds", delay)
             self._emit(
                 f"retry {job_id} (attempt {queued.attempt + 1}, "
                 f"after {delay:.2f}s): {message.get('error')}"
@@ -398,6 +454,7 @@ class ClusterScheduler:
             delay = exec_.queue.retry(queued)
             exec_.retries += 1
             obs.counter_add("campaign.retries")
+            obs.observe("cluster.backoff_seconds", delay)
             self._emit(
                 f"retry {queued.job.job_id} (attempt {queued.attempt + 1}, "
                 f"after {delay:.2f}s): {error}"

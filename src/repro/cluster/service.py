@@ -269,6 +269,11 @@ def spawn_worker(
         env[obs.ENV_SINK] = obs_sink
     else:
         env.pop(obs.ENV_SINK, None)
+    # Cluster workers adopt trace context per-lease from the job
+    # message, never from the environment — an inherited process-level
+    # trace would misattribute a parked worker's idle time to whatever
+    # campaign the parent process happened to be tracing.
+    env.pop(obs.ENV_TRACE, None)
     return subprocess.Popen(
         [
             sys.executable,
@@ -296,6 +301,7 @@ def run_cluster(
     lease_seconds: float = 30.0,
     heartbeat_seconds: float = 1.0,
     obs_shards: bool = False,
+    obs_sink: Optional[str] = None,
     drill_kill_worker: Optional[int] = None,
     on_event: Optional[Callable[[str], None]] = None,
     deadline_seconds: float = 600.0,
@@ -308,7 +314,12 @@ def run_cluster(
     ``drill_kill_worker=N`` SIGKILLs the first worker after N jobs have
     completed — the lease/disconnect recovery drill.  ``obs_shards``
     points each worker's obs sink at
-    ``<store>/shard-<worker_id>/obs.jsonl``.
+    ``<store>/shard-<worker_id>/obs.jsonl``; ``obs_sink`` instead gives
+    every worker the *same* sink path (one merged JSONL file — fine for
+    smoke-scale fleets, where one-line appends don't interleave), which
+    together with the scheduler writing to the same file yields a
+    single self-contained sink whose span tree ``obs report --trace``
+    can stitch with no extra globbing.
     """
     scheduler = ClusterScheduler(
         lease_seconds=lease_seconds,
@@ -327,7 +338,7 @@ def run_cluster(
         try:
             for index in range(max(1, workers)):
                 worker_id = f"w{index}"
-                sink = None
+                sink = obs_sink
                 if obs_shards:
                     shard_root = (
                         scheduler.campaigns[campaign_id]

@@ -23,6 +23,10 @@ environment variable at import (the standard obs mechanism) — the
 one-shot ``repro cluster run --obs`` front end points each worker at
 ``<store>/shard-<worker_id>/obs.jsonl`` so a sharded campaign is
 watchable live with ``repro obs watch --obs '<store>/shard-*/obs.jsonl'``.
+Each ``job`` message may carry the campaign's trace context; the worker
+adopts it for exactly that job (:func:`repro.obs.tracectx.adopted`), so
+its ``campaign.job`` spans parent to the scheduler's campaign span and
+``obs report --trace`` over the merged sinks shows one tree.
 """
 
 from __future__ import annotations
@@ -38,6 +42,7 @@ from repro.campaign.executor import run_attempt
 from repro.campaign.store import JobRecord, ResultStore
 from repro.cluster import protocol
 from repro.cluster.protocol import Endpoint, MessageStream
+from repro.obs import tracectx
 
 
 def default_worker_id() -> str:
@@ -89,29 +94,34 @@ class ClusterWorker:
     def _run_job(self, stream: MessageStream, message: dict) -> None:
         payload = message["payload"]
         job_id = message["job_id"]
-        outcome = run_attempt(payload)
-        if outcome.ok or message.get("final"):
-            # Terminal either way — persist before reporting, so the
-            # record survives a scheduler crash between the two.
-            shard = ResultStore(message["store_root"]).shard_store(
-                self.worker_id
-            )
-            shard.root.mkdir(parents=True, exist_ok=True)
-            shard.append(
-                JobRecord(
-                    job_id=job_id,
-                    experiment=payload["experiment"],
-                    params=payload["params"],
-                    trial=int(message.get("trial", 0)),
-                    seed=payload["seed"],
-                    status=outcome.status,
-                    attempts=int(payload.get("attempt", 0)) + 1,
-                    duration_seconds=outcome.duration,
-                    metrics=outcome.metrics,
-                    error=outcome.error,
-                    timeout_enforced=outcome.timeout_enforced,
+        # Adopt the campaign's trace for exactly this job: a parked
+        # worker serves many campaigns, so the context is per-lease,
+        # not per-process.  The job's spans (and the shard store's)
+        # then parent to the scheduler's campaign span.
+        with tracectx.adopted(message.get("trace")):
+            outcome = run_attempt(payload)
+            if outcome.ok or message.get("final"):
+                # Terminal either way — persist before reporting, so
+                # the record survives a scheduler crash between the two.
+                shard = ResultStore(message["store_root"]).shard_store(
+                    self.worker_id
                 )
-            )
+                shard.root.mkdir(parents=True, exist_ok=True)
+                shard.append(
+                    JobRecord(
+                        job_id=job_id,
+                        experiment=payload["experiment"],
+                        params=payload["params"],
+                        trial=int(message.get("trial", 0)),
+                        seed=payload["seed"],
+                        status=outcome.status,
+                        attempts=int(payload.get("attempt", 0)) + 1,
+                        duration_seconds=outcome.duration,
+                        metrics=outcome.metrics,
+                        error=outcome.error,
+                        timeout_enforced=outcome.timeout_enforced,
+                    )
+                )
         self.jobs_done += 1
         obs.counter_add("cluster.worker_jobs")
         result = {
@@ -127,6 +137,8 @@ class ClusterWorker:
             result["error"] = outcome.error
         if outcome.timeout_enforced is not None:
             result["timeout_enforced"] = outcome.timeout_enforced
+        if message.get("trace") is not None:
+            result["trace"] = message["trace"]
         stream.send(result)
         self._emit(
             f"{outcome.status} {job_id} "

@@ -74,6 +74,14 @@ class Profiler:
             out.append((start, self.now))
         return out
 
+    def chrome_trace_events(self, pid: int = 0) -> list[dict]:
+        """This profiler's enter/exit events as Chrome Trace Event
+        ``B``/``E`` pairs on the virtual clock, ready for
+        ``chrome://tracing`` / Perfetto (see :mod:`repro.obs.export`)."""
+        from repro.obs.export import profiler_chrome_events
+
+        return profiler_chrome_events(self, pid=pid)
+
 
 class ExecutionContext(ABC):
     """The substrate API compression kernels are written against."""

@@ -23,23 +23,34 @@ Enable programmatically::
 or from the environment (inherited by campaign worker processes)::
 
     REPRO_OBS=run.jsonl REPRO_OBS_LEVEL=debug python -m repro campaign run ...
+
+Cross-process causal tracing lives in :mod:`repro.obs.tracectx`: a
+campaign installs a ``trace_id`` and exports it (``REPRO_OBS_TRACE``,
+or the ``trace`` field on cluster lease messages) so scheduler, worker,
+and shard-store spans stitch into one tree — rendered by ``obs report
+--trace`` and exportable to Perfetto via :mod:`repro.obs.export`
+(``obs export --format chrome-trace``).
 """
 
 from repro.obs.core import (
     ENV_LEVEL,
+    ENV_MAX_BYTES,
     ENV_SINK,
+    ENV_TRACE,
     Histogram,
     Logger,
     Span,
     counter_add,
     counters_snapshot,
     disable,
+    emit_span_event,
     enable,
     enabled,
     flush,
     get_logger,
     histograms_snapshot,
     log,
+    new_span_id,
     observe,
     publish_metrics,
     recent,
@@ -47,16 +58,26 @@ from repro.obs.core import (
     span,
     warn_once,
 )
+from repro.obs.export import (
+    chrome_trace_document,
+    chrome_trace_events,
+    profiler_chrome_events,
+    render_chrome_trace,
+)
 from repro.obs.report import (
     expand_sinks,
     format_event,
     load_events,
     load_events_multi,
+    logical_sink,
     merge_events,
     merge_warnings,
     render_report,
     render_span_tree,
     render_tail,
+    render_trace,
+    stitch_spans,
+    trace_summary,
 )
 from repro.obs.watch import (
     MultiSinkFollower,
@@ -69,13 +90,18 @@ from repro.obs.watch import (
 
 __all__ = [
     "ENV_LEVEL",
+    "ENV_MAX_BYTES",
     "ENV_SINK",
+    "ENV_TRACE",
     "Histogram",
     "Logger",
     "Span",
+    "chrome_trace_document",
+    "chrome_trace_events",
     "counter_add",
     "counters_snapshot",
     "disable",
+    "emit_span_event",
     "enable",
     "enabled",
     "expand_sinks",
@@ -86,21 +112,28 @@ __all__ = [
     "load_events",
     "load_events_multi",
     "log",
+    "logical_sink",
     "make_follower",
     "MultiSinkFollower",
     "merge_events",
     "merge_warnings",
+    "new_span_id",
     "observe",
+    "profiler_chrome_events",
     "publish_metrics",
     "recent",
+    "render_chrome_trace",
     "render_report",
     "render_span_tree",
     "render_tail",
+    "render_trace",
     "render_watch",
     "reset",
     "span",
     "sparkline",
     "SinkFollower",
+    "stitch_spans",
+    "trace_summary",
     "warn_once",
     "WatchState",
 ]

@@ -22,6 +22,21 @@ sink path is configured, as JSONL lines rendered back by
 ``python -m repro obs report|tail|export``.  Worker processes inherit
 activation through the ``REPRO_OBS`` environment variable and append to
 the same sink (one ``write`` call per line).
+
+Two cross-process extensions ride the same machinery:
+
+* **Trace context.**  A process may carry a ``trace_id`` and a *remote
+  parent* span id (inherited via ``REPRO_OBS_TRACE`` or a cluster job
+  message — see :mod:`repro.obs.tracectx`).  Root spans adopt the
+  remote parent, and every span event is stamped with the trace id, so
+  spans from a scheduler, its workers, and their shard stores merge
+  into one causal tree.  Trace ids come from ``uuid4`` (OS entropy),
+  never from ``random``/numpy — the non-perturbation contract holds.
+* **Sink rotation.**  Long-running services (``cluster serve``) can cap
+  the sink: when a write would push the file past ``max_sink_bytes``
+  the current sink is renamed to ``<sink>.1`` and a fresh file starts.
+  Rotation happens on whole-line boundaries, so followers and the
+  report reader never see torn lines.
 """
 
 from __future__ import annotations
@@ -40,6 +55,8 @@ LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
 
 ENV_SINK = "REPRO_OBS"
 ENV_LEVEL = "REPRO_OBS_LEVEL"
+ENV_TRACE = "REPRO_OBS_TRACE"
+ENV_MAX_BYTES = "REPRO_OBS_MAX_BYTES"
 
 DEFAULT_RING_SIZE = 4096
 
@@ -220,6 +237,10 @@ class Span:
         if stack:
             self.parent_id = stack[-1].span_id
             self.depth = len(stack)
+        elif state.remote_parent is not None:
+            # Root span of this thread, but a parent span exists in
+            # another process (scheduler → worker): stitch to it.
+            self.parent_id = state.remote_parent
         stack.append(self)
         self._wall = time.time()
         self._t0 = time.perf_counter()
@@ -230,19 +251,20 @@ class Span:
         stack = self._state.span_stack()
         if stack and stack[-1] is self:
             stack.pop()
-        self._state.emit(
-            {
-                "kind": "span",
-                "ts": self._wall,
-                "name": self.name,
-                "id": self.span_id,
-                "parent": self.parent_id,
-                "depth": self.depth,
-                "dur": duration,
-                "status": "error" if exc_type is not None else "ok",
-                "fields": self.fields,
-            }
-        )
+        event = {
+            "kind": "span",
+            "ts": self._wall,
+            "name": self.name,
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "depth": self.depth,
+            "dur": duration,
+            "status": "error" if exc_type is not None else "ok",
+            "fields": self.fields,
+        }
+        if self._state.trace_id is not None:
+            event["trace"] = self._state.trace_id
+        self._state.emit(event)
         return False
 
 
@@ -262,6 +284,10 @@ class ObsState:
         self.counters: dict[str, float] = {}
         self.histograms: dict[str, Histogram] = {}
         self.ring: deque = deque(maxlen=DEFAULT_RING_SIZE)
+        self.trace_id: Optional[str] = None
+        self.remote_parent: Optional[str] = None
+        self.max_sink_bytes: Optional[int] = None
+        self._sink_bytes = 0
         self._sink_handle = None
         self._lock = threading.Lock()
         self._local = threading.local()
@@ -275,8 +301,14 @@ class ObsState:
         sink_path: Optional[str] = None,
         level: str = "info",
         ring_size: int = DEFAULT_RING_SIZE,
+        max_sink_bytes: Optional[int] = None,
     ) -> None:
-        """Turn recording on (idempotent; re-enabling swaps the sink)."""
+        """Turn recording on (idempotent; re-enabling swaps the sink).
+
+        ``max_sink_bytes``, when given, caps the sink file: a write
+        that would exceed it rotates ``sink`` → ``sink.1`` first.
+        Passing ``None`` leaves any previously-set cap in place.
+        """
         with self._lock:
             self.level = LEVELS.get(level, LEVELS["info"])
             if ring_size != self.ring.maxlen:
@@ -285,6 +317,8 @@ class ObsState:
                 self._sink_handle.close()
                 self._sink_handle = None
             self.sink_path = sink_path
+            if max_sink_bytes is not None:
+                self.max_sink_bytes = max_sink_bytes
             self.enabled = True
             if not self._atexit_registered:
                 atexit.register(self.close)
@@ -308,6 +342,10 @@ class ObsState:
             self.histograms.clear()
             self.ring.clear()
             self._warned.clear()
+            self.trace_id = None
+            self.remote_parent = None
+            self.max_sink_bytes = None
+            self._sink_bytes = 0
 
     def close(self) -> None:
         """atexit hook: persist the final counter snapshot."""
@@ -331,19 +369,50 @@ class ObsState:
         return stack
 
     # -- event emission ------------------------------------------------
+    def _open_sink(self) -> None:
+        """Open the sink for append and learn its current size (the
+        cap must count bytes written by earlier runs of this sink)."""
+        self._sink_handle = open(self.sink_path, "a", encoding="utf-8")
+        try:
+            self._sink_bytes = os.path.getsize(self.sink_path)
+        except OSError:
+            self._sink_bytes = 0
+
+    def _rotate_sink(self) -> None:
+        """Rename ``sink`` → ``sink.1`` and start a fresh file.
+
+        Called between whole-line writes, so both the rotated file and
+        the new one contain only complete JSONL lines.  One rotated
+        generation is kept; an older ``.1`` is overwritten.
+        """
+        if self._sink_handle is not None:
+            self._sink_handle.close()
+            self._sink_handle = None
+        try:
+            os.replace(self.sink_path, self.sink_path + ".1")
+        except OSError:
+            pass
+        self._sink_bytes = 0
+
     def emit(self, event: dict) -> None:
         """Append one event to the ring and, if configured, the sink."""
         with self._lock:
             self.ring.append(event)
             if self.sink_path is not None:
+                line = json.dumps(event, sort_keys=True, default=str) + "\n"
                 if self._sink_handle is None:
-                    self._sink_handle = open(
-                        self.sink_path, "a", encoding="utf-8"
-                    )
-                self._sink_handle.write(
-                    json.dumps(event, sort_keys=True, default=str) + "\n"
-                )
+                    self._open_sink()
+                if (
+                    self.max_sink_bytes is not None
+                    and self._sink_bytes > 0
+                    and self._sink_bytes + len(line) > self.max_sink_bytes
+                ):
+                    self._rotate_sink()
+                if self._sink_handle is None:
+                    self._open_sink()
+                self._sink_handle.write(line)
                 self._sink_handle.flush()
+                self._sink_bytes += len(line)
 
     def flush(self) -> None:
         """Emit a cumulative snapshot of counters and histograms.
@@ -381,10 +450,20 @@ def enable(
     sink_path: Optional[str] = None,
     level: str = "info",
     ring_size: int = DEFAULT_RING_SIZE,
+    max_sink_bytes: Optional[int] = None,
 ) -> None:
     """Turn observability on, optionally streaming events to a JSONL
-    sink that ``python -m repro obs report`` renders later."""
-    STATE.enable(sink_path=sink_path, level=level, ring_size=ring_size)
+    sink that ``python -m repro obs report`` renders later.
+
+    ``max_sink_bytes`` bounds the sink for long-running services:
+    when set, the sink rotates to ``<sink>.1`` instead of growing
+    without limit (see :meth:`ObsState.enable`)."""
+    STATE.enable(
+        sink_path=sink_path,
+        level=level,
+        ring_size=ring_size,
+        max_sink_bytes=max_sink_bytes,
+    )
 
 
 def disable() -> None:
@@ -408,6 +487,59 @@ def span(name: str, **fields):
     if not STATE.enabled:
         return NULL_SPAN
     return Span(STATE, name, fields)
+
+
+def new_span_id() -> str:
+    """Reserve a process-unique span id without opening a span.
+
+    For long-lived regions that cannot live on the thread-local span
+    stack — e.g. the cluster scheduler's campaign span, which stays
+    open across many event-loop callbacks while other campaigns
+    interleave.  Hand the id to children (via trace context) now, then
+    emit the span itself with :func:`emit_span_event` when the region
+    ends.  Returns ``""`` while observability is off.
+    """
+    if not STATE.enabled:
+        return ""
+    return STATE.next_span_id()
+
+
+def emit_span_event(
+    name: str,
+    ts: float,
+    dur: float,
+    span_id: Optional[str] = None,
+    parent: Optional[str] = None,
+    status: str = "ok",
+    trace: Optional[str] = None,
+    **fields,
+) -> Optional[str]:
+    """Emit one finished-span event directly (no stack interaction).
+
+    The manual counterpart of :func:`span` for regions whose id was
+    reserved earlier with :func:`new_span_id`.  ``ts`` is the wall-clock
+    start, ``dur`` the duration in seconds.  Returns the span id used,
+    or None while observability is off.
+    """
+    if not STATE.enabled:
+        return None
+    sid = span_id or STATE.next_span_id()
+    event = {
+        "kind": "span",
+        "ts": ts,
+        "name": name,
+        "id": sid,
+        "parent": parent,
+        "depth": 0,
+        "dur": dur,
+        "status": status,
+        "fields": fields,
+    }
+    trace_id = trace if trace is not None else STATE.trace_id
+    if trace_id is not None:
+        event["trace"] = trace_id
+    STATE.emit(event)
+    return sid
 
 
 def counter_add(name: str, value: float = 1) -> None:
@@ -566,13 +698,31 @@ def _activate_from_env() -> None:
     """Honour ``REPRO_OBS`` at import: unset/empty/``0`` leaves
     observability off; ``1``/``true`` enables ring-only recording; any
     other value is treated as a JSONL sink path.  This is how campaign
-    worker processes inherit the parent's ``--obs`` flag."""
+    worker processes inherit the parent's ``--obs`` flag.
+
+    ``REPRO_OBS_TRACE`` (``"<trace_id>:<parent_span_id>"``) installs
+    the inherited trace context even when no sink is configured, and
+    ``REPRO_OBS_MAX_BYTES`` carries the sink rotation cap into worker
+    processes.  Neither touches any RNG stream.
+    """
+    raw_trace = os.environ.get(ENV_TRACE, "").strip()
+    if raw_trace:
+        trace_id, _, parent = raw_trace.partition(":")
+        STATE.trace_id = trace_id or None
+        STATE.remote_parent = parent or None
     raw = os.environ.get(ENV_SINK, "").strip()
     if not raw or raw == "0" or raw.lower() == "false":
         return
     level = os.environ.get(ENV_LEVEL, "info").strip().lower() or "info"
     sink = None if raw == "1" or raw.lower() == "true" else raw
-    enable(sink_path=sink, level=level)
+    raw_cap = os.environ.get(ENV_MAX_BYTES, "").strip()
+    max_sink_bytes = None
+    if raw_cap:
+        try:
+            max_sink_bytes = int(raw_cap) or None
+        except ValueError:
+            max_sink_bytes = None
+    enable(sink_path=sink, level=level, max_sink_bytes=max_sink_bytes)
 
 
 _activate_from_env()

@@ -1,0 +1,207 @@
+"""Chrome Trace Event export: obs sinks and Profiler runs → Perfetto.
+
+Two converters, one output dialect — the Trace Event Format understood
+by ``chrome://tracing`` and https://ui.perfetto.dev:
+
+* :func:`chrome_trace_events` turns merged obs sink events (finished
+  spans, log lines, per-job metrics) into complete-duration (``"X"``),
+  instant (``"i"``) and counter (``"C"``) events.  Wall-clock
+  timestamps become microseconds; the pid is recovered from the
+  pid-prefixed span id (``"<pid>-<n>"``), so a multi-process campaign
+  renders as one lane per worker.
+* :func:`profiler_chrome_events` turns a
+  :class:`repro.exec.context.Profiler`'s enter/exit function markers
+  into begin/end (``"B"``/``"E"``) events on the profiler's *virtual*
+  clock (one unit = one simulated access), letting the simulated
+  kernel's phase structure be inspected in the same UI.
+
+``chrome_trace_document`` wraps either list in the JSON-object form
+(``{"traceEvents": [...]}``) — the CLI surface is
+``repro obs export --format chrome-trace``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Optional
+
+__all__ = [
+    "event_pid",
+    "chrome_trace_events",
+    "profiler_chrome_events",
+    "chrome_trace_document",
+    "render_chrome_trace",
+]
+
+
+def event_pid(event: dict) -> int:
+    """Recover the originating pid of one obs event.
+
+    Span events carry no explicit pid; their span id is pid-prefixed.
+    Log/metrics/counters events carry ``pid`` directly.  Events from
+    before either convention default to 0.
+    """
+    pid = event.get("pid")
+    if isinstance(pid, int):
+        return pid
+    span_id = event.get("id")
+    if isinstance(span_id, str):
+        head, _, _ = span_id.partition("-")
+        if head.isdigit():
+            return int(head)
+    return 0
+
+
+def _span_to_chrome(event: dict) -> dict:
+    args = dict(event.get("fields") or {})
+    args["id"] = event.get("id")
+    if event.get("parent") is not None:
+        args["parent"] = event["parent"]
+    if event.get("trace") is not None:
+        args["trace"] = event["trace"]
+    if event.get("status") == "error":
+        args["status"] = "error"
+    pid = event_pid(event)
+    return {
+        "ph": "X",
+        "name": str(event.get("name", "span")),
+        "cat": "span",
+        "ts": float(event.get("ts", 0.0)) * 1e6,
+        "dur": max(0.0, float(event.get("dur", 0.0))) * 1e6,
+        "pid": pid,
+        "tid": pid,
+        "args": args,
+    }
+
+
+def _log_to_chrome(event: dict) -> dict:
+    pid = event_pid(event)
+    return {
+        "ph": "i",
+        "s": "p",  # process-scoped instant marker
+        "name": str(event.get("msg", "log")),
+        "cat": f"log.{event.get('level', 'info')}",
+        "ts": float(event.get("ts", 0.0)) * 1e6,
+        "pid": pid,
+        "tid": pid,
+        "args": dict(event.get("fields") or {}),
+    }
+
+
+def _metrics_to_chrome(event: dict) -> list[dict]:
+    pid = event_pid(event)
+    ts = float(event.get("ts", 0.0)) * 1e6
+    name = str(event.get("name", "metrics"))
+    out = []
+    for key, value in (event.get("values") or {}).items():
+        if isinstance(value, bool):
+            value = int(value)
+        if not isinstance(value, (int, float)):
+            continue
+        out.append(
+            {
+                "ph": "C",
+                "name": f"{name}.{key}",
+                "cat": "metrics",
+                "ts": ts,
+                "pid": pid,
+                "tid": pid,
+                "args": {"value": value},
+            }
+        )
+    return out
+
+
+def chrome_trace_events(events: Iterable[dict]) -> list[dict]:
+    """Convert obs sink events into Chrome Trace Event dicts.
+
+    Spans become complete-duration events, logs become instants, and
+    per-job metrics become counter tracks; counters snapshots are
+    cumulative process totals, not points in time, so they are skipped.
+    Output is sorted by timestamp, as the viewers prefer.
+    """
+    out: list[dict] = []
+    for event in events:
+        kind = event.get("kind")
+        if kind == "span":
+            out.append(_span_to_chrome(event))
+        elif kind == "log":
+            out.append(_log_to_chrome(event))
+        elif kind == "metrics":
+            out.extend(_metrics_to_chrome(event))
+    out.sort(key=lambda e: e["ts"])
+    return out
+
+
+def profiler_chrome_events(profiler, pid: int = 0) -> list[dict]:
+    """Convert a Profiler's enter/exit markers into ``B``/``E`` events.
+
+    The timestamps are the profiler's *virtual* clock (simulated
+    accesses), exported 1:1 as microseconds — relative phase widths
+    are what matters, not wall time.  Unmatched enters are closed at
+    the profiler's current time, mirroring
+    :meth:`repro.exec.context.Profiler.intervals`.
+    """
+    out: list[dict] = []
+    depth = 0
+    for ev in profiler.events:
+        if ev.kind == "enter":
+            out.append(
+                {
+                    "ph": "B",
+                    "name": ev.name,
+                    "cat": "profiler",
+                    "ts": float(ev.time),
+                    "pid": pid,
+                    "tid": pid,
+                }
+            )
+            depth += 1
+        elif ev.kind == "exit":
+            if depth == 0:
+                continue
+            depth -= 1
+            out.append(
+                {
+                    "ph": "E",
+                    "name": ev.name,
+                    "cat": "profiler",
+                    "ts": float(ev.time),
+                    "pid": pid,
+                    "tid": pid,
+                }
+            )
+    for _ in range(depth):
+        out.append(
+            {
+                "ph": "E",
+                "cat": "profiler",
+                "ts": float(profiler.now),
+                "pid": pid,
+                "tid": pid,
+            }
+        )
+    return out
+
+
+def chrome_trace_document(
+    trace_events: list[dict], origin: Optional[str] = None
+) -> dict:
+    """Wrap converted events in the Trace Event Format JSON object."""
+    doc = {
+        "traceEvents": trace_events,
+        "displayTimeUnit": "ms",
+    }
+    if origin:
+        doc["otherData"] = {"origin": origin}
+    return doc
+
+
+def render_chrome_trace(
+    events: Iterable[dict], origin: Optional[str] = None
+) -> str:
+    """Obs sink events → Chrome Trace Event JSON text, in one call."""
+    return json.dumps(
+        chrome_trace_document(chrome_trace_events(events), origin=origin),
+        sort_keys=True,
+    )

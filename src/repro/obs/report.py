@@ -1,9 +1,13 @@
 """Render observability JSONL sinks back into human-readable form.
 
-Three views, matching the ``python -m repro obs`` subcommands:
+Four views, matching the ``python -m repro obs`` subcommands:
 
 * :func:`render_report` — merged counter/histogram tables plus
   per-span-name timing aggregates and the reconstructed span tree;
+* :func:`render_trace` — the cross-process trace view
+  (``obs report --trace``): the stitched span tree over all merged
+  sinks and a critical-path breakdown of campaign wall-clock into
+  queue-wait / compute / retry-backoff / merge;
 * :func:`render_tail` — the last N events, one formatted line each;
 * :func:`merge_events` — the machine-readable merge (``obs export``).
 
@@ -38,14 +42,25 @@ def load_events(path: str) -> list[dict]:
     return events
 
 
+def logical_sink(path: str) -> str:
+    """The sink a file logically belongs to: ``sink.jsonl.1`` (the
+    rotated generation, see ``ObsState._rotate_sink``) maps back to
+    ``sink.jsonl``.  Counter snapshots merge last-per-(sink, pid), and
+    a rotated generation is the *same* sink — keying by the physical
+    path would double-count its cumulative snapshots."""
+    return path[:-2] if path.endswith(".1") else path
+
+
 def expand_sinks(patterns) -> list[str]:
     """Expand sink paths and globs into a sorted, deduplicated list.
 
     ``patterns`` is one path/glob or a sequence of them — this is what
     lets ``obs report 'runs/x/shard-*/obs.jsonl'`` cover a sharded
-    cluster campaign with one argument.
+    cluster campaign with one argument.  A sink that has rotated
+    (``sink.jsonl.1`` exists beside it) contributes both generations.
     """
     import glob as _glob
+    import os as _os
 
     if isinstance(patterns, (str, bytes)):
         patterns = [patterns]
@@ -56,6 +71,10 @@ def expand_sinks(patterns) -> list[str]:
             paths.extend(_glob.glob(pattern))
         else:
             paths.append(pattern)
+    for path in list(paths):
+        rotated = path + ".1"
+        if not path.endswith(".1") and _os.path.exists(rotated):
+            paths.append(rotated)
     seen: set[str] = set()
     unique = []
     for path in sorted(paths):
@@ -83,8 +102,9 @@ def load_events_multi(patterns) -> list[dict]:
         return load_events(paths[0])
     events: list[dict] = []
     for path in paths:
+        src = logical_sink(path)
         for event in load_events(path):
-            event["_src"] = path
+            event["_src"] = src
             events.append(event)
     events.sort(key=lambda e: float(e.get("ts", 0.0)))
     return events
@@ -193,25 +213,57 @@ def merge_events(events: list[dict]) -> dict:
     }
 
 
-def render_span_tree(
-    events: list[dict], max_roots: int = 10, max_depth: int = 6
-) -> str:
-    """Reconstruct parent/child span nesting and render it indented,
-    slowest roots first."""
+def stitch_spans(events: list[dict]) -> dict:
+    """Link a (possibly multi-sink) event stream's spans into a tree.
+
+    Span ids are pid-prefixed, so a merged stream from scheduler and
+    worker sinks stitches naturally: a worker span whose ``parent`` is
+    a scheduler span id attaches to it the moment both sinks are read
+    together.  Returns ``{"roots", "orphans", "children", "by_id"}``
+    where roots have ``parent is None`` and orphans name a parent that
+    never reached any of the sinks read (a killed worker's parent
+    process, a sink glob that missed a shard, ...).
+    """
     span_events = [e for e in events if e.get("kind") == "span"]
-    if not span_events:
-        return "(no spans)"
     children: dict[Optional[str], list[dict]] = {}
     for event in span_events:
         children.setdefault(event.get("parent"), []).append(event)
     by_id = {e.get("id"): e for e in span_events}
-    # A root is a span whose parent never reached the sink (or is None).
-    roots = [
+    roots = [e for e in span_events if e.get("parent") is None]
+    orphans = [
         e
         for e in span_events
-        if e.get("parent") is None or e.get("parent") not in by_id
+        if e.get("parent") is not None and e.get("parent") not in by_id
     ]
-    roots.sort(key=lambda e: -float(e.get("dur", 0.0)))
+    return {
+        "roots": roots,
+        "orphans": orphans,
+        "children": children,
+        "by_id": by_id,
+    }
+
+
+def render_span_tree(
+    events: list[dict], max_roots: int = 10, max_depth: int = 6
+) -> str:
+    """Reconstruct parent/child span nesting and render it indented,
+    slowest roots first.
+
+    Orphaned spans — ones naming a parent that never reached the sink
+    (cross-pid parents whose sink wasn't merged in, a scheduler killed
+    before emitting its campaign span) — are never dropped: they are
+    grouped under one synthetic root at the end, each keeping its own
+    subtree."""
+    stitched = stitch_spans(events)
+    if not stitched["by_id"]:
+        return "(no spans)"
+    children = stitched["children"]
+    roots = sorted(
+        stitched["roots"], key=lambda e: -float(e.get("dur", 0.0))
+    )
+    orphans = sorted(
+        stitched["orphans"], key=lambda e: -float(e.get("dur", 0.0))
+    )
 
     lines: list[str] = []
 
@@ -238,6 +290,134 @@ def render_span_tree(
         walk(root, 0)
     if len(roots) > max_roots:
         lines.append(f"... and {len(roots) - max_roots} more root spans")
+    if orphans:
+        lines.append(
+            f"(orphaned: {len(orphans)} span"
+            f"{'s' if len(orphans) != 1 else ''} whose parent never "
+            f"reached the sink)"
+        )
+        for orphan in orphans[:max_roots]:
+            walk(orphan, 1)
+        if len(orphans) > max_roots:
+            lines.append(
+                f"  ... and {len(orphans) - max_roots} more orphaned spans"
+            )
+    return "\n".join(lines)
+
+
+ROOT_SPAN_NAMES = ("cluster.campaign", "campaign.run")
+
+
+def trace_summary(events: list[dict]) -> dict:
+    """Critical-path attribution for a merged campaign trace.
+
+    Breaks the campaign root span's wall-clock into where the time
+    went, using the telemetry every layer already emits:
+
+    * ``queue_wait`` — the enqueue(eligible)→lease histogram
+      (``cluster.lease_wait_seconds``), i.e. jobs ready but waiting
+      for a worker;
+    * ``compute`` — total ``campaign.job`` span time across workers
+      (can exceed wall-clock: it sums over parallel workers);
+    * ``retry_backoff`` — deliberate delay before re-running failed
+      jobs (``cluster.backoff_seconds`` / ``campaign.backoff_seconds``);
+    * ``merge`` — ``store.merge`` span time folding worker shards at
+      finalize.
+
+    Also reports the tree's health: trace ids seen, root span, span
+    and orphan counts — the CI cluster drill asserts
+    ``n_orphans == 0`` on exactly this structure.
+    """
+    merged = merge_events(events)
+    stitched = stitch_spans(events)
+    root = None
+    for name in ROOT_SPAN_NAMES:
+        named = [e for e in stitched["roots"] if e.get("name") == name]
+        if named:
+            root = max(named, key=lambda e: float(e.get("dur", 0.0)))
+            break
+    if root is None and stitched["roots"]:
+        root = max(
+            stitched["roots"], key=lambda e: float(e.get("dur", 0.0))
+        )
+
+    def _span_total(name: str) -> float:
+        agg = merged["spans"].get(name)
+        return float(agg["total"]) if agg else 0.0
+
+    def _hist_total(name: str) -> float:
+        h = merged["histograms"].get(name)
+        return float(h["total"]) if h else 0.0
+
+    trace_ids = sorted(
+        {e["trace"] for e in events if e.get("trace") is not None}
+    )
+    return {
+        "trace_ids": trace_ids,
+        "root": None
+        if root is None
+        else {
+            "name": root.get("name"),
+            "id": root.get("id"),
+            "dur": float(root.get("dur", 0.0)),
+        },
+        "wall_seconds": float(root.get("dur", 0.0)) if root else None,
+        "queue_wait_seconds": _hist_total("cluster.lease_wait_seconds"),
+        "compute_seconds": _span_total("campaign.job"),
+        "retry_backoff_seconds": _hist_total("cluster.backoff_seconds")
+        + _hist_total("campaign.backoff_seconds"),
+        "merge_seconds": _span_total("store.merge"),
+        "n_spans": len(stitched["by_id"]),
+        "n_roots": len(stitched["roots"]),
+        "n_orphans": len(stitched["orphans"]),
+    }
+
+
+def render_trace(
+    events: list[dict], max_roots: int = 20, max_depth: int = 12
+) -> str:
+    """The ``obs report --trace`` view: the merged cross-pid span tree
+    plus the critical-path breakdown of campaign wall-clock."""
+    summary = trace_summary(events)
+    lines: list[str] = []
+    if summary["trace_ids"]:
+        lines.append(f"trace: {', '.join(summary['trace_ids'])}")
+    else:
+        lines.append("trace: (no trace ids recorded)")
+    lines.append(
+        f"spans: {summary['n_spans']} "
+        f"({summary['n_roots']} roots, {summary['n_orphans']} orphaned)"
+    )
+    lines += [
+        "",
+        "## span tree",
+        render_span_tree(events, max_roots=max_roots, max_depth=max_depth),
+    ]
+
+    lines += ["", "## critical path"]
+    if summary["root"] is None:
+        lines.append("(no root span — cannot attribute wall-clock)")
+        return "\n".join(lines)
+    wall = summary["wall_seconds"] or 0.0
+
+    def _row(label: str, seconds: float) -> str:
+        share = f"{seconds / wall * 100.0:5.1f}%" if wall > 0 else "     -"
+        return f"{label:<38} {seconds:>10.3f} s  {share}"
+
+    lines.append(
+        f"{'campaign wall-clock (' + str(summary['root']['name']) + ')':<38} "
+        f"{wall:>10.3f} s"
+    )
+    lines.append(_row("  queue-wait (eligible -> leased)",
+                      summary["queue_wait_seconds"]))
+    lines.append(_row("  compute (campaign.job, all workers)",
+                      summary["compute_seconds"]))
+    lines.append(_row("  retry backoff", summary["retry_backoff_seconds"]))
+    lines.append(_row("  shard merge (store.merge)",
+                      summary["merge_seconds"]))
+    lines.append(
+        "(compute sums across parallel workers and may exceed wall-clock)"
+    )
     return "\n".join(lines)
 
 

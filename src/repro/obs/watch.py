@@ -59,7 +59,11 @@ class SinkFollower:
     delivered once complete, and a line truncated forever (worker
     killed) is simply never delivered.  Complete-but-corrupt lines are
     counted in :attr:`corrupt` and skipped.  If the file shrinks (sink
-    recreated), the follower restarts from the beginning.
+    recreated), the follower restarts from the beginning; if it
+    *rotates* (size-capped sinks rename ``sink`` → ``sink.1`` and start
+    fresh — detected by the inode changing), the follower first drains
+    the unread tail of the rotated generation, then restarts at the new
+    file's beginning, so no event is lost or delivered twice.
     """
 
     def __init__(self, path: str) -> None:
@@ -67,23 +71,9 @@ class SinkFollower:
         self.offset = 0
         self.corrupt = 0
         self._buffer = ""
+        self._ino: Optional[int] = None
 
-    def poll(self) -> list[dict]:
-        """Newly appended complete events since the last poll."""
-        try:
-            size = os.path.getsize(self.path)
-        except OSError:
-            return []
-        if size < self.offset:  # sink truncated/recreated: start over
-            self.offset = 0
-            self._buffer = ""
-        if size == self.offset:
-            return []
-        with open(self.path, "r", encoding="utf-8", errors="replace") as fh:
-            fh.seek(self.offset)
-            chunk = fh.read()
-            self.offset = fh.tell()
-        data = self._buffer + chunk
+    def _decode(self, data: str) -> list[dict]:
         lines = data.split("\n")
         self._buffer = lines.pop()  # "" when data ended in a newline
         events: list[dict] = []
@@ -100,6 +90,59 @@ class SinkFollower:
                 events.append(event)
             else:
                 self.corrupt += 1
+        return events
+
+    def _read_from(self, path: str) -> list[dict]:
+        """Read ``path`` from the remembered offset to EOF and decode."""
+        try:
+            with open(path, "r", encoding="utf-8", errors="replace") as fh:
+                fh.seek(self.offset)
+                chunk = fh.read()
+                self.offset = fh.tell()
+        except OSError:
+            return []
+        return self._decode(self._buffer + chunk)
+
+    def poll(self) -> list[dict]:
+        """Newly appended complete events since the last poll."""
+        try:
+            st = os.stat(self.path)
+        except OSError:
+            return []
+        events: list[dict] = []
+        if self._ino is None and self.offset == 0:
+            # First contact with the sink.  A generation that rotated
+            # out *before* we attached still holds the campaign's
+            # earlier events — deliver it first, oldest-first.
+            rotated = self.path + ".1"
+            if not self.path.endswith(".1") and os.path.exists(rotated):
+                events.extend(self._read_from(rotated))
+                self.offset = 0
+                self._buffer = ""
+        if self._ino is not None and st.st_ino != self._ino:
+            # The sink rotated out from under us.  The file we were
+            # reading should now be at <path>.1 — drain its unread
+            # tail (rotation happens on whole-line boundaries) before
+            # restarting on the fresh file.
+            rotated = self.path + ".1"
+            try:
+                rotated_st = os.stat(rotated)
+            except OSError:
+                rotated_st = None
+            if (
+                rotated_st is not None
+                and rotated_st.st_ino == self._ino
+                and rotated_st.st_size > self.offset
+            ):
+                events.extend(self._read_from(rotated))
+            self.offset = 0
+            self._buffer = ""
+        self._ino = st.st_ino
+        if st.st_size < self.offset:  # truncated/recreated: start over
+            self.offset = 0
+            self._buffer = ""
+        if st.st_size > self.offset:
+            events.extend(self._read_from(self.path))
         return events
 
 
@@ -125,15 +168,22 @@ class MultiSinkFollower:
 
     def poll(self) -> list[dict]:
         """Newly appended complete events across every matching sink."""
-        from repro.obs.report import expand_sinks
+        from repro.obs.report import expand_sinks, logical_sink
 
-        for path in expand_sinks(self.patterns):
+        expanded = set(expand_sinks(self.patterns))
+        for path in expanded:
+            # A rotated generation (<sink>.1) whose live sink is also
+            # followed is the base follower's job — following both
+            # would deliver its events twice.
+            if path.endswith(".1") and logical_sink(path) in expanded:
+                continue
             if path not in self._followers:
                 self._followers[path] = SinkFollower(path)
         events: list[dict] = []
         for path in sorted(self._followers):
+            src = logical_sink(path)
             for event in self._followers[path].poll():
-                event["_src"] = path
+                event["_src"] = src
                 events.append(event)
         events.sort(key=lambda e: float(e.get("ts", 0.0)))
         return events

@@ -34,7 +34,9 @@ from repro.perf.harness import (
     merge_reports,
     metrics_digest,
     profile_bench,
+    render_site_profile,
     run_benches,
+    site_access_profile,
 )
 
 __all__ = [
@@ -50,5 +52,7 @@ __all__ = [
     "merge_reports",
     "metrics_digest",
     "profile_bench",
+    "render_site_profile",
     "run_benches",
+    "site_access_profile",
 ]

@@ -209,3 +209,61 @@ class TestServiceMode:
             assert len(records) == 4
             assert all(record.ok for record in records.values())
             assert store.load_manifest()["outcomes"]["ok"] == 4
+
+
+class TestTraceDrill:
+    def test_kill_drill_yields_one_connected_trace_tree(self, tmp_path):
+        """The tracing acceptance drill: 2 real workers sharing one obs
+        sink, one SIGKILLed mid-run — scheduler, workers, and shard
+        store must still stitch into a single trace tree rooted at the
+        scheduler's campaign span, with zero orphans, and the merged
+        events must export to valid Chrome Trace JSON."""
+        from repro.obs.export import event_pid, render_chrome_trace
+        from repro.obs.report import trace_summary
+
+        sink = tmp_path / "obs.jsonl"
+        obs.enable(sink_path=str(sink))
+        result = run_cluster(
+            drill_spec(name="trace-drill"),
+            tmp_path / "cluster",
+            workers=2,
+            lease_seconds=10.0,
+            heartbeat_seconds=0.3,
+            drill_kill_worker=2,
+            deadline_seconds=120.0,
+            obs_sink=str(sink),
+        )
+        obs.flush()
+        obs.reset()
+        assert result["state"] == "done"
+        assert result["counts"]["ok"] == 6
+
+        events = obs.load_events_multi([str(sink)])
+        summary = trace_summary(events)
+        assert summary["root"]["name"] == "cluster.campaign"
+        assert summary["n_orphans"] == 0
+        assert len(summary["trace_ids"]) == 1
+        assert summary["merge_seconds"] > 0.0
+
+        job_spans = [
+            e for e in events
+            if e.get("kind") == "span" and e.get("name") == "campaign.job"
+        ]
+        assert job_spans
+        # every job span parents directly to the scheduler's campaign
+        # span, even though it was emitted in another process
+        assert {s["parent"] for s in job_spans} == {summary["root"]["id"]}
+        assert {s.get("trace") for s in job_spans} == {
+            summary["trace_ids"][0]
+        }
+        # worker spans carry worker pids, distinct from the scheduler's
+        scheduler_pid = event_pid(
+            next(e for e in events if e.get("name") == "cluster.campaign")
+        )
+        assert all(event_pid(s) != scheduler_pid for s in job_spans)
+
+        doc = json.loads(render_chrome_trace(events, origin=str(sink)))
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert "X" in phases
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"cluster.campaign", "campaign.job", "store.merge"} <= names

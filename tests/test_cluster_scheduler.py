@@ -23,6 +23,8 @@ from repro.campaign.executor import run_attempt
 from repro.campaign.spec import FaultInjection
 from repro.campaign.store import JobRecord, SpecMismatchError
 from repro.cluster import ClusterScheduler
+from repro.obs import tracectx
+from repro.obs.report import trace_summary
 from repro.cluster.scheduler import (
     SCHEDULER_SHARD,
     STATE_CANCELLED,
@@ -56,30 +58,32 @@ class FakeClock:
 
 def work_once(scheduler: ClusterScheduler, worker_id: str):
     """One lease -> execute -> record -> report cycle, exactly as the
-    real worker performs it.  Returns the job message, or None."""
+    real worker performs it (including adopting the job message's trace
+    context for the attempt).  Returns the job message, or None."""
     message = scheduler.request_lease(worker_id)
     if message is None:
         return None
     payload = message["payload"]
-    outcome = run_attempt(payload)
-    if outcome.ok or message["final"]:
-        shard = ResultStore(message["store_root"]).shard_store(worker_id)
-        shard.root.mkdir(parents=True, exist_ok=True)
-        shard.append(
-            JobRecord(
-                job_id=message["job_id"],
-                experiment=payload["experiment"],
-                params=payload["params"],
-                trial=message["trial"],
-                seed=payload["seed"],
-                status=outcome.status,
-                attempts=payload["attempt"] + 1,
-                duration_seconds=outcome.duration,
-                metrics=outcome.metrics,
-                error=outcome.error,
-                timeout_enforced=outcome.timeout_enforced,
+    with tracectx.adopted(message.get("trace")):
+        outcome = run_attempt(payload)
+        if outcome.ok or message["final"]:
+            shard = ResultStore(message["store_root"]).shard_store(worker_id)
+            shard.root.mkdir(parents=True, exist_ok=True)
+            shard.append(
+                JobRecord(
+                    job_id=message["job_id"],
+                    experiment=payload["experiment"],
+                    params=payload["params"],
+                    trial=message["trial"],
+                    seed=payload["seed"],
+                    status=outcome.status,
+                    attempts=payload["attempt"] + 1,
+                    duration_seconds=outcome.duration,
+                    metrics=outcome.metrics,
+                    error=outcome.error,
+                    timeout_enforced=outcome.timeout_enforced,
+                )
             )
-        )
     scheduler.handle_result(
         worker_id,
         {
@@ -455,3 +459,82 @@ class TestStatusPayload:
             "jobs_done": 1,
             "last_seen_seconds_ago": 0.0,
         }
+
+
+class TestTelemetryAndTrace:
+    """The scheduler's queue telemetry and the cross-process trace tree
+    (here cross-*context*: the fake workers adopt the wire trace the
+    way real workers do, so the stitching logic is fully exercised)."""
+
+    def _run_drill(self, tmp_path, sink=None):
+        if sink is None:
+            obs.enable()
+        else:
+            obs.enable(sink_path=str(sink))
+        clock = FakeClock()
+        scheduler = ClusterScheduler(clock=clock)
+        scheduler.submit(drill_spec(), tmp_path / "c")
+        drain(scheduler, clock=clock)
+        obs.flush()
+        return scheduler
+
+    def test_lease_wait_histogram_counts_every_lease(self, tmp_path):
+        self._run_drill(tmp_path)
+        hist = obs.histograms_snapshot()["cluster.lease_wait_seconds"]
+        # 8 jobs + 2 injected-failure retries = 10 leases granted
+        assert hist["count"] == 10
+        assert hist["min"] >= 0.0
+
+    def test_queue_depth_observed_at_submit_and_each_lease(self, tmp_path):
+        self._run_drill(tmp_path)
+        hist = obs.histograms_snapshot()["cluster.queue_depth"]
+        assert hist["count"] == 11  # 1 submit snapshot + 10 leases
+        assert hist["max"] == 8.0  # the full grid at submit
+
+    def test_retry_backoff_observed_per_retry(self, tmp_path):
+        self._run_drill(tmp_path)
+        hist = obs.histograms_snapshot()["cluster.backoff_seconds"]
+        assert hist["count"] == 2  # the two injected failures
+        assert hist["total"] == 0.0  # drill_spec uses retry_backoff=0.0
+
+    def test_telemetry_silent_while_disabled(self, tmp_path):
+        clock = FakeClock()
+        scheduler = ClusterScheduler(clock=clock)
+        scheduler.submit(drill_spec(), tmp_path / "c")
+        drain(scheduler, clock=clock)
+        assert obs.histograms_snapshot() == {}
+        (exec_,) = scheduler.campaigns.values()
+        assert exec_.trace_id == ""  # no trace machinery engaged
+
+    def test_campaign_trace_stitches_with_zero_orphans(self, tmp_path):
+        sink = tmp_path / "obs.jsonl"
+        self._run_drill(tmp_path, sink=sink)
+        events = obs.load_events(str(sink))
+        summary = trace_summary(events)
+        assert summary["root"]["name"] == "cluster.campaign"
+        assert summary["n_orphans"] == 0
+        assert len(summary["trace_ids"]) == 1
+        # every job attempt and the shard merge joined the same tree
+        assert summary["compute_seconds"] > 0.0
+        assert summary["merge_seconds"] > 0.0
+        job_spans = [
+            e for e in events
+            if e.get("kind") == "span" and e.get("name") == "campaign.job"
+        ]
+        # injected failures raise before the job span opens, so only
+        # the 8 successful attempts produce spans
+        assert len(job_spans) == 8
+        root_id = summary["root"]["id"]
+        assert all(s["parent"] == root_id for s in job_spans)
+        assert all(
+            s.get("trace") == summary["trace_ids"][0] for s in job_spans
+        )
+
+    def test_scheduler_joins_an_inherited_process_trace(self, tmp_path):
+        obs.enable()
+        tracectx.set_trace("feedbeefcafe0123")
+        clock = FakeClock()
+        scheduler = ClusterScheduler(clock=clock)
+        scheduler.submit(drill_spec(), tmp_path / "c")
+        (exec_,) = scheduler.campaigns.values()
+        assert exec_.trace_id == "feedbeefcafe0123"

@@ -169,3 +169,60 @@ class TestNonPerturbation:
             k: r.metrics for k, r in store_on.load_records().items()
         }
         assert metrics_off == metrics_on
+    def test_metrics_identical_with_tracing_active(self):
+        """A live trace context (trace id + remote parent + recording
+        sink) must leave experiment metrics byte-identical: trace ids
+        come from OS entropy, never an experiment RNG stream."""
+        from repro.core.taintchannel.tool import run_gadget_scan
+        from repro.obs import tracectx
+        from repro.workloads import random_bytes
+
+        data = random_bytes(120, seed=5)
+        obs.reset()
+        off = metrics_digest(run_gadget_scan("lzw", data))
+        obs.enable()
+        tracectx.begin_trace()
+        with obs.span("campaign.job"):
+            on = metrics_digest(run_gadget_scan("lzw", data))
+        obs.reset()
+        assert off == on
+
+    def test_trace_env_adoption_never_touches_rng_streams(
+        self, monkeypatch
+    ):
+        """REPRO_OBS_TRACE is how pool workers inherit the campaign
+        trace; parsing it must not consume from random/numpy, or every
+        worker's noise stream would shift by one draw."""
+        import random
+
+        from repro.obs.core import _activate_from_env
+
+        random.seed(123)
+        before = random.getstate()
+        monkeypatch.setenv(obs.ENV_TRACE, "feedbeefcafe0123:41-7")
+        _activate_from_env()
+        assert random.getstate() == before
+        numpy = pytest.importorskip("numpy")
+        numpy.random.seed(123)
+        np_before = numpy.random.get_state()[1].tobytes()
+        _activate_from_env()
+        assert numpy.random.get_state()[1].tobytes() == np_before
+
+    def test_campaign_records_identical_under_inherited_trace(
+        self, tmp_path, monkeypatch
+    ):
+        _, store_off = _run_campaign(tmp_path, name="trace-off")
+        monkeypatch.setenv(obs.ENV_TRACE, "feedbeefcafe0123:")
+        from repro.obs.core import _activate_from_env
+
+        _activate_from_env()
+        obs.enable(sink_path=str(tmp_path / "obs.jsonl"))
+        _, store_on = _run_campaign(tmp_path, name="trace-on")
+        obs.reset()
+        metrics_off = {
+            k: r.metrics for k, r in store_off.load_records().items()
+        }
+        metrics_on = {
+            k: r.metrics for k, r in store_on.load_records().items()
+        }
+        assert metrics_off == metrics_on

@@ -90,14 +90,43 @@ class TestInterleavedSpans:
         assert merged["spans"]["campaign.job"]["errors"] == 1
         assert merged["spans"]["campaign.job"]["max"] == 0.7
 
-    def test_orphaned_span_becomes_a_root(self):
+    def test_orphaned_span_groups_under_synthetic_root(self):
         tree = render_span_tree(self._events())
         lines = tree.splitlines()
         # campaign.run root with its child indented under it
         assert any(l.startswith("campaign.run") for l in lines)
         assert any(l.startswith("  campaign.job") for l in lines)
-        # the orphan renders as a root, not dropped
-        assert any(l.startswith("campaign.job  500.00 ms") for l in lines)
+        # the orphan is never dropped: it renders under the synthetic
+        # "(orphaned: ...)" group, indented one level
+        marker = next(l for l in lines if l.startswith("(orphaned:"))
+        assert "1 span" in marker
+        after = lines[lines.index(marker) + 1:]
+        assert any(l.startswith("  campaign.job  500.00 ms") for l in after)
+
+    def test_orphan_keeps_its_own_subtree(self):
+        events = self._events() + [
+            {"kind": "span", "pid": 2, "id": "y", "parent": "x",
+             "name": "store.append", "dur": 0.1, "ts": 1.3},
+        ]
+        tree = render_span_tree(events)
+        lines = tree.splitlines()
+        start = next(
+            i for i, l in enumerate(lines) if l.startswith("(orphaned:")
+        )
+        # the orphan's own child nests beneath it inside the group
+        assert any(
+            l.startswith("    store.append") for l in lines[start + 1:]
+        )
+
+    def test_orphan_overflow_is_counted_not_dropped(self):
+        events = [
+            {"kind": "span", "pid": 2, "id": f"o{i}", "parent": "ghost",
+             "name": "campaign.job", "dur": 0.1, "ts": 1.0 + i}
+            for i in range(12)
+        ]
+        tree = render_span_tree(events, max_roots=10)
+        assert "(orphaned: 12 spans" in tree
+        assert "2 more orphaned spans" in tree
 
 
 class TestHistogramQuantiles:

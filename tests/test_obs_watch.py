@@ -102,6 +102,49 @@ class TestSinkFollower:
         sink.write_text(_line({"kind": "log", "msg": "new"}))
         assert [e["msg"] for e in follower.poll()] == ["new"]
 
+    def test_rotation_delivers_every_event_exactly_once(self, tmp_path):
+        # The size-cap rotation (sink -> sink.1) must look to a live
+        # follower like a seamless stream: the rotated file's unread
+        # tail is drained before the fresh file is read from zero.
+        sink = tmp_path / "s.jsonl"
+        sink.write_text(_line({"kind": "log", "msg": "a"}))
+        follower = SinkFollower(sink)
+        assert [e["msg"] for e in follower.poll()] == ["a"]
+        # more lines land, then the writer rotates before the next poll
+        with open(sink, "a") as fh:
+            fh.write(_line({"kind": "log", "msg": "b"}))
+        os.replace(sink, str(sink) + ".1")
+        sink.write_text(_line({"kind": "log", "msg": "c"}))
+        assert [e["msg"] for e in follower.poll()] == ["b", "c"]
+        assert follower.poll() == []
+
+    def test_rotation_with_fully_read_generation(self, tmp_path):
+        sink = tmp_path / "s.jsonl"
+        sink.write_text(_line({"kind": "log", "msg": "a"}))
+        follower = SinkFollower(sink)
+        follower.poll()
+        os.replace(sink, str(sink) + ".1")
+        sink.write_text(_line({"kind": "log", "msg": "fresh"}))
+        assert [e["msg"] for e in follower.poll()] == ["fresh"]
+
+    def test_multi_follower_skips_rotated_twin(self, tmp_path):
+        # Following 's.jsonl*' must not deliver the rotated generation
+        # twice: the base follower already drains 's.jsonl.1'.
+        from repro.obs.watch import MultiSinkFollower
+
+        sink = tmp_path / "s.jsonl"
+        (tmp_path / "s.jsonl.1").write_text(
+            _line({"kind": "log", "msg": "old"})
+        )
+        sink.write_text(_line({"kind": "log", "msg": "new"}))
+        follower = MultiSinkFollower([str(tmp_path / "s.jsonl*")])
+        events = follower.poll()
+        msgs = sorted(e["msg"] for e in events)
+        assert msgs == ["new", "old"]
+        # both generations carry the logical sink as their source
+        assert {e["_src"] for e in events} == {str(sink)}
+        assert follower.poll() == []
+
 
 class TestWatchState:
     def test_counters_merge_last_snapshot_per_pid(self):
